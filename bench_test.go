@@ -1,0 +1,638 @@
+// Benchmarks that regenerate every table and figure of the paper's §4,
+// plus ablations of the design choices DESIGN.md calls out. Each bench
+// prints its artifact once (first run) and reports the figure's key
+// quantities as custom metrics, so `go test -bench=. -benchmem` doubles
+// as the reproduction harness.
+//
+// The shared fixture runs the full pipeline (generate → serve → crawl)
+// once at the scale given by DISSENTER_SCALE (default 1/64).
+package dissenter_test
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+
+	"dissenter/internal/allsides"
+	"dissenter/internal/analysis"
+	"dissenter/internal/gabcrawl"
+	"dissenter/internal/hatespeech"
+	"dissenter/internal/ids"
+	"dissenter/internal/lexicon"
+	"dissenter/internal/ml"
+	"dissenter/internal/perspective"
+	"dissenter/internal/report"
+	"dissenter/internal/repro"
+	"dissenter/internal/synth"
+	"dissenter/internal/toxdict"
+)
+
+var (
+	fixtureOnce sync.Once
+	fixture     *repro.Result
+	fixtureErr  error
+	printed     sync.Map
+)
+
+func benchScale() float64 {
+	if s := os.Getenv("DISSENTER_SCALE"); s != "" {
+		if f, err := strconv.ParseFloat(s, 64); err == nil && f > 0 {
+			return f
+		}
+	}
+	return synth.DefaultScale
+}
+
+func pipeline(b *testing.B) *repro.Result {
+	b.Helper()
+	fixtureOnce.Do(func() {
+		fixture, fixtureErr = repro.Run(context.Background(), repro.Options{
+			Scale: benchScale(), Seed: 1,
+		})
+	})
+	if fixtureErr != nil {
+		b.Fatal(fixtureErr)
+	}
+	return fixture
+}
+
+// printOnce emits an artifact the first time a bench runs.
+func printOnce(name string, render func()) {
+	if _, loaded := printed.LoadOrStore(name, true); !loaded {
+		render()
+	}
+}
+
+// ---------------------------------------------------------------------
+// Tables
+
+func BenchmarkTable1UserFlags(b *testing.B) {
+	r := pipeline(b)
+	var t1 analysis.Table1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t1 = r.Study.Table1()
+	}
+	b.ReportMetric(float64(t1.Filters["nsfw"])/float64(t1.N)*100, "nsfw_filter_pct")
+	b.ReportMetric(float64(t1.Flags["isAdmin"]), "admins")
+	printOnce("t1", func() {
+		fmt.Printf("\nTable 1: n=%d nsfw-filter=%s offensive-filter=%s (paper 15.04%% / 7.33%%)\n",
+			t1.N, report.Pct(float64(t1.Filters["nsfw"])/float64(t1.N)),
+			report.Pct(float64(t1.Filters["offensive"])/float64(t1.N)))
+	})
+}
+
+func BenchmarkTable2TLDDomains(b *testing.B) {
+	r := pipeline(b)
+	var t2 analysis.Table2
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t2 = r.Study.Table2()
+	}
+	ytShare := float64(t2.Domains[0].N) / float64(t2.Total) * 100
+	b.ReportMetric(ytShare, "youtube_pct")
+	printOnce("t2", func() {
+		fmt.Printf("\nTable 2 top domains (paper: youtube 20.75%%, twitter 6.87%%):\n")
+		for i := 0; i < 5 && i < len(t2.Domains); i++ {
+			fmt.Printf("  %-22s %s\n", t2.Domains[i].Name,
+				report.Pct(float64(t2.Domains[i].N)/float64(t2.Total)))
+		}
+	})
+}
+
+func BenchmarkTable3Baselines(b *testing.B) {
+	r := pipeline(b)
+	var rows []analysis.Table3Row
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows = analysis.Table3(r.NYT.NominalSize, r.DM.NominalSize,
+			r.RedditCommentTotal(), len(r.Matches))
+	}
+	b.ReportMetric(float64(rows[2].DissenterUsers), "reddit_matched_users")
+	printOnce("t3", func() {
+		fmt.Printf("\nTable 3: NYT %s, DailyMail %s, Reddit %s comments / %s matched users\n",
+			report.N(rows[0].Comments), report.N(rows[1].Comments),
+			report.N(rows[2].Comments), report.N(rows[2].DissenterUsers))
+	})
+}
+
+// ---------------------------------------------------------------------
+// Figures
+
+func BenchmarkFigure2GabIDGrowth(b *testing.B) {
+	r := pipeline(b)
+	var fig analysis.Figure2
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fig = analysis.Figure2FromAccounts(r.Accounts)
+	}
+	b.ReportMetric(float64(fig.Inversions), "id_inversions")
+	b.ReportMetric(fig.MonotoneFraction*100, "monotone_pct")
+	printOnce("f2", func() {
+		fmt.Printf("\nFigure 2: %d accounts, %d inversions (%.2f%% monotone; paper: two anomaly periods)\n",
+			fig.Accounts, fig.Inversions, fig.MonotoneFraction*100)
+	})
+}
+
+func BenchmarkFigure3CommentsCDF(b *testing.B) {
+	r := pipeline(b)
+	var fig analysis.Figure3
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fig = r.Study.Figure3()
+	}
+	b.ReportMetric(fig.TopShare90*100, "top_share90_pct")
+	printOnce("f3", func() {
+		fmt.Printf("\nFigure 3: 90%% of comments from %s of active users (paper ~14%%)  %s\n",
+			report.Pct(fig.TopShare90), report.Sparkline(fig.Curve))
+	})
+}
+
+func BenchmarkFigure4ShadowToxicity(b *testing.B) {
+	r := pipeline(b)
+	var fig analysis.Figure4
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fig = r.Study.Figure4()
+	}
+	b.ReportMetric(fig.OffensiveP20, "offensive_p20_ltr")
+	printOnce("f4", func() {
+		fmt.Println()
+		for _, m := range analysis.Figure4Models {
+			report.CDFBlock(os.Stdout, fmt.Sprintf("Figure 4 — %s", m), fig.ECDFs[m])
+		}
+	})
+}
+
+func BenchmarkFigure5ToxicityVsVotes(b *testing.B) {
+	r := pipeline(b)
+	var fig analysis.Figure5
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fig = r.Study.Figure5()
+	}
+	b.ReportMetric(fig.ZeroVoteMean, "zero_vote_mean_tox")
+	b.ReportMetric(fig.VotedMean, "voted_mean_tox")
+	printOnce("f5", func() {
+		fmt.Printf("\nFigure 5: zero-vote URLs %d / +%d / -%d; zero-vote mean %.3f > voted %.3f (paper: zero-vote most toxic)\n",
+			fig.ZeroURLs, fig.PositiveURLs, fig.NegativeURLs, fig.ZeroVoteMean, fig.VotedMean)
+	})
+}
+
+func BenchmarkFigure6CommentRatio(b *testing.B) {
+	r := pipeline(b)
+	var fig analysis.Figure6
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fig = r.Study.Figure6(r.Matches)
+	}
+	b.ReportMetric(fig.DissenterOnly*100, "dissenter_only_pct")
+	b.ReportMetric(fig.RedditOnly*100, "reddit_only_pct")
+	printOnce("f6", func() {
+		fmt.Printf("\nFigure 6: %d matched; Dissenter-only %s (paper >1/3), Reddit-only %s (paper ~20%%)\n",
+			fig.MatchedUsers, report.Pct(fig.DissenterOnly), report.Pct(fig.RedditOnly))
+	})
+}
+
+func benchFigure7(b *testing.B, m perspective.Model, metric string) {
+	r := pipeline(b)
+	sources := r.Figure7Sources()
+	var fig analysis.Figure7
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fig = r.Study.Figure7(m, sources)
+	}
+	b.ReportMetric(fig.ECDFs["Dissenter"].FractionAbove(0.5)*100, metric)
+	printOnce("f7-"+string(m), func() {
+		fmt.Println()
+		report.CDFBlock(os.Stdout, fmt.Sprintf("Figure 7 — %s by platform", m), fig.ECDFs)
+	})
+}
+
+func BenchmarkFigure7aLikelyToReject(b *testing.B) {
+	benchFigure7(b, perspective.LikelyToReject, "dissenter_above50_pct")
+}
+
+func BenchmarkFigure7bSevereToxicity(b *testing.B) {
+	benchFigure7(b, perspective.SevereToxicity, "dissenter_above50_pct")
+}
+
+func BenchmarkFigure7cAttackOnAuthor(b *testing.B) {
+	benchFigure7(b, perspective.AttackOnAuthor, "dissenter_above50_pct")
+}
+
+func BenchmarkFigure8aToxicityByBias(b *testing.B) {
+	r := pipeline(b)
+	var fig analysis.Figure8
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fig = r.Study.Figure8()
+	}
+	b.ReportMetric(fig.Summaries[allsides.Right].Mean, "right_mean_tox")
+	b.ReportMetric(fig.Summaries[allsides.Center].Mean, "center_mean_tox")
+	printOnce("f8a", func() {
+		fmt.Printf("\nFigure 8a SEVERE_TOXICITY means by bias (paper: center highest, right lowest):\n")
+		for _, bias := range allsides.AllCategories() {
+			fmt.Printf("  %-13s n=%-7d mean=%.3f median=%.3f\n", bias,
+				fig.Summaries[bias].N, fig.Summaries[bias].Mean, fig.Summaries[bias].Median)
+		}
+		ks := fig.KS[[2]allsides.Bias{allsides.Center, allsides.Right}]
+		fmt.Printf("  KS center-vs-right: D=%.3f p=%.2g (paper: all pairs p<0.01)\n", ks.D, ks.P)
+	})
+}
+
+func BenchmarkFigure8bAttackByBias(b *testing.B) {
+	r := pipeline(b)
+	var fig analysis.Figure8
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fig = r.Study.Figure8()
+	}
+	left := fig.AttackECDFs[allsides.Left].FractionAbove(0.5)
+	right := fig.AttackECDFs[allsides.Right].FractionAbove(0.5)
+	b.ReportMetric(left*100, "left_attack_pct")
+	b.ReportMetric(right*100, "right_attack_pct")
+	printOnce("f8b", func() {
+		fmt.Printf("\nFigure 8b ATTACK_ON_AUTHOR >= 0.5: left %s vs right %s (paper: left highest, decreasing rightward)\n",
+			report.Pct(left), report.Pct(right))
+	})
+}
+
+func BenchmarkFigure9aDegrees(b *testing.B) {
+	r := pipeline(b)
+	var ss analysis.SocialStats
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ss = r.Study.SocialStats()
+	}
+	b.ReportMetric(ss.InFit.Alpha, "alpha_in")
+	b.ReportMetric(ss.OutFit.Alpha, "alpha_out")
+	printOnce("f9a", func() {
+		fmt.Printf("\nFigure 9a: %d nodes, %d edges, %d isolated; alpha_in=%.2f alpha_out=%.2f (paper: power law both)\n",
+			ss.Nodes, ss.Edges, ss.Isolated, ss.InFit.Alpha, ss.OutFit.Alpha)
+	})
+}
+
+func BenchmarkFigure9bToxicityVsFollowers(b *testing.B) {
+	r := pipeline(b)
+	var ss analysis.SocialStats
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ss = r.Study.SocialStats()
+	}
+	b.ReportMetric(float64(len(ss.ToxicityVsFollowersMean)), "bins")
+	printOnce("f9b", func() {
+		fmt.Printf("\nFigure 9b toxicity vs followers: mean %s median %s\n",
+			report.Sparkline(ss.ToxicityVsFollowersMean), report.Sparkline(ss.ToxicityVsFollowersMedian))
+	})
+}
+
+func BenchmarkFigure9cToxicityVsFollowing(b *testing.B) {
+	r := pipeline(b)
+	var ss analysis.SocialStats
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ss = r.Study.SocialStats()
+	}
+	b.ReportMetric(float64(len(ss.ToxicityVsFollowingMean)), "bins")
+	printOnce("f9c", func() {
+		fmt.Printf("\nFigure 9c toxicity vs following: mean %s median %s\n",
+			report.Sparkline(ss.ToxicityVsFollowingMean), report.Sparkline(ss.ToxicityVsFollowingMedian))
+	})
+}
+
+// ---------------------------------------------------------------------
+// In-text statistics
+
+func BenchmarkHeadlineStats(b *testing.B) {
+	r := pipeline(b)
+	var h analysis.Headline
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h = r.Study.Headline()
+	}
+	b.ReportMetric(h.ActiveFraction*100, "active_pct")
+	b.ReportMetric(h.FirstMonthJoins*100, "first_month_pct")
+	printOnce("s1", func() {
+		fmt.Printf("\nS1: %d users (%.0f%% active), %d comments, %d URLs; %.0f%% joined month one; %d deleted-Gab commenters\n",
+			h.Users, h.ActiveFraction*100, h.Comments, h.URLs, h.FirstMonthJoins*100, h.DeletedGabUsers)
+	})
+}
+
+func BenchmarkYouTubeBreakdown(b *testing.B) {
+	r := pipeline(b)
+	var bd analysis.YouTubeBreakdown
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bd = analysis.YouTubeBreakdownFrom(r.YTSummary, r.Out.YouTube.OwnerTotal)
+	}
+	b.ReportMetric(bd.ActiveCommentsDisabledShare*100, "comments_disabled_pct")
+	b.ReportMetric(bd.FoxCoverage*100, "fox_coverage_pct")
+	printOnce("s2", func() {
+		fmt.Printf("\nS2 YouTube: %d URLs; comments disabled %s (paper 10%%); Fox coverage %s vs CNN %s (paper 4.7%% vs 0.5%%)\n",
+			bd.URLs, report.Pct(bd.ActiveCommentsDisabledShare),
+			report.Pct(bd.FoxCoverage), report.Pct(bd.CNNCoverage))
+	})
+}
+
+func BenchmarkLanguageMix(b *testing.B) {
+	r := pipeline(b)
+	var mix analysis.LanguageMix
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mix = r.Study.LanguageMix()
+	}
+	b.ReportMetric(mix.Shares["en"]*100, "english_pct")
+	b.ReportMetric(mix.Shares["de"]*100, "german_pct")
+	printOnce("s3", func() {
+		fmt.Printf("\nS3 languages: en %s (paper 94%%), de %s (paper 2%%)\n",
+			report.Pct(mix.Shares["en"]), report.Pct(mix.Shares["de"]))
+	})
+}
+
+func BenchmarkShadowOverlay(b *testing.B) {
+	r := pipeline(b)
+	var so analysis.ShadowOverlay
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		so = r.Study.ShadowOverlay()
+	}
+	b.ReportMetric(so.NSFWRate*100, "nsfw_pct")
+	b.ReportMetric(so.OffRate*100, "offensive_pct")
+	printOnce("s4", func() {
+		fmt.Printf("\nS4 shadow overlay: %d NSFW (%s; paper 0.6%%), %d offensive (%s; paper 0.5%%)\n",
+			so.NSFW, report.Pct(so.NSFWRate), so.Offensive, report.Pct(so.OffRate))
+	})
+}
+
+func BenchmarkHatefulCore(b *testing.B) {
+	r := pipeline(b)
+	params := r.CoreParams()
+	var core analysis.HatefulCore
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core = r.Study.HatefulCore(params)
+	}
+	b.ReportMetric(float64(core.TotalUsers), "core_users")
+	b.ReportMetric(float64(len(core.Components)), "components")
+	printOnce("s5", func() {
+		sizes := make([]int, len(core.Components))
+		for i, c := range core.Components {
+			sizes[i] = len(c)
+		}
+		fmt.Printf("\nS5 hateful core: %d users in %d components %v (paper: 42 users, 6 components, largest 32)\n",
+			core.TotalUsers, len(core.Components), sizes)
+	})
+}
+
+func BenchmarkSVMTraining(b *testing.B) {
+	// §3.5.3 at a fixed training scale so the bench is comparable across
+	// corpus scales.
+	c := hatespeech.SyntheticCorpus(0.05, 1)
+	cfg := hatespeech.DefaultTrainConfig()
+	var res ml.KFoldResult
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res = hatespeech.CrossValidate(c, 5, cfg)
+	}
+	b.ReportMetric(res.MeanF1, "weighted_f1")
+	printOnce("s6", func() {
+		fmt.Printf("\nS6 NLP: 5-fold weighted F1 %.3f (paper 0.87)\n", res.MeanF1)
+	})
+}
+
+func BenchmarkCovertChannels(b *testing.B) {
+	r := pipeline(b)
+	var cc analysis.CovertChannels
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cc = r.Study.CovertChannels()
+	}
+	b.ReportMetric(float64(cc.BySignal[analysis.SignalNonWebScheme]), "nonweb_anchors")
+	b.ReportMetric(float64(cc.Conversations), "hidden_conversations")
+	printOnce("s7", func() {
+		fmt.Printf("\n§6 covert screening: %d non-web anchors (%d file leaks), %d multi-party hidden conversations\n",
+			cc.BySignal[analysis.SignalNonWebScheme], cc.BySignal[analysis.SignalLocalFile], cc.Conversations)
+	})
+}
+
+func BenchmarkProactiveDefense(b *testing.B) {
+	r := pipeline(b)
+	var def analysis.DefenseSummary
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		def = r.Study.ProactiveDefenseSweep(10, 3, 0.3, 1)
+	}
+	b.ReportMetric(def.MeanInjectionRatio, "injection_ratio")
+	printOnce("s8", func() {
+		fmt.Printf("\n§6 proactive defense: %d/%d toxic pages flippable; mean effort %.1fx organic volume\n",
+			def.FeasiblePages, def.PagesEvaluated, def.MeanInjectionRatio)
+	})
+}
+
+// ---------------------------------------------------------------------
+// Ablations
+
+// BenchmarkAblationADASYN quantifies what the oversampling buys: minority
+// (hate) recall with and without ADASYN.
+func BenchmarkAblationADASYN(b *testing.B) {
+	c := hatespeech.SyntheticCorpus(0.05, 1)
+	with := hatespeech.DefaultTrainConfig()
+	without := hatespeech.DefaultTrainConfig()
+	without.ADASYN = nil
+	recall := func(res ml.KFoldResult) float64 {
+		var sum float64
+		for _, conf := range res.Confusions {
+			sum += conf.Recall(int(hatespeech.Hate))
+		}
+		return sum / float64(len(res.Confusions))
+	}
+	var rWith, rWithout float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rWith = recall(hatespeech.CrossValidate(c, 3, with))
+		rWithout = recall(hatespeech.CrossValidate(c, 3, without))
+	}
+	b.ReportMetric(rWith, "hate_recall_adasyn")
+	b.ReportMetric(rWithout, "hate_recall_baseline")
+	printOnce("ab1", func() {
+		fmt.Printf("\nAblation ADASYN: hate recall %.3f with vs %.3f without\n", rWith, rWithout)
+	})
+}
+
+// BenchmarkAblationNGramOrder compares the paper's 1+2-gram features
+// against unigrams only.
+func BenchmarkAblationNGramOrder(b *testing.B) {
+	c := hatespeech.SyntheticCorpus(0.05, 1)
+	f1For := func(maxN int) float64 {
+		vec := ml.NewVectorizer()
+		vec.MaxN = maxN
+		xs := vec.FitTransform(c.Texts)
+		ys := make([]int, len(c.Labels))
+		for i, l := range c.Labels {
+			ys[i] = int(l)
+		}
+		ds := ml.Dataset{X: xs, Y: ys}
+		return ml.CrossValidate(ds, vec.VocabSize(), 3, ml.DefaultSVMConfig(), nil).MeanF1
+	}
+	var uni, bi float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		uni = f1For(1)
+		bi = f1For(2)
+	}
+	b.ReportMetric(uni, "f1_unigram")
+	b.ReportMetric(bi, "f1_bigram")
+	printOnce("ab2", func() {
+		fmt.Printf("\nAblation n-grams: F1 %.3f (1-gram) vs %.3f (1+2-gram)\n", uni, bi)
+	})
+}
+
+// BenchmarkAblationAmbiguousTerms quantifies the dictionary's known
+// false-positive surface (the paper's "queen"/"pig" discussion).
+func BenchmarkAblationAmbiguousTerms(b *testing.B) {
+	r := pipeline(b)
+	texts := r.DS.Texts()
+	full := toxdict.Default()
+	strict := toxdict.Default(toxdict.WithoutAmbiguous())
+	var fullHits, strictHits int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fullHits, strictHits = 0, 0
+		for _, txt := range texts {
+			if full.Score(txt) > 0 {
+				fullHits++
+			}
+			if strict.Score(txt) > 0 {
+				strictHits++
+			}
+		}
+	}
+	b.ReportMetric(float64(fullHits), "matches_full")
+	b.ReportMetric(float64(strictHits), "matches_no_ambiguous")
+	printOnce("ab3", func() {
+		fmt.Printf("\nAblation ambiguous terms: %d comments match full dictionary, %d without ambiguous terms (%.1f%% are potential FPs)\n",
+			fullHits, strictHits, 100*float64(fullHits-strictHits)/float64(max(1, fullHits)))
+	})
+}
+
+// BenchmarkAblationStemming compares dictionary hit rates with and
+// without the Porter-stem match path by scoring raw-token matches only.
+func BenchmarkAblationStemming(b *testing.B) {
+	r := pipeline(b)
+	texts := r.DS.Texts()
+	dict := lexicon.Hatebase()
+	exactOnly := func(txt string) bool {
+		for _, tok := range tokenize(txt) {
+			if _, ok := dict.MatchStem(tok); ok { // raw token as stem key
+				return true
+			}
+		}
+		return false
+	}
+	stemmed := toxdict.Default()
+	var stemHits, exactHits int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stemHits, exactHits = 0, 0
+		for _, txt := range texts {
+			if stemmed.Score(txt) > 0 {
+				stemHits++
+			}
+			if exactOnly(txt) {
+				exactHits++
+			}
+		}
+	}
+	b.ReportMetric(float64(stemHits), "matches_stemmed")
+	b.ReportMetric(float64(exactHits), "matches_exact")
+	printOnce("ab4", func() {
+		fmt.Printf("\nAblation stemming: %d comments match with stemming vs %d raw-token (+%.1f%%)\n",
+			stemHits, exactHits, 100*float64(stemHits-exactHits)/float64(max(1, exactHits)))
+	})
+}
+
+// tokenize is a minimal splitter for the stemming ablation.
+func tokenize(s string) []string {
+	var out []string
+	start := -1
+	for i := 0; i <= len(s); i++ {
+		isWord := i < len(s) && (s[i] >= 'a' && s[i] <= 'z' || s[i] >= 'A' && s[i] <= 'Z')
+		if isWord && start < 0 {
+			start = i
+		}
+		if !isWord && start >= 0 {
+			out = append(out, s[start:i])
+			start = -1
+		}
+	}
+	return out
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// BenchmarkGridSearch exercises the paper's hyper-parameter tuning
+// ("using grid search to tune the hyperparameters"): a lambda/epochs
+// sweep under cross-validation.
+func BenchmarkGridSearch(b *testing.B) {
+	c := hatespeech.SyntheticCorpus(0.02, 1)
+	vec := ml.NewVectorizer()
+	xs := vec.FitTransform(c.Texts)
+	ys := make([]int, len(c.Labels))
+	for i, l := range c.Labels {
+		ys[i] = int(l)
+	}
+	ds := ml.Dataset{X: xs, Y: ys}
+	var points []ml.GridPoint
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		points = ml.GridSearch(ds, vec.VocabSize(), 3,
+			[]float64{1e-3, 1e-4, 1e-5}, []int{3, 6}, nil, 1)
+	}
+	b.ReportMetric(points[0].MeanF1, "best_f1")
+	b.ReportMetric(points[0].Config.Lambda, "best_lambda")
+	printOnce("grid", func() {
+		fmt.Printf("\nGrid search: best F1 %.3f at lambda=%g epochs=%d (of %d points)\n",
+			points[0].MeanF1, points[0].Config.Lambda, points[0].Config.Epochs, len(points))
+	})
+}
+
+// BenchmarkAblationEnumVsBFS quantifies §3.1's methodology switch: the
+// failed follower-graph harvest versus exhaustive ID enumeration.
+func BenchmarkAblationEnumVsBFS(b *testing.B) {
+	r := pipeline(b)
+	gabURL, stop, err := repro.ServeGabAPI(r.Out.DB)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer stop()
+	client := gabcrawl.New(gabURL, nil)
+	ctx := context.Background()
+	var enum, bfs int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		full, err := client.Enumerate(ctx, r.Out.DB.MaxGabID(), 16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		walked, err := client.CrawlFollowerGraph(ctx, []ids.GabID{2}, 10, 16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		enum, bfs = len(full), len(walked)
+	}
+	b.ReportMetric(float64(enum), "enumerated")
+	b.ReportMetric(float64(bfs), "bfs_found")
+	printOnce("ab5", func() {
+		fmt.Printf("\nAblation §3.1 harvest method: enumeration %d vs follower-BFS %d accounts (%.1f%% coverage) — why the paper switched\n",
+			enum, bfs, 100*float64(bfs)/float64(max(1, enum)))
+	})
+}

@@ -1,0 +1,74 @@
+// Command dissenter-crawl runs the §3 measurement campaign against a
+// platform (typically one served by dissenter-platform) and writes the
+// mirrored dataset as JSONL.
+//
+// Usage:
+//
+//	dissenter-crawl -base http://localhost:8080 -max-gab-id 20312 -out ./corpus
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"dissenter/internal/dissentercrawl"
+	"dissenter/internal/gabcrawl"
+	"dissenter/internal/ids"
+)
+
+func main() {
+	base := flag.String("base", "http://localhost:8080", "platform base URL (Gab API and Dissenter app)")
+	maxID := flag.Int64("max-gab-id", 0, "largest Gab ID to probe (required; the /"+
+		"root page of dissenter-platform prints it)")
+	out := flag.String("out", "corpus", "output directory for JSONL files")
+	workers := flag.Int("workers", 16, "crawl parallelism")
+	nsfwSession := flag.String("nsfw-session", "nsfw-probe", "session cookie with NSFW view enabled (empty to skip)")
+	offSession := flag.String("offensive-session", "off-probe", "session cookie with offensive view enabled (empty to skip)")
+	politeness := flag.Duration("gab-politeness", 0, "minimum spacing between Gab API requests (paper used 1s)")
+	timeout := flag.Duration("timeout", 30*time.Minute, "overall campaign deadline")
+	flag.Parse()
+
+	if *maxID <= 0 {
+		fmt.Fprintln(os.Stderr, "dissenter-crawl: -max-gab-id is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	var gabOpts []gabcrawl.Option
+	if *politeness > 0 {
+		gabOpts = append(gabOpts, gabcrawl.WithPoliteness(*politeness))
+	}
+	campaign := &dissentercrawl.Campaign{
+		Gab:      gabcrawl.New(*base, nil, gabOpts...),
+		MaxGabID: ids.GabID(*maxID),
+		Web:      dissentercrawl.New(*base, nil),
+		Workers:  *workers,
+	}
+	if *nsfwSession != "" {
+		campaign.NSFWWeb = dissentercrawl.New(*base, nil, dissentercrawl.WithSession(*nsfwSession))
+	}
+	if *offSession != "" {
+		campaign.OffensiveWeb = dissentercrawl.New(*base, nil, dissentercrawl.WithSession(*offSession))
+	}
+
+	log.Printf("crawling %s (IDs 1..%d, %d workers)...", *base, *maxID, *workers)
+	start := time.Now()
+	ds, err := campaign.Run(ctx)
+	if err != nil {
+		log.Fatalf("campaign failed: %v", err)
+	}
+	log.Printf("mirrored %d users, %d URLs, %d comments in %s",
+		len(ds.Users), len(ds.URLs), len(ds.Comments), time.Since(start).Round(time.Millisecond))
+
+	if err := ds.Save(*out); err != nil {
+		log.Fatalf("save: %v", err)
+	}
+	log.Printf("wrote %s/{users,urls,comments,graph}.jsonl", *out)
+}

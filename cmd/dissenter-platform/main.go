@@ -1,0 +1,106 @@
+// Command dissenter-platform serves the complete simulated deployment —
+// the Gab API, the Dissenter web app, the YouTube pages, a
+// Perspective-style scoring endpoint, and a Pushshift-style Reddit API —
+// on one HTTP listener, so crawlers (ours or yours) have something real
+// to measure.
+//
+// Usage:
+//
+//	dissenter-platform [-addr :8080] [-scale 0.015625] [-seed 1]
+//
+// Routes:
+//
+//	/api/v1/accounts/...        Gab API (enumeration, relations)
+//	/user/... /discussion /comment/...   Dissenter web app
+//	/trends /discussion/begin            Gab Trends portal + URL submission
+//	/watch /channel/... /user-yt/...     YouTube simulator
+//	/v1/comments:analyze        Perspective-style scoring
+//	/reddit/... /api/user/...   Pushshift-style Reddit API
+//
+// Two sessions are pre-registered for the differential crawl:
+// "nsfw-probe" (NSFW view enabled) and "off-probe" (offensive view
+// enabled); send either as a "session" cookie.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+
+	"dissenter/internal/dissenterweb"
+	"dissenter/internal/gabapi"
+	"dissenter/internal/perspective"
+	"dissenter/internal/pushshift"
+	"dissenter/internal/synth"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	scale := flag.Float64("scale", synth.DefaultScale, "corpus scale (1.0 = paper scale)")
+	seed := flag.Int64("seed", 1, "generation seed")
+	gabLimit := flag.Int("gab-rate-limit", 0, "Gab API requests per 5-minute window (0 = unlimited)")
+	urlLimit := flag.Int("url-rate-limit", 0, "Dissenter per-URL requests per minute (0 = unlimited; platform used 10)")
+	flag.Parse()
+
+	log.Printf("generating corpus at scale %.5f (seed %d)...", *scale, *seed)
+	out := synth.Generate(synth.NewConfig(*scale, *seed))
+	census := out.DB.Census()
+	log.Printf("generated: %d Gab users, %d Dissenter users, %d comments on %d URLs",
+		census.GabUsers, census.DissenterUsers, census.Comments, census.URLs)
+
+	var gabOpts []gabapi.Option
+	if *gabLimit > 0 {
+		gabOpts = append(gabOpts, gabapi.WithRateLimit(*gabLimit, 5*60*1e9))
+	} else {
+		gabOpts = append(gabOpts, gabapi.WithRateLimit(0, 0))
+	}
+	gab := gabapi.NewServer(out.DB, gabOpts...)
+
+	webOpts := []dissenterweb.Option{}
+	if *urlLimit >= 0 {
+		webOpts = append(webOpts, dissenterweb.WithURLRateLimit(*urlLimit, 60*1e9))
+	}
+	web := dissenterweb.NewServer(out.DB, webOpts...)
+	web.RegisterSession("nsfw-probe", dissenterweb.Session{ShowNSFW: true})
+	web.RegisterSession("off-probe", dissenterweb.Session{ShowOffensive: true})
+
+	var names []string
+	for _, u := range out.DB.DissenterUsers() {
+		names = append(names, u.Username)
+	}
+	sort.Strings(names)
+	reddit := pushshift.NewSim(names, *seed+1)
+
+	mux := http.NewServeMux()
+	mux.Handle("/api/v1/accounts/", gab)
+	mux.Handle("/user/", web)
+	mux.Handle("/discussion", web)
+	mux.Handle("/discussion/begin", web)
+	mux.Handle("/trends", web)
+	mux.Handle("/trends/", web)
+	mux.Handle("/comment/", web)
+	mux.Handle("/watch", out.YouTube)
+	mux.Handle("/channel/", out.YouTube)
+	mux.Handle("/v1/comments:analyze", perspective.Handler(0))
+	mux.Handle("/reddit/", reddit)
+	mux.Handle("/api/user/", reddit)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprintf(w, "dissenter-platform: %d Gab users, %d Dissenter users, %d comments\n",
+			census.GabUsers, census.DissenterUsers, census.Comments)
+		fmt.Fprintf(w, "max Gab ID: %d\nsessions: nsfw-probe, off-probe\n", out.DB.MaxGabID())
+	})
+
+	log.Printf("serving on %s (max Gab ID %d)", *addr, out.DB.MaxGabID())
+	if err := http.ListenAndServe(*addr, mux); err != nil {
+		fmt.Fprintln(os.Stderr, strings.TrimSpace(err.Error()))
+		os.Exit(1)
+	}
+}

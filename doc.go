@@ -1,0 +1,20 @@
+// Package dissenter is a from-scratch Go reproduction of "Reading
+// In-Between the Lines: An Analysis of Dissenter" (Rye, Blackburn,
+// Beverly; IMC 2020) — the measurement study of Gab's web-annotation
+// overlay.
+//
+// The platform is dead, so the repository contains both sides of the
+// study: behaviourally-faithful simulators of every external system the
+// paper depended on (the Gab API, the Dissenter web app, YouTube's
+// JS-rendered pages, the Perspective API, Pushshift/Reddit) and the full
+// measurement pipeline that the paper ran against the real thing
+// (enumeration, response-size probing, differential authenticated
+// crawling, hidden-metadata mining, social-graph crawling) plus every
+// analysis in the evaluation (toxicity classification three ways,
+// media-bias conditioning, the hateful-core extraction).
+//
+// Start with DESIGN.md for the system inventory, EXPERIMENTS.md for the
+// paper-vs-measured results, and examples/quickstart for running code.
+// The root-level benchmarks (bench_test.go) regenerate every table and
+// figure of the paper's §4.
+package dissenter

@@ -1,0 +1,83 @@
+// Live crawl: the client/server pieces wired up by hand over real TCP —
+// what cmd/dissenter-platform and cmd/dissenter-crawl do, in one process
+// so you can read the whole flow top to bottom. Also demonstrates the
+// politeness machinery: the Gab API runs WITH a rate limit here, and the
+// crawler paces itself off the X-RateLimit headers.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"dissenter/internal/dissentercrawl"
+	"dissenter/internal/dissenterweb"
+	"dissenter/internal/gabapi"
+	"dissenter/internal/gabcrawl"
+	"dissenter/internal/synth"
+)
+
+func main() {
+	// 1. Generate a small deployment.
+	out := synth.Generate(synth.NewConfig(1.0/1024, 3))
+	census := out.DB.Census()
+	fmt.Printf("platform: %d Gab users (%d on Dissenter), %d comments\n",
+		census.GabUsers, census.DissenterUsers, census.Comments)
+
+	// 2. Serve the Gab API (rate-limited!) and the Dissenter web app.
+	gabAddr := listen(gabapi.NewServer(out.DB,
+		gabapi.WithRateLimit(5000, 2*time.Second)))
+	web := dissenterweb.NewServer(out.DB, dissenterweb.WithURLRateLimit(0, 0))
+	web.RegisterSession("nsfw", dissenterweb.Session{ShowNSFW: true})
+	web.RegisterSession("off", dissenterweb.Session{ShowOffensive: true})
+	webAddr := listen(web)
+	fmt.Printf("serving gab api on %s, dissenter app on %s\n", gabAddr, webAddr)
+
+	// 3. Run the measurement campaign across the wire.
+	campaign := &dissentercrawl.Campaign{
+		Gab:          gabcrawl.New("http://"+gabAddr, nil),
+		MaxGabID:     out.DB.MaxGabID(),
+		Web:          dissentercrawl.New("http://"+webAddr, nil),
+		NSFWWeb:      dissentercrawl.New("http://"+webAddr, nil, dissentercrawl.WithSession("nsfw")),
+		OffensiveWeb: dissentercrawl.New("http://"+webAddr, nil, dissentercrawl.WithSession("off")),
+		Workers:      8,
+	}
+	start := time.Now()
+	ds, err := campaign.Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("crawl finished in %s\n", time.Since(start).Round(time.Millisecond))
+
+	// 4. Compare the mirror against ground truth.
+	fmt.Printf("mirror:   %d users / %d truth\n", len(ds.Users), census.DissenterUsers)
+	fmt.Printf("          %d comments / %d truth\n", len(ds.Comments), census.Comments)
+	nsfw, off := 0, 0
+	for _, c := range ds.Comments {
+		if c.NSFW {
+			nsfw++
+		}
+		if c.Offensive {
+			off++
+		}
+	}
+	fmt.Printf("          %d NSFW / %d truth, %d offensive / %d truth (inferred differentially)\n",
+		nsfw, census.NSFWComments, off, census.OffensiveComments)
+}
+
+// listen starts an HTTP server on a loopback port and returns its addr.
+func listen(h http.Handler) string {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() {
+		if err := http.Serve(ln, h); err != nil && err != http.ErrServerClosed {
+			log.Print(err)
+		}
+	}()
+	return ln.Addr().String()
+}

@@ -1,0 +1,107 @@
+package analysis
+
+import (
+	"sort"
+
+	"dissenter/internal/urlkit"
+)
+
+// §6: "any URL is a potential anchor for a Dissenter comment thread,
+// suggesting the possibility for a potential form of covert channel ...
+// The URL need not exist, can use any arbitrary scheme." The paper
+// leaves the investigation to future work; this experiment implements
+// the screening step it proposes: flag comment anchors that cannot be
+// ordinary web commentary.
+
+// CovertSignal classifies why an anchor is suspicious.
+type CovertSignal string
+
+// Screening signals, strongest first.
+const (
+	// SignalNonWebScheme: file://, chrome://, about:, custom schemes —
+	// content no second party could have been "commenting on".
+	SignalNonWebScheme CovertSignal = "non-web-scheme"
+	// SignalLocalFile: file:// anchors additionally leak the submitting
+	// user's filesystem layout.
+	SignalLocalFile CovertSignal = "local-file"
+	// SignalNoTitle: the platform could never fetch a title or
+	// description for the URL, consistent with a host that does not
+	// resolve (the paper cannot distinguish dead pages from fictitious
+	// ones; neither can we — this is the weak signal).
+	SignalNoTitle CovertSignal = "no-title"
+)
+
+// CovertCandidate is one flagged anchor.
+type CovertCandidate struct {
+	URL      string
+	Signals  []CovertSignal
+	Comments int
+	// Participants counts distinct authors — a covert channel needs at
+	// least two.
+	Participants int
+}
+
+// CovertChannels is the screening result.
+type CovertChannels struct {
+	Candidates []CovertCandidate
+	// By?Signal tallies flagged URLs per signal.
+	BySignal map[CovertSignal]int
+	// Conversations counts candidates with >= 2 participants and >= 2
+	// comments — anchors actually carrying a dialogue.
+	Conversations int
+}
+
+// CovertChannels screens every comment anchor. Strong-signal candidates
+// (non-web schemes) are always included; no-title web URLs are included
+// only when they carry a multi-party conversation, keeping the weak
+// signal from flooding the list with ordinary dead links.
+func (s *Study) CovertChannels() CovertChannels {
+	out := CovertChannels{BySignal: map[CovertSignal]int{}}
+	for i := range s.DS.URLs {
+		u := &s.DS.URLs[i]
+		var signals []CovertSignal
+		switch urlkit.ClassifyScheme(u.URL) {
+		case urlkit.SchemeFile:
+			signals = append(signals, SignalNonWebScheme, SignalLocalFile)
+		case urlkit.SchemeBrowser, urlkit.SchemeOther:
+			signals = append(signals, SignalNonWebScheme)
+		default:
+			if u.Title == "" && u.Description == "" {
+				signals = append(signals, SignalNoTitle)
+			}
+		}
+		if len(signals) == 0 {
+			continue
+		}
+		idxs := s.DS.CommentsOnURL(u.ID)
+		authors := map[string]bool{}
+		for _, ci := range idxs {
+			authors[s.DS.Comments[ci].AuthorID] = true
+		}
+		cand := CovertCandidate{
+			URL:          u.URL,
+			Signals:      signals,
+			Comments:     len(idxs),
+			Participants: len(authors),
+		}
+		weakOnly := len(signals) == 1 && signals[0] == SignalNoTitle
+		isConversation := cand.Participants >= 2 && cand.Comments >= 2
+		if weakOnly && !isConversation {
+			continue
+		}
+		for _, sig := range signals {
+			out.BySignal[sig]++
+		}
+		if isConversation {
+			out.Conversations++
+		}
+		out.Candidates = append(out.Candidates, cand)
+	}
+	sort.Slice(out.Candidates, func(i, j int) bool {
+		if out.Candidates[i].Comments != out.Candidates[j].Comments {
+			return out.Candidates[i].Comments > out.Candidates[j].Comments
+		}
+		return out.Candidates[i].URL < out.Candidates[j].URL
+	})
+	return out
+}

@@ -1,0 +1,146 @@
+package analysis
+
+import (
+	"sort"
+
+	"dissenter/internal/perspective"
+	"dissenter/internal/synth"
+)
+
+// §6 proposes a proactive defense: "A content producer could preemptively
+// post comments within Dissenter for the content they own to overwhelm
+// the conversation with positive comments." This experiment quantifies
+// the cost of that defense for any comment page: how many producer-
+// planted positive comments are needed before the page's visible
+// conversation flips below a toxicity budget.
+
+// DefensePlan is the outcome for one URL.
+type DefensePlan struct {
+	URL string
+	// Existing is the organic comment count.
+	Existing int
+	// MedianBefore/MedianAfter are the page's SEVERE_TOXICITY medians
+	// before and after the injection.
+	MedianBefore float64
+	MedianAfter  float64
+	// Injections is the number of positive comments needed (capped).
+	Injections int
+	// Feasible is false when the cap was hit before the target.
+	Feasible bool
+}
+
+// DefenseCap bounds the simulated injection volume per page.
+const DefenseCap = 1000
+
+// ProactiveDefense simulates the §6 counter-measure for the comment page
+// of urlID: positive producer comments are appended until the page's
+// median SEVERE_TOXICITY drops below targetMedian.
+func (s *Study) ProactiveDefense(urlID string, targetMedian float64, seed int64) DefensePlan {
+	u := s.DS.URLByID(urlID)
+	plan := DefensePlan{}
+	if u == nil {
+		return plan
+	}
+	plan.URL = u.URL
+	sev := s.Scores(perspective.SevereToxicity)
+	var scores []float64
+	for _, ci := range s.DS.CommentsOnURL(urlID) {
+		scores = append(scores, sev[ci])
+	}
+	plan.Existing = len(scores)
+	sort.Float64s(scores)
+	plan.MedianBefore = medianSorted(scores)
+	plan.MedianAfter = plan.MedianBefore
+
+	sampler := synth.NewTextSampler(seed)
+	for plan.MedianAfter >= targetMedian && plan.Injections < DefenseCap {
+		// The producer posts a genuinely positive comment; score it with
+		// the same model the attacker-side analysis uses.
+		text := sampler.Comment(synth.TonePositive)
+		score := perspective.Score(perspective.SevereToxicity, text)
+		scores = insertSorted(scores, score)
+		plan.Injections++
+		plan.MedianAfter = medianSorted(scores)
+	}
+	plan.Feasible = plan.MedianAfter < targetMedian
+	return plan
+}
+
+// DefenseSummary aggregates plans across the most toxic pages.
+type DefenseSummary struct {
+	PagesEvaluated int
+	FeasiblePages  int
+	// MeanInjectionRatio is mean(injections / existing comments) over
+	// feasible pages — the producer's effort multiplier.
+	MeanInjectionRatio float64
+	Plans              []DefensePlan
+}
+
+// ProactiveDefenseSweep runs the defense over the n most toxic comment
+// pages (by median) with at least minComments comments.
+func (s *Study) ProactiveDefenseSweep(n, minComments int, targetMedian float64, seed int64) DefenseSummary {
+	sev := s.Scores(perspective.SevereToxicity)
+	type page struct {
+		id     string
+		median float64
+		count  int
+	}
+	var pages []page
+	for i := range s.DS.URLs {
+		idxs := s.DS.CommentsOnURL(s.DS.URLs[i].ID)
+		if len(idxs) < minComments {
+			continue
+		}
+		var scores []float64
+		for _, ci := range idxs {
+			scores = append(scores, sev[ci])
+		}
+		sort.Float64s(scores)
+		pages = append(pages, page{s.DS.URLs[i].ID, medianSorted(scores), len(idxs)})
+	}
+	sort.Slice(pages, func(i, j int) bool {
+		if pages[i].median != pages[j].median {
+			return pages[i].median > pages[j].median
+		}
+		return pages[i].id < pages[j].id
+	})
+	if n > len(pages) {
+		n = len(pages)
+	}
+	var sum DefenseSummary
+	var ratioTotal float64
+	for _, p := range pages[:n] {
+		plan := s.ProactiveDefense(p.id, targetMedian, seed)
+		sum.PagesEvaluated++
+		if plan.Feasible {
+			sum.FeasiblePages++
+			if plan.Existing > 0 {
+				ratioTotal += float64(plan.Injections) / float64(plan.Existing)
+			}
+		}
+		sum.Plans = append(sum.Plans, plan)
+	}
+	if sum.FeasiblePages > 0 {
+		sum.MeanInjectionRatio = ratioTotal / float64(sum.FeasiblePages)
+	}
+	return sum
+}
+
+func medianSorted(sorted []float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return sorted[n/2]
+	}
+	return (sorted[n/2-1] + sorted[n/2]) / 2
+}
+
+func insertSorted(xs []float64, v float64) []float64 {
+	i := sort.SearchFloat64s(xs, v)
+	xs = append(xs, 0)
+	copy(xs[i+1:], xs[i:])
+	xs[i] = v
+	return xs
+}

@@ -1,0 +1,144 @@
+package corpus
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sample() *Dataset {
+	d := &Dataset{
+		Users: []User{
+			{AuthorID: "a1", Username: "alice", Language: "en",
+				Flags: map[string]bool{"canLogin": true}, Filters: map[string]bool{"nsfw": false}},
+			{AuthorID: "a2", Username: "bob", MissingFromGab: true},
+			{AuthorID: "a3", Username: "carol"},
+		},
+		URLs: []URL{
+			{ID: "u1", URL: "https://example.com/a", Ups: 3, Downs: 1, Title: "A"},
+			{ID: "u2", URL: "https://example.com/b"},
+		},
+		Comments: []Comment{
+			{ID: "c1", URLID: "u1", AuthorID: "a1", Text: "hello"},
+			{ID: "c2", URLID: "u1", AuthorID: "a2", ParentID: "c1", Text: "reply", NSFW: true},
+			{ID: "c3", URLID: "u2", AuthorID: "a1", Text: "there", Offensive: true},
+		},
+		Graph: map[string][]string{"alice": {"bob"}},
+	}
+	d.Reindex()
+	return d
+}
+
+func TestIndexes(t *testing.T) {
+	d := sample()
+	if d.UserByAuthorID("a2").Username != "bob" {
+		t.Error("UserByAuthorID failed")
+	}
+	if d.UserByUsername("carol").AuthorID != "a3" {
+		t.Error("UserByUsername failed")
+	}
+	if d.URLByID("u1").Title != "A" {
+		t.Error("URLByID failed")
+	}
+	if got := d.CommentsByAuthor("a1"); len(got) != 2 {
+		t.Errorf("CommentsByAuthor = %v", got)
+	}
+	if got := d.CommentsOnURL("u1"); len(got) != 2 {
+		t.Errorf("CommentsOnURL = %v", got)
+	}
+	if d.UserByAuthorID("nope") != nil || d.URLByID("nope") != nil {
+		t.Error("missing lookups should be nil")
+	}
+}
+
+func TestActiveUsers(t *testing.T) {
+	d := sample()
+	active := d.ActiveUsers()
+	if len(active) != 2 {
+		t.Fatalf("active = %d, want 2 (carol is silent)", len(active))
+	}
+	for _, u := range active {
+		if u.Username == "carol" {
+			t.Error("silent user reported active")
+		}
+	}
+}
+
+func TestNetVotesAndIsReply(t *testing.T) {
+	d := sample()
+	if d.URLs[0].NetVotes() != 2 {
+		t.Error("NetVotes wrong")
+	}
+	if !d.Comments[1].IsReply() || d.Comments[0].IsReply() {
+		t.Error("IsReply wrong")
+	}
+}
+
+func TestTexts(t *testing.T) {
+	d := sample()
+	texts := d.Texts()
+	if len(texts) != 3 || texts[0] != "hello" {
+		t.Errorf("Texts = %v", texts)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	d := sample()
+	dir := t.TempDir()
+	if err := d.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"users.jsonl", "urls.jsonl", "comments.jsonl", "graph.jsonl"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Fatalf("%s missing: %v", f, err)
+		}
+	}
+	back, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Users) != 3 || len(back.URLs) != 2 || len(back.Comments) != 3 {
+		t.Fatalf("sizes: %d/%d/%d", len(back.Users), len(back.URLs), len(back.Comments))
+	}
+	if !back.Users[1].MissingFromGab {
+		t.Error("MissingFromGab lost")
+	}
+	if !back.Comments[1].NSFW || !back.Comments[2].Offensive {
+		t.Error("labels lost")
+	}
+	if back.Users[0].Flags["canLogin"] != true {
+		t.Error("flags lost")
+	}
+	if got := back.Graph["alice"]; len(got) != 1 || got[0] != "bob" {
+		t.Errorf("graph lost: %v", back.Graph)
+	}
+	// Indexes rebuilt by Load.
+	if back.UserByUsername("alice") == nil {
+		t.Error("Load did not reindex")
+	}
+}
+
+func TestLoadMissingDir(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Error("Load of missing dir should error")
+	}
+}
+
+func TestLongCommentSurvivesJSONL(t *testing.T) {
+	d := sample()
+	long := strings.Repeat("ha ", 45000)
+	d.Comments = append(d.Comments, Comment{ID: "c4", URLID: "u1", AuthorID: "a1", Text: long})
+	d.Reindex()
+	dir := t.TempDir()
+	if err := d.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Comments[3].Text != long {
+		t.Error("90k-character comment corrupted by JSONL round trip")
+	}
+}

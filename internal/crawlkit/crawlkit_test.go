@@ -1,0 +1,223 @@
+package crawlkit
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestGetSimple(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "hello")
+	}))
+	defer srv.Close()
+	f := NewFetcher(srv.Client())
+	res, err := f.Get(context.Background(), srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != 200 || string(res.Body) != "hello" || res.Size != 5 {
+		t.Errorf("res = %+v", res)
+	}
+}
+
+func TestGetDoesNotRetry404(t *testing.T) {
+	var hits atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		http.NotFound(w, r)
+	}))
+	defer srv.Close()
+	f := NewFetcher(srv.Client())
+	res, err := f.Get(context.Background(), srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != 404 {
+		t.Errorf("status = %d", res.Status)
+	}
+	if hits.Load() != 1 {
+		t.Errorf("404 fetched %d times, want 1", hits.Load())
+	}
+}
+
+func TestGetRetries5xx(t *testing.T) {
+	var hits atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) < 3 {
+			http.Error(w, "boom", http.StatusInternalServerError)
+			return
+		}
+		fmt.Fprint(w, "recovered")
+	}))
+	defer srv.Close()
+	f := NewFetcher(srv.Client(), WithRetries(4, time.Millisecond))
+	res, err := f.Get(context.Background(), srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(res.Body) != "recovered" {
+		t.Errorf("body = %q", res.Body)
+	}
+}
+
+func TestGetHonorsRetryAfter(t *testing.T) {
+	var hits atomic.Int32
+	start := time.Now()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "throttled", http.StatusTooManyRequests)
+			return
+		}
+		fmt.Fprint(w, "ok")
+	}))
+	defer srv.Close()
+	f := NewFetcher(srv.Client(), WithRetries(2, time.Millisecond))
+	if _, err := f.Get(context.Background(), srv.URL); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 900*time.Millisecond {
+		t.Errorf("Retry-After not honored: elapsed %v", elapsed)
+	}
+}
+
+func TestGetGivesUp(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "always broken", http.StatusBadGateway)
+	}))
+	defer srv.Close()
+	f := NewFetcher(srv.Client(), WithRetries(2, time.Millisecond))
+	_, err := f.Get(context.Background(), srv.URL)
+	if !errors.Is(err, ErrGaveUp) {
+		t.Fatalf("err = %v, want ErrGaveUp", err)
+	}
+}
+
+func TestGetSendsCookieAndUA(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		c, err := r.Cookie("session")
+		if err != nil || c.Value != "tok" {
+			http.Error(w, "no cookie", http.StatusForbidden)
+			return
+		}
+		fmt.Fprint(w, r.UserAgent())
+	}))
+	defer srv.Close()
+	f := NewFetcher(srv.Client(),
+		WithCookie(&http.Cookie{Name: "session", Value: "tok"}),
+		WithUserAgent("custom-agent"))
+	res, err := f.Get(context.Background(), srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != 200 || string(res.Body) != "custom-agent" {
+		t.Errorf("res = %d %q", res.Status, res.Body)
+	}
+}
+
+func TestGetContextCancel(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(time.Second)
+	}))
+	defer srv.Close()
+	f := NewFetcher(srv.Client())
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if _, err := f.Get(ctx, srv.URL); err == nil {
+		t.Fatal("expected context error")
+	}
+}
+
+func TestForEachCompletes(t *testing.T) {
+	var mu sync.Mutex
+	seen := map[int]int{}
+	items := make([]int, 100)
+	for i := range items {
+		items[i] = i
+	}
+	err := ForEach(context.Background(), items, 8, func(_ context.Context, i int) error {
+		mu.Lock()
+		defer mu.Unlock()
+		seen[i]++
+		// Fail every third item once to exercise the re-request pass.
+		if i%3 == 0 && seen[i] == 1 {
+			return fmt.Errorf("transient %d", i)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range items {
+		if seen[i] == 0 {
+			t.Fatalf("item %d never processed", i)
+		}
+	}
+}
+
+func TestForEachGivesUpWithoutProgress(t *testing.T) {
+	items := []int{1, 2, 3}
+	err := ForEach(context.Background(), items, 2, func(_ context.Context, i int) error {
+		return fmt.Errorf("permanent %d", i)
+	})
+	if err == nil {
+		t.Fatal("expected error for permanent failures")
+	}
+}
+
+func TestForEachEmptyAndCancel(t *testing.T) {
+	if err := ForEach(context.Background(), nil, 4, func(_ context.Context, _ int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := ForEach(ctx, []int{1, 2}, 1, func(_ context.Context, _ int) error {
+		return nil
+	})
+	// With a canceled context we expect either a clean no-op or ctx.Err.
+	if err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRateGateSpacing(t *testing.T) {
+	g := NewRateGate(20 * time.Millisecond)
+	ctx := context.Background()
+	start := time.Now()
+	for i := 0; i < 4; i++ {
+		if err := g.Wait(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed < 50*time.Millisecond {
+		t.Errorf("4 permits in %v; gate not pacing", elapsed)
+	}
+}
+
+func TestRateGateNil(t *testing.T) {
+	var g *RateGate
+	if err := g.Wait(context.Background()); err != nil {
+		t.Fatal("nil gate should never block or fail")
+	}
+	zero := &RateGate{}
+	if err := zero.Wait(context.Background()); err != nil {
+		t.Fatal("zero gate should never block or fail")
+	}
+}
+
+func TestRateGateCancel(t *testing.T) {
+	g := NewRateGate(time.Hour)
+	ctx, cancel := context.WithCancel(context.Background())
+	_ = g.Wait(ctx) // consume the immediate slot
+	cancel()
+	if err := g.Wait(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

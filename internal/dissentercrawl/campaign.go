@@ -1,0 +1,471 @@
+package dissentercrawl
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"dissenter/internal/corpus"
+	"dissenter/internal/crawlkit"
+	"dissenter/internal/gabcrawl"
+	"dissenter/internal/ids"
+)
+
+// Campaign runs the full measurement pipeline of §3:
+//
+//  1. enumerate Gab accounts (§3.1),
+//  2. probe which usernames have Dissenter home pages via response size,
+//  3. mirror home pages, then every commented URL's comment page (§3.2),
+//  4. re-spider with NSFW-enabled and offensive-enabled sessions
+//     separately, labeling comments by differencing the crawls (§3.2),
+//  5. mine hidden commentAuthor metadata for every discovered author —
+//     which also surfaces Dissenter users whose Gab accounts are gone,
+//  6. crawl the Gab follow graph for Dissenter users and drop
+//     non-Dissenter endpoints (§3.4).
+type Campaign struct {
+	// Gab is the API client for enumeration and the social crawl.
+	Gab *gabcrawl.Client
+	// MaxGabID bounds enumeration (the authors' own account ID).
+	MaxGabID ids.GabID
+	// Web, NSFWWeb, OffensiveWeb are the anonymous and authenticated
+	// Dissenter crawlers. NSFWWeb/OffensiveWeb may be nil to skip the
+	// differential pass.
+	Web          *Crawler
+	NSFWWeb      *Crawler
+	OffensiveWeb *Crawler
+	// Workers bounds crawl parallelism (default 8).
+	Workers int
+
+	mu               sync.Mutex
+	seenURLIDs       map[string]bool
+	harvestedMissing map[string]bool
+}
+
+// Run executes the campaign and returns the mirrored dataset.
+func (c *Campaign) Run(ctx context.Context) (*corpus.Dataset, error) {
+	if c.Workers <= 0 {
+		c.Workers = 8
+	}
+	accounts, err := c.Gab.Enumerate(ctx, c.MaxGabID, c.Workers)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: %w", err)
+	}
+	gabByUsername := make(map[string]gabcrawl.Account, len(accounts))
+	usernames := make([]string, 0, len(accounts))
+	for _, a := range accounts {
+		gabByUsername[a.Username] = a
+		usernames = append(usernames, a.Username)
+	}
+
+	dissenterNames, err := c.probe(ctx, usernames)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: %w", err)
+	}
+
+	ds := &corpus.Dataset{Graph: map[string][]string{}}
+	c.seenURLIDs = map[string]bool{}
+	urlSet := map[string]bool{}
+	if err := c.harvestUsers(ctx, ds, dissenterNames, gabByUsername, urlSet); err != nil {
+		return nil, fmt.Errorf("campaign: %w", err)
+	}
+
+	baseComments, err := c.mirrorComments(ctx, ds, urlSet, c.Web)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: %w", err)
+	}
+	for _, rec := range baseComments {
+		ds.Comments = append(ds.Comments, rec)
+	}
+
+	if err := c.differential(ctx, ds, dissenterNames, urlSet, baseComments); err != nil {
+		return nil, fmt.Errorf("campaign: %w", err)
+	}
+
+	// Hidden-metadata mining surfaces commenters missing from the Gab
+	// enumeration (deleted Gab accounts, §4.1.1). Their Dissenter home
+	// pages still exist and may list otherwise-undiscovered URLs, so
+	// iterate mine -> harvest to a fixpoint.
+	for round := 0; round < 4; round++ {
+		if err := c.mineHiddenMeta(ctx, ds, gabByUsername); err != nil {
+			return nil, fmt.Errorf("campaign: %w", err)
+		}
+		grew, err := c.harvestMissingUserPages(ctx, ds, urlSet, baseComments)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: %w", err)
+		}
+		if !grew {
+			break
+		}
+	}
+
+	if err := c.socialCrawl(ctx, ds, gabByUsername); err != nil {
+		return nil, fmt.Errorf("campaign: %w", err)
+	}
+
+	ds.Reindex()
+	return ds, nil
+}
+
+// probe finds the usernames with Dissenter accounts (size side channel).
+func (c *Campaign) probe(ctx context.Context, usernames []string) ([]string, error) {
+	var mu sync.Mutex
+	var found []string
+	err := crawlkit.ForEach(ctx, usernames, c.Workers, func(ctx context.Context, name string) error {
+		ok, err := c.Web.ProbeUsername(ctx, name)
+		if err != nil {
+			return err
+		}
+		if ok {
+			mu.Lock()
+			found = append(found, name)
+			mu.Unlock()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(found)
+	return found, nil
+}
+
+// harvestUsers mirrors each Dissenter home page into the dataset and
+// collects the commented-URL universe.
+func (c *Campaign) harvestUsers(ctx context.Context, ds *corpus.Dataset, names []string, gab map[string]gabcrawl.Account, urlSet map[string]bool) error {
+	var mu sync.Mutex
+	return crawlkit.ForEach(ctx, names, c.Workers, func(ctx context.Context, name string) error {
+		up, err := c.Web.FetchUserPage(ctx, name)
+		if err != nil {
+			return err
+		}
+		u := corpus.User{
+			AuthorID:    up.AuthorID,
+			Username:    up.Username,
+			DisplayName: up.DisplayName,
+			Bio:         up.Bio,
+		}
+		if a, ok := gab[name]; ok {
+			u.GabID = int64(a.GabID)
+			u.GabCreated = a.CreatedAt
+		}
+		mu.Lock()
+		ds.Users = append(ds.Users, u)
+		for _, raw := range up.URLs {
+			urlSet[raw] = true
+		}
+		mu.Unlock()
+		return nil
+	})
+}
+
+// mirrorComments fetches the comment page of every known URL with the
+// given crawler and returns the observed comments keyed by comment-id.
+// On the first (anonymous) pass it also records the URL table.
+func (c *Campaign) mirrorComments(ctx context.Context, ds *corpus.Dataset, urlSet map[string]bool, web *Crawler) (map[string]corpus.Comment, error) {
+	urls := make([]string, 0, len(urlSet))
+	for u := range urlSet {
+		urls = append(urls, u)
+	}
+	sort.Strings(urls)
+	seen := map[string]corpus.Comment{}
+	err := crawlkit.ForEach(ctx, urls, c.Workers, func(ctx context.Context, raw string) error {
+		d, err := web.FetchDiscussion(ctx, raw)
+		if err != nil {
+			return err
+		}
+		if d.New {
+			return nil
+		}
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		if !c.seenURLIDs[d.URLID] {
+			c.seenURLIDs[d.URLID] = true
+			ds.URLs = append(ds.URLs, corpus.URL{
+				ID: d.URLID, URL: raw,
+				Title: d.Title, Description: d.Description,
+				Ups: d.Ups, Downs: d.Downs,
+			})
+		}
+		for _, rec := range d.Comments {
+			seen[rec.ID] = corpus.Comment{
+				ID: rec.ID, URLID: d.URLID,
+				AuthorID: rec.AuthorID, ParentID: rec.ParentID,
+				Text: rec.Text,
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(ds.URLs, func(i, j int) bool { return ds.URLs[i].ID < ds.URLs[j].ID })
+	return seen, nil
+}
+
+// differential re-spiders with the authenticated sessions — user pages
+// first (shadow-only URLs never appear on anonymous profiles), then the
+// expanded URL set — and labels comments that only appear with a given
+// view setting enabled (§3.2).
+func (c *Campaign) differential(ctx context.Context, ds *corpus.Dataset, names []string, urlSet map[string]bool, base map[string]corpus.Comment) error {
+	passes := []struct {
+		web   *Crawler
+		label func(*corpus.Comment)
+	}{
+		{c.NSFWWeb, func(cm *corpus.Comment) { cm.NSFW = true }},
+		{c.OffensiveWeb, func(cm *corpus.Comment) { cm.Offensive = true }},
+	}
+	for _, pass := range passes {
+		if pass.web == nil {
+			continue
+		}
+		passSet := make(map[string]bool, len(urlSet))
+		for u := range urlSet {
+			passSet[u] = true
+		}
+		newURLs := map[string]bool{}
+		var mu sync.Mutex
+		err := crawlkit.ForEach(ctx, names, c.Workers, func(ctx context.Context, name string) error {
+			up, err := pass.web.FetchUserPage(ctx, name)
+			if err != nil {
+				return err
+			}
+			mu.Lock()
+			for _, raw := range up.URLs {
+				if !passSet[raw] {
+					passSet[raw] = true
+					newURLs[raw] = true
+				}
+				if !urlSet[raw] {
+					urlSet[raw] = true
+				}
+			}
+			mu.Unlock()
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		// URLs surfacing only under this session still need an anonymous
+		// baseline: without it, plain comments sharing a page with shadow
+		// content would be mislabeled as hidden.
+		if len(newURLs) > 0 {
+			anonFound, err := c.mirrorComments(ctx, ds, newURLs, c.Web)
+			if err != nil {
+				return err
+			}
+			for id, rec := range anonFound {
+				if _, ok := base[id]; !ok {
+					ds.Comments = append(ds.Comments, rec)
+					base[id] = rec
+				}
+			}
+		}
+		found, err := c.mirrorComments(ctx, ds, passSet, pass.web)
+		if err != nil {
+			return err
+		}
+		for id, rec := range found {
+			if _, ok := base[id]; ok {
+				continue
+			}
+			pass.label(&rec)
+			ds.Comments = append(ds.Comments, rec)
+			base[id] = rec // NSFW+offensive double-labels resolve first-wins
+		}
+	}
+	return nil
+}
+
+// mineHiddenMeta fetches one comment page per distinct author to recover
+// the hidden commentAuthor metadata, creating user records for authors
+// whose Gab accounts no longer exist (§4.1.1).
+func (c *Campaign) mineHiddenMeta(ctx context.Context, ds *corpus.Dataset, gab map[string]gabcrawl.Account) error {
+	userIdx := map[string]int{}
+	for i := range ds.Users {
+		userIdx[ds.Users[i].AuthorID] = i
+	}
+	// One representative comment per author.
+	repComment := map[string]string{}
+	for _, cm := range ds.Comments {
+		if _, ok := repComment[cm.AuthorID]; !ok {
+			repComment[cm.AuthorID] = cm.ID
+		}
+	}
+	authors := make([]string, 0, len(repComment))
+	for a := range repComment {
+		authors = append(authors, a)
+	}
+	sort.Strings(authors)
+
+	// Authenticated view needed: the representative comment might itself
+	// be shadow content.
+	web := c.Web
+	if c.NSFWWeb != nil {
+		web = c.NSFWWeb
+	}
+	var mu sync.Mutex
+	return crawlkit.ForEach(ctx, authors, c.Workers, func(ctx context.Context, author string) error {
+		meta, ok, err := web.FetchCommentMeta(ctx, repComment[author])
+		if err != nil {
+			return err
+		}
+		if !ok {
+			if c.OffensiveWeb != nil {
+				meta, ok, err = c.OffensiveWeb.FetchCommentMeta(ctx, repComment[author])
+				if err != nil {
+					return err
+				}
+			}
+			if !ok {
+				return nil
+			}
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		if i, ok := userIdx[author]; ok {
+			u := &ds.Users[i]
+			u.Language = meta.Language
+			u.Flags = meta.Permissions
+			u.Filters = meta.ViewFilters
+			return nil
+		}
+		// A commenter absent from the Gab enumeration: a deleted Gab
+		// account whose Dissenter presence persists (§4.1.1).
+		ds.Users = append(ds.Users, corpus.User{
+			AuthorID:       author,
+			Username:       meta.Username,
+			Language:       meta.Language,
+			Flags:          meta.Permissions,
+			Filters:        meta.ViewFilters,
+			MissingFromGab: true,
+		})
+		userIdx[author] = len(ds.Users) - 1
+		return nil
+	})
+}
+
+// harvestMissingUserPages visits the Dissenter home pages of users whose
+// Gab accounts are deleted — the enumeration never produced their
+// usernames, so their profile pages (and any URLs only they commented
+// on) are reachable only after hidden-metadata mining names them. It
+// reports whether anything new was discovered.
+func (c *Campaign) harvestMissingUserPages(ctx context.Context, ds *corpus.Dataset, urlSet map[string]bool, base map[string]corpus.Comment) (bool, error) {
+	if c.harvestedMissing == nil {
+		c.harvestedMissing = map[string]bool{}
+	}
+	idxByName := map[string]int{}
+	var names []string
+	for i := range ds.Users {
+		u := &ds.Users[i]
+		if u.MissingFromGab && !c.harvestedMissing[u.Username] {
+			c.harvestedMissing[u.Username] = true
+			idxByName[u.Username] = i
+			names = append(names, u.Username)
+		}
+	}
+	if len(names) == 0 {
+		return false, nil
+	}
+	sort.Strings(names)
+	newSet := map[string]bool{}
+	var mu sync.Mutex
+	// Fetch each page with every session: a deleted user's profile may
+	// list URLs only when the viewer can see their shadow comments.
+	for _, web := range []*Crawler{c.Web, c.NSFWWeb, c.OffensiveWeb} {
+		if web == nil {
+			continue
+		}
+		err := crawlkit.ForEach(ctx, names, c.Workers, func(ctx context.Context, name string) error {
+			up, err := web.FetchUserPage(ctx, name)
+			if err != nil {
+				return err
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			u := &ds.Users[idxByName[name]]
+			if u.DisplayName == "" {
+				u.DisplayName = up.DisplayName
+			}
+			if u.Bio == "" {
+				u.Bio = up.Bio
+			}
+			for _, raw := range up.URLs {
+				if !urlSet[raw] {
+					urlSet[raw] = true
+					newSet[raw] = true
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return false, err
+		}
+	}
+	if len(newSet) == 0 {
+		return false, nil
+	}
+	// Mirror the fresh URLs with every session, labeling shadow content
+	// exactly as the main differential pass does.
+	webs := []struct {
+		web   *Crawler
+		label func(*corpus.Comment)
+	}{
+		{c.Web, func(*corpus.Comment) {}},
+		{c.NSFWWeb, func(cm *corpus.Comment) { cm.NSFW = true }},
+		{c.OffensiveWeb, func(cm *corpus.Comment) { cm.Offensive = true }},
+	}
+	for _, pass := range webs {
+		if pass.web == nil {
+			continue
+		}
+		found, err := c.mirrorComments(ctx, ds, newSet, pass.web)
+		if err != nil {
+			return false, err
+		}
+		for id, rec := range found {
+			if _, ok := base[id]; ok {
+				continue
+			}
+			pass.label(&rec)
+			ds.Comments = append(ds.Comments, rec)
+			base[id] = rec
+		}
+	}
+	return true, nil
+}
+
+// socialCrawl pulls the Gab follow graph for every Dissenter user and
+// keeps only edges between Dissenter users (§3.4).
+func (c *Campaign) socialCrawl(ctx context.Context, ds *corpus.Dataset, gab map[string]gabcrawl.Account) error {
+	dissenter := map[string]bool{}
+	var names []string
+	for i := range ds.Users {
+		dissenter[ds.Users[i].Username] = true
+		names = append(names, ds.Users[i].Username)
+	}
+	sort.Strings(names)
+	var mu sync.Mutex
+	return crawlkit.ForEach(ctx, names, c.Workers, func(ctx context.Context, name string) error {
+		acct, ok := gab[name]
+		if !ok {
+			return nil // deleted Gab account: no social data available
+		}
+		following, err := c.Gab.Relations(ctx, acct.GabID, gabcrawl.Following)
+		if err != nil {
+			return err
+		}
+		var kept []string
+		for _, f := range following {
+			if dissenter[f.Username] {
+				kept = append(kept, f.Username)
+			}
+		}
+		if len(kept) > 0 {
+			mu.Lock()
+			ds.Graph[name] = kept
+			mu.Unlock()
+		}
+		return nil
+	})
+}

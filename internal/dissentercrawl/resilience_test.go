@@ -1,0 +1,80 @@
+package dissentercrawl
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"dissenter/internal/dissenterweb"
+	"dissenter/internal/gabapi"
+	"dissenter/internal/gabcrawl"
+	"dissenter/internal/synth"
+)
+
+// flaky injects a deterministic 503 every nth request — the crawl
+// framework's re-request machinery (§3.2's "monitor request timeouts and
+// re-request missed pages") must absorb it without losing data.
+type flaky struct {
+	inner http.Handler
+	n     uint64
+	count atomic.Uint64
+}
+
+func (f *flaky) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if f.count.Add(1)%f.n == 0 {
+		http.Error(w, "transient storage error", http.StatusServiceUnavailable)
+		return
+	}
+	f.inner.ServeHTTP(w, r)
+}
+
+func TestCampaignSurvivesFlakyServers(t *testing.T) {
+	gen := synth.Generate(synth.NewConfig(1.0/2048, 13))
+
+	gabSrv := httptest.NewServer(&flaky{
+		inner: gabapi.NewServer(gen.DB, gabapi.WithRateLimit(0, 0)), n: 13})
+	t.Cleanup(gabSrv.Close)
+
+	web := dissenterweb.NewServer(gen.DB, dissenterweb.WithURLRateLimit(0, 0))
+	web.RegisterSession("nsfw", dissenterweb.Session{ShowNSFW: true})
+	web.RegisterSession("off", dissenterweb.Session{ShowOffensive: true})
+	webSrv := httptest.NewServer(&flaky{inner: web, n: 11})
+	t.Cleanup(webSrv.Close)
+
+	campaign := &Campaign{
+		Gab:          gabcrawl.New(gabSrv.URL, gabSrv.Client()),
+		MaxGabID:     gen.DB.MaxGabID(),
+		Web:          New(webSrv.URL, webSrv.Client()),
+		NSFWWeb:      New(webSrv.URL, webSrv.Client(), WithSession("nsfw")),
+		OffensiveWeb: New(webSrv.URL, webSrv.Client(), WithSession("off")),
+		Workers:      8,
+	}
+	ds, err := campaign.Run(context.Background())
+	if err != nil {
+		t.Fatalf("campaign failed under fault injection: %v", err)
+	}
+	truth := gen.DB.Census()
+	if len(ds.Users) != truth.DissenterUsers {
+		t.Errorf("users = %d, want %d", len(ds.Users), truth.DissenterUsers)
+	}
+	if len(ds.Comments) != truth.Comments {
+		t.Errorf("comments = %d, want %d — fault injection lost data", len(ds.Comments), truth.Comments)
+	}
+}
+
+func TestShadowValidationSample(t *testing.T) {
+	runCampaign(t) // ensure cached dataset exists
+	campaign := newCampaign(t)
+	v, err := campaign.ValidateShadowSample(context.Background(), cached, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Checked == 0 {
+		t.Skip("no hidden comments at this scale")
+	}
+	if !v.AllConfirmed() {
+		t.Errorf("validation: %d/%d confirmed, failures %v", v.Confirmed, v.Checked, v.Failures)
+	}
+}

@@ -1,0 +1,95 @@
+package dissentercrawl
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http"
+
+	"dissenter/internal/corpus"
+)
+
+// ShadowValidation is the §3.2 verification step: "we select a random
+// sample of 100 NSFW and 'offensive' comments, and perform a manual
+// validation to ensure that the comment only appears when authenticated
+// and with the proper settings enabled." This is the automated analogue:
+// each sampled comment's page must 404 anonymously and 200 under the
+// matching opted-in session.
+type ShadowValidation struct {
+	Checked   int
+	Confirmed int
+	// Failures lists comment IDs that violated the visibility contract.
+	Failures []string
+}
+
+// AllConfirmed reports a clean validation.
+func (v ShadowValidation) AllConfirmed() bool {
+	return v.Checked > 0 && v.Confirmed == v.Checked
+}
+
+// ValidateShadowSample samples up to n inferred-hidden comments from ds
+// and verifies their gating through the campaign's crawlers. Sampling is
+// deterministic in seed.
+func (c *Campaign) ValidateShadowSample(ctx context.Context, ds *corpus.Dataset, n int, seed int64) (ShadowValidation, error) {
+	var hidden []corpus.Comment
+	for _, cm := range ds.Comments {
+		if cm.NSFW || cm.Offensive {
+			hidden = append(hidden, cm)
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(hidden), func(i, j int) { hidden[i], hidden[j] = hidden[j], hidden[i] })
+	if n > len(hidden) {
+		n = len(hidden)
+	}
+	var v ShadowValidation
+	for _, cm := range hidden[:n] {
+		ok, err := c.validateOne(ctx, cm)
+		if err != nil {
+			return v, err
+		}
+		v.Checked++
+		if ok {
+			v.Confirmed++
+		} else {
+			v.Failures = append(v.Failures, cm.ID)
+		}
+	}
+	return v, nil
+}
+
+// validateOne checks a single hidden comment's visibility contract.
+func (c *Campaign) validateOne(ctx context.Context, cm corpus.Comment) (bool, error) {
+	// Anonymous view must not serve the comment page.
+	anonStatus, err := c.Web.commentPageStatus(ctx, cm.ID)
+	if err != nil {
+		return false, err
+	}
+	if anonStatus == http.StatusOK {
+		return false, nil
+	}
+	// The matching opted-in session must see it.
+	var authed *Crawler
+	switch {
+	case cm.NSFW && c.NSFWWeb != nil:
+		authed = c.NSFWWeb
+	case cm.Offensive && c.OffensiveWeb != nil:
+		authed = c.OffensiveWeb
+	default:
+		return false, fmt.Errorf("dissentercrawl: no session available to validate %s", cm.ID)
+	}
+	authStatus, err := authed.commentPageStatus(ctx, cm.ID)
+	if err != nil {
+		return false, err
+	}
+	return authStatus == http.StatusOK, nil
+}
+
+// commentPageStatus fetches /comment/<id> and reports the HTTP status.
+func (c *Crawler) commentPageStatus(ctx context.Context, commentID string) (int, error) {
+	res, err := c.fetcher.Get(ctx, c.base+"/comment/"+commentID)
+	if err != nil {
+		return 0, err
+	}
+	return res.Status, nil
+}

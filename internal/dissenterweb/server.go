@@ -1,0 +1,326 @@
+// Package dissenterweb simulates the Dissenter web application surface
+// the paper reverse engineers and crawls (§2, §3.2): user home pages
+// (whose response size betrays account existence), per-URL comment pages
+// (with per-URL rate limiting), single-comment pages carrying hidden
+// user metadata in commented-out JavaScript, and the NSFW/"offensive"
+// shadow overlay that is only rendered for authenticated sessions that
+// opted in.
+package dissenterweb
+
+import (
+	"encoding/json"
+	"fmt"
+	"html"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"time"
+
+	"dissenter/internal/ids"
+	"dissenter/internal/platform"
+)
+
+// Session is the view configuration of an authenticated account, the
+// moral equivalent of the test accounts the authors registered with the
+// NSFW and offensive settings enabled separately.
+type Session struct {
+	Username      string
+	ShowNSFW      bool
+	ShowOffensive bool
+}
+
+// Server serves the simulated web app over a platform.DB. Construct with
+// NewServer; it implements http.Handler.
+type Server struct {
+	db *platform.DB
+
+	urlLimit  int // requests per URL per window (10/min observed)
+	urlWindow time.Duration
+
+	mu       sync.Mutex
+	sessions map[string]Session
+	hits     map[string]*hitWindow
+	trends   *trendsState
+}
+
+type hitWindow struct {
+	start time.Time
+	n     int
+}
+
+// Option configures the Server.
+type Option func(*Server)
+
+// WithURLRateLimit overrides the observed 10 requests/minute per-URL
+// limit (limit <= 0 disables).
+func WithURLRateLimit(limit int, window time.Duration) Option {
+	return func(s *Server) {
+		s.urlLimit = limit
+		s.urlWindow = window
+	}
+}
+
+// NewServer builds the web app simulator.
+func NewServer(db *platform.DB, opts ...Option) *Server {
+	s := &Server{
+		db:        db,
+		urlLimit:  10,
+		urlWindow: time.Minute,
+		sessions:  map[string]Session{},
+		hits:      map[string]*hitWindow{},
+		trends:    newTrendsState(),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// RegisterSession issues a session token with the given view settings —
+// the simulator-side analogue of creating an account and flipping its
+// settings (§3.2). The token is sent as a "session" cookie.
+func (s *Server) RegisterSession(token string, sess Session) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sessions[token] = sess
+}
+
+func (s *Server) session(r *http.Request) Session {
+	c, err := r.Cookie("session")
+	if err != nil {
+		return Session{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sessions[c.Value]
+}
+
+// visible reports whether a comment is rendered for the session.
+func visible(c *platform.Comment, sess Session) bool {
+	if c.NSFW && !sess.ShowNSFW {
+		return false
+	}
+	if c.Offensive && !sess.ShowOffensive {
+		return false
+	}
+	return true
+}
+
+// ServeHTTP routes the app's pages.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case strings.HasPrefix(r.URL.Path, "/user/"):
+		s.handleHome(w, r, strings.TrimPrefix(r.URL.Path, "/user/"))
+	case r.URL.Path == "/discussion":
+		s.handleDiscussion(w, r)
+	case strings.HasPrefix(r.URL.Path, "/comment/"):
+		s.handleComment(w, r, strings.TrimPrefix(r.URL.Path, "/comment/"))
+	case r.URL.Path == "/trends" || r.URL.Path == "/trends/":
+		s.handleTrends(w, r)
+	case r.URL.Path == "/discussion/begin":
+		s.handleBegin(w, r)
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+// rateLimit applies the per-URL request budget. The counter is keyed by
+// the *target* URL, so a crawler that never revisits a page never trips
+// it — exactly the loophole §3.2 reports.
+func (s *Server) rateLimit(w http.ResponseWriter, key string) bool {
+	if s.urlLimit <= 0 {
+		return true
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := time.Now()
+	hw := s.hits[key]
+	if hw == nil || now.Sub(hw.start) >= s.urlWindow {
+		hw = &hitWindow{start: now}
+		s.hits[key] = hw
+	}
+	hw.n++
+	if hw.n > s.urlLimit {
+		w.Header().Set("Retry-After", "60")
+		http.Error(w, "rate limited", http.StatusTooManyRequests)
+		return false
+	}
+	return true
+}
+
+// handleHome renders a Dissenter user home page. Missing accounts get a
+// ~150-byte not-found page; real accounts get a >= 10 kB page (the size
+// side channel of §3.1).
+func (s *Server) handleHome(w http.ResponseWriter, r *http.Request, username string) {
+	u := s.db.UserByUsername(username)
+	if u == nil || !u.HasDissenter {
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		w.WriteHeader(http.StatusNotFound)
+		fmt.Fprint(w, `<!DOCTYPE html><html><head><title>Dissenter</title></head><body><p>Sorry, that page doesn't exist.</p></body></html>`)
+		return
+	}
+	sess := s.session(r)
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html><html><head><title>Dissenter</title></head><body>\n")
+	fmt.Fprintf(&b, `<div class="profile" data-author-id="%s">`+"\n", u.AuthorID)
+	fmt.Fprintf(&b, `<h1 class="username">@%s</h1>`+"\n", html.EscapeString(u.Username))
+	fmt.Fprintf(&b, `<h2 class="displayname">%s</h2>`+"\n", html.EscapeString(u.DisplayName))
+	fmt.Fprintf(&b, `<p class="bio">%s</p>`+"\n", html.EscapeString(u.Bio))
+	b.WriteString("</div>\n<ul class=\"history\">\n")
+	for _, cu := range s.db.URLsCommentedBy(u.AuthorID) {
+		if !s.anyVisibleBy(u.AuthorID, cu.ID, sess) {
+			continue
+		}
+		fmt.Fprintf(&b, `<li class="commented-url"><a href="/discussion?url=%s">%s</a></li>`+"\n",
+			url.QueryEscape(cu.URL), html.EscapeString(cu.URL))
+	}
+	b.WriteString("</ul>\n")
+	b.WriteString(appBundle)
+	b.WriteString("</body></html>\n")
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, b.String())
+}
+
+// anyVisibleBy reports whether the author has at least one comment on the
+// URL that the session may see (hidden-only URLs stay off the profile).
+func (s *Server) anyVisibleBy(author, urlID ids.ObjectID, sess Session) bool {
+	for _, c := range s.db.CommentsOnURL(urlID) {
+		if c.AuthorID == author && visible(c, sess) {
+			return true
+		}
+	}
+	return false
+}
+
+// handleDiscussion renders the comment page for ?url=.
+func (s *Server) handleDiscussion(w http.ResponseWriter, r *http.Request) {
+	raw := r.URL.Query().Get("url")
+	if raw == "" {
+		http.Error(w, "missing url", http.StatusBadRequest)
+		return
+	}
+	if !s.rateLimit(w, "discussion:"+raw) {
+		return
+	}
+	cu := s.db.URLByString(raw)
+	if cu == nil {
+		cu = s.trends.lookup(raw)
+	}
+	sess := s.session(r)
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html><html><head><title>Dissenter Discussion</title></head><body>\n")
+	if cu == nil {
+		// A URL nobody has entered yet: an empty comment page inviting
+		// the first comment (§2.1).
+		b.WriteString(`<div class="discussion new"><p>No comments yet. Be the first to dissent!</p></div>` + "\n")
+		b.WriteString("</body></html>\n")
+		fmt.Fprint(w, b.String())
+		return
+	}
+	fmt.Fprintf(&b, `<div class="discussion" data-commenturl-id="%s">`+"\n", cu.ID)
+	fmt.Fprintf(&b, `<h1 class="pagetitle">%s</h1>`+"\n", html.EscapeString(cu.Title))
+	fmt.Fprintf(&b, `<p class="pagedescription">%s</p>`+"\n", html.EscapeString(cu.Description))
+	comments := s.db.CommentsOnURL(cu.ID)
+	shown := 0
+	for _, c := range comments {
+		if visible(c, sess) {
+			shown++
+		}
+	}
+	fmt.Fprintf(&b, `<span class="votes" data-up="%d" data-down="%d"></span>`+"\n", cu.Ups, cu.Downs)
+	fmt.Fprintf(&b, `<span class="commentcount">%d</span>`+"\n", shown)
+	b.WriteString("</div>\n")
+	for _, c := range comments {
+		if !visible(c, sess) {
+			continue
+		}
+		// Note: no flag in the body distinguishes NSFW/offensive content —
+		// the crawler must infer labels differentially (§3.2).
+		fmt.Fprintf(&b, `<div class="comment" data-comment-id="%s" data-author-id="%s" data-parent-id="%s">`+"\n",
+			c.ID, c.AuthorID, parentAttr(c))
+		fmt.Fprintf(&b, `<p class="comment-text">%s</p>`+"\n", html.EscapeString(c.Text))
+		b.WriteString("</div>\n")
+	}
+	b.WriteString("</body></html>\n")
+	fmt.Fprint(w, b.String())
+}
+
+func parentAttr(c *platform.Comment) string {
+	if c.ParentID.IsZero() {
+		return ""
+	}
+	return c.ParentID.String()
+}
+
+// handleComment renders the single-comment page, including the
+// commented-out commentAuthor JavaScript variable with otherwise
+// undiscoverable user metadata (§3.2).
+func (s *Server) handleComment(w http.ResponseWriter, r *http.Request, cidStr string) {
+	cid, err := ids.Parse(strings.Trim(cidStr, "/"))
+	if err != nil {
+		http.NotFound(w, r)
+		return
+	}
+	c := s.db.CommentByID(cid)
+	sess := s.session(r)
+	if c == nil || !visible(c, sess) {
+		http.NotFound(w, r)
+		return
+	}
+	author := s.db.UserByAuthorID(c.AuthorID)
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html><html><head><title>Dissenter Comment</title></head><body>\n")
+	fmt.Fprintf(&b, `<div class="comment" data-comment-id="%s" data-author-id="%s" data-parent-id="%s">`+"\n",
+		c.ID, c.AuthorID, parentAttr(c))
+	fmt.Fprintf(&b, `<p class="comment-text">%s</p>`+"\n", html.EscapeString(c.Text))
+	b.WriteString("</div>\n")
+	for _, reply := range s.db.CommentsOnURL(c.URLID) {
+		if reply.ParentID == c.ID && visible(reply, sess) {
+			fmt.Fprintf(&b, `<div class="reply" data-comment-id="%s" data-author-id="%s">`+"\n", reply.ID, reply.AuthorID)
+			fmt.Fprintf(&b, `<p class="comment-text">%s</p>`+"\n", html.EscapeString(reply.Text))
+			b.WriteString("</div>\n")
+		}
+	}
+	if author != nil {
+		meta := hiddenMeta{
+			Username:    author.Username,
+			Language:    author.Language,
+			Permissions: author.Flags,
+			ViewFilters: author.Filters,
+		}
+		blob, err := json.Marshal(meta)
+		if err == nil {
+			b.WriteString("<script>\n")
+			// The assignment is commented out — dead code shipped to every
+			// visitor, invisible in the DOM, and full of metadata.
+			fmt.Fprintf(&b, "// var commentAuthor = %s;\n", blob)
+			b.WriteString("var commentView = {\"ready\": true};\n")
+			b.WriteString("</script>\n")
+		}
+	}
+	b.WriteString("</body></html>\n")
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, b.String())
+}
+
+// hiddenMeta is the commentAuthor payload.
+type hiddenMeta struct {
+	Username    string               `json:"username"`
+	Language    string               `json:"language"`
+	Permissions platform.UserFlags   `json:"permissions"`
+	ViewFilters platform.ViewFilters `json:"viewFilters"`
+}
+
+// appBundle is filler standing in for the web app's bundled JS/CSS; it is
+// what puts real home pages over the 10 kB detection threshold.
+var appBundle = func() string {
+	var b strings.Builder
+	b.WriteString("<script>/* dissenter app bundle */\n")
+	for i := 0; i < 160; i++ {
+		fmt.Fprintf(&b, "function module%04d(){return %d;} // padding padding padding\n", i, i)
+	}
+	b.WriteString("</script>\n")
+	return b.String()
+}()

@@ -1,0 +1,126 @@
+package dissenterweb
+
+import (
+	"fmt"
+	"html"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"dissenter/internal/ids"
+	"dissenter/internal/platform"
+)
+
+// Gab Trends (§2.1): the news-aggregation portal Gab deployed in October
+// 2019 as the second access path to Dissenter comment threads. The
+// /trends page lists the most-discussed URLs; the /discussion/begin
+// endpoint accepts a NEW URL submission — "if the URL is new to the
+// Dissenter and Gab Trends system, this page contains no comments, but
+// allows new users that navigate to it to make comments about this URL".
+// Submission is the one mutable surface of the simulator: a submitted
+// URL is assigned a fresh commenturl-id on the spot, which is also what
+// makes the §6 covert-channel observation live — any string becomes an
+// addressable comment thread.
+
+// trendsState holds runtime-submitted URLs, separate from the immutable
+// generated DB.
+type trendsState struct {
+	mu        sync.Mutex
+	submitted map[string]*platform.CommentURL
+	idgen     *ids.Generator
+}
+
+func newTrendsState() *trendsState {
+	return &trendsState{
+		submitted: map[string]*platform.CommentURL{},
+		idgen:     ids.NewGenerator(0xD15C0551),
+	}
+}
+
+// lookupSubmitted returns a runtime-submitted URL record, or nil.
+func (t *trendsState) lookup(raw string) *platform.CommentURL {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.submitted[raw]
+}
+
+// submit registers a URL (idempotently) and returns its record.
+func (t *trendsState) submit(raw string) *platform.CommentURL {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if cu, ok := t.submitted[raw]; ok {
+		return cu
+	}
+	cu := &platform.CommentURL{
+		ID:        t.idgen.New(),
+		URL:       raw,
+		FirstSeen: time.Now().UTC().Truncate(time.Second),
+	}
+	t.submitted[raw] = cu
+	return cu
+}
+
+// handleTrends renders the Gab Trends homepage: the most-commented URLs
+// with their titles and comment counts, newest first among ties.
+func (s *Server) handleTrends(w http.ResponseWriter, r *http.Request) {
+	sess := s.session(r)
+	type entry struct {
+		cu    *platform.CommentURL
+		count int
+	}
+	var entries []entry
+	for _, cu := range s.db.URLs {
+		count := 0
+		for _, c := range s.db.CommentsOnURL(cu.ID) {
+			if visible(c, sess) {
+				count++
+			}
+		}
+		if count > 0 {
+			entries = append(entries, entry{cu, count})
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].count != entries[j].count {
+			return entries[i].count > entries[j].count
+		}
+		return entries[i].cu.URL < entries[j].cu.URL
+	})
+	if len(entries) > 50 {
+		entries = entries[:50]
+	}
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html><html><head><title>Gab Trends</title></head><body>\n")
+	b.WriteString("<h1>Trending on Dissenter</h1>\n")
+	b.WriteString(`<form action="/discussion/begin" method="get">` +
+		`<input name="url" placeholder="Submit any URL"/><input type="submit" value="Dissent"/></form>` + "\n")
+	b.WriteString("<ol class=\"trends\">\n")
+	for _, e := range entries {
+		title := e.cu.Title
+		if title == "" {
+			title = e.cu.URL
+		}
+		fmt.Fprintf(&b, `<li class="trend" data-comments="%d"><a href="/discussion?url=%s">%s</a></li>`+"\n",
+			e.count, url.QueryEscape(e.cu.URL), html.EscapeString(title))
+	}
+	b.WriteString("</ol>\n</body></html>\n")
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, b.String())
+}
+
+// handleBegin accepts a URL submission and redirects to its comment
+// page, minting a commenturl-id when the URL is new to the system.
+func (s *Server) handleBegin(w http.ResponseWriter, r *http.Request) {
+	raw := r.URL.Query().Get("url")
+	if raw == "" {
+		http.Error(w, "missing url", http.StatusBadRequest)
+		return
+	}
+	if s.db.URLByString(raw) == nil {
+		s.trends.submit(raw)
+	}
+	http.Redirect(w, r, "/discussion?url="+url.QueryEscape(raw), http.StatusFound)
+}

@@ -1,0 +1,148 @@
+package dissenterweb
+
+import (
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"testing"
+
+	"dissenter/internal/htmlx"
+)
+
+func TestTrendsHomepage(t *testing.T) {
+	_, srv := newTestServer(t)
+	resp, body := fetch(t, srv.URL+"/trends", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	items := htmlx.FindTags(body, "li")
+	if len(items) == 0 {
+		t.Fatal("no trending entries")
+	}
+	// Entries must be sorted by visible comment count, descending.
+	var counts []int
+	for _, li := range items {
+		raw, ok := htmlx.Attr(li.Raw, "data-comments")
+		if !ok {
+			t.Fatalf("entry lacks data-comments: %q", li.Raw)
+		}
+		n, err := strconv.Atoi(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts = append(counts, n)
+	}
+	for i := 1; i < len(counts); i++ {
+		if counts[i] > counts[i-1] {
+			t.Fatalf("trends not sorted: %v", counts)
+		}
+	}
+	// The top trend should agree with ground truth's busiest page.
+	best := 0
+	for _, cu := range out.DB.URLs {
+		visible := 0
+		for _, c := range out.DB.CommentsOnURL(cu.ID) {
+			if !c.Hidden() {
+				visible++
+			}
+		}
+		if visible > best {
+			best = visible
+		}
+	}
+	if counts[0] != best {
+		t.Errorf("top trend has %d comments, ground truth max %d", counts[0], best)
+	}
+}
+
+func TestSubmitNewURL(t *testing.T) {
+	_, srv := newTestServer(t)
+	novel := "https://example.org/breaking/totally-new-story"
+
+	// Before submission: the invitation page, no commenturl-id.
+	_, body := fetch(t, srv.URL+"/discussion?url="+url.QueryEscape(novel), "")
+	if !strings.Contains(body, "No comments yet") {
+		t.Fatal("unsubmitted URL should render invitation")
+	}
+
+	// Submission redirects to the (now registered) comment page.
+	client := &http.Client{CheckRedirect: func(*http.Request, []*http.Request) error {
+		return http.ErrUseLastResponse
+	}}
+	resp, err := client.Get(srv.URL + "/discussion/begin?url=" + url.QueryEscape(novel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusFound {
+		t.Fatalf("begin status = %d, want 302", resp.StatusCode)
+	}
+	if loc := resp.Header.Get("Location"); !strings.Contains(loc, url.QueryEscape(novel)) {
+		t.Errorf("redirect location = %q", loc)
+	}
+
+	// After submission: a real comment page with a commenturl-id and zero
+	// comments ("this page contains no comments, but allows new users ...
+	// to make comments", §2.1).
+	_, body = fetch(t, srv.URL+"/discussion?url="+url.QueryEscape(novel), "")
+	id, ok := htmlx.Attr(body, "data-commenturl-id")
+	if !ok || len(id) != 24 {
+		t.Fatalf("submitted URL lacks commenturl-id: %q", id)
+	}
+	// Resubmission is idempotent: same id.
+	resp, err = client.Get(srv.URL + "/discussion/begin?url=" + url.QueryEscape(novel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	_, body = fetch(t, srv.URL+"/discussion?url="+url.QueryEscape(novel), "")
+	id2, _ := htmlx.Attr(body, "data-commenturl-id")
+	if id2 != id {
+		t.Errorf("resubmission changed id: %s -> %s", id, id2)
+	}
+}
+
+func TestSubmitExistingURLKeepsID(t *testing.T) {
+	_, srv := newTestServer(t)
+	existing := out.DB.URLs[0]
+	client := &http.Client{CheckRedirect: func(*http.Request, []*http.Request) error {
+		return http.ErrUseLastResponse
+	}}
+	resp, err := client.Get(srv.URL + "/discussion/begin?url=" + url.QueryEscape(existing.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	_, body := fetch(t, srv.URL+"/discussion?url="+url.QueryEscape(existing.URL), "")
+	if id, _ := htmlx.Attr(body, "data-commenturl-id"); id != existing.ID.String() {
+		t.Errorf("existing URL id changed: %s vs %s", id, existing.ID)
+	}
+}
+
+func TestSubmitCovertAnchor(t *testing.T) {
+	// §6: "The URL need not exist, can use any arbitrary scheme" — the
+	// covert-channel property.
+	_, srv := newTestServer(t)
+	anchor := "dissenter://secret/meeting-point-7"
+	client := &http.Client{CheckRedirect: func(*http.Request, []*http.Request) error {
+		return http.ErrUseLastResponse
+	}}
+	resp, err := client.Get(srv.URL + "/discussion/begin?url=" + url.QueryEscape(anchor))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	_, body := fetch(t, srv.URL+"/discussion?url="+url.QueryEscape(anchor), "")
+	if _, ok := htmlx.Attr(body, "data-commenturl-id"); !ok {
+		t.Error("arbitrary-scheme anchor did not get a comment page")
+	}
+}
+
+func TestBeginMissingURL(t *testing.T) {
+	_, srv := newTestServer(t)
+	resp, _ := fetch(t, srv.URL+"/discussion/begin", "")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("status = %d, want 400", resp.StatusCode)
+	}
+}

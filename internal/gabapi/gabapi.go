@@ -1,0 +1,194 @@
+// Package gabapi simulates the undocumented Gab REST API surface the
+// paper exploits in §3.1 and §3.4: sequential-integer account lookup
+// (https://gab.com/api/v1/accounts/<id>), paginated follower/following
+// listings, an error for unallocated IDs (which is what makes exhaustive
+// enumeration possible), and rate-limit headers that expose the number
+// of remaining requests and the refresh time.
+package gabapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"dissenter/internal/ids"
+	"dissenter/internal/platform"
+)
+
+// Account is the JSON shape of one Gab account, a subset of the real
+// API's fields sufficient for the study.
+type Account struct {
+	ID          string `json:"id"`
+	Username    string `json:"username"`
+	Acct        string `json:"acct"`
+	DisplayName string `json:"display_name"`
+	Note        string `json:"note"`
+	CreatedAt   string `json:"created_at"`
+}
+
+// PageSize is the follower/following pagination size.
+const PageSize = 40
+
+// Server serves the simulated API over a platform.DB. Construct with
+// NewServer; it implements http.Handler.
+type Server struct {
+	db *platform.DB
+
+	// Rate limiting: Limit requests per Window, globally (the real API
+	// limits per account token; the crawler uses one).
+	limit  int
+	window time.Duration
+
+	mu        sync.Mutex
+	remaining int
+	resetAt   time.Time
+}
+
+// Option configures the Server.
+type Option func(*Server)
+
+// WithRateLimit sets the request budget per window. limit <= 0 disables
+// rate limiting.
+func WithRateLimit(limit int, window time.Duration) Option {
+	return func(s *Server) {
+		s.limit = limit
+		s.window = window
+	}
+}
+
+// NewServer builds the API simulator. The default rate limit mirrors the
+// observed one request per second sustainable budget loosely: 300
+// requests per 5-minute window.
+func NewServer(db *platform.DB, opts ...Option) *Server {
+	s := &Server{db: db, limit: 300, window: 5 * time.Minute}
+	for _, o := range opts {
+		o(s)
+	}
+	s.remaining = s.limit
+	s.resetAt = time.Now().Add(s.window)
+	return s
+}
+
+// ServeHTTP routes the API endpoints.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if !s.admit(w) {
+		return
+	}
+	path := strings.TrimPrefix(r.URL.Path, "/api/v1/accounts/")
+	if path == r.URL.Path {
+		s.writeError(w, http.StatusNotFound, "Record not found")
+		return
+	}
+	parts := strings.Split(strings.Trim(path, "/"), "/")
+	switch {
+	case len(parts) == 1:
+		s.handleAccount(w, parts[0])
+	case len(parts) == 2 && (parts[1] == "followers" || parts[1] == "following"):
+		s.handleRelations(w, r, parts[0], parts[1])
+	default:
+		s.writeError(w, http.StatusNotFound, "Record not found")
+	}
+}
+
+// admit applies the rate limit and writes the X-RateLimit headers the
+// crawler watches (§3.4).
+func (s *Server) admit(w http.ResponseWriter) bool {
+	if s.limit <= 0 {
+		return true
+	}
+	s.mu.Lock()
+	now := time.Now()
+	if now.After(s.resetAt) {
+		s.remaining = s.limit
+		s.resetAt = now.Add(s.window)
+	}
+	ok := s.remaining > 0
+	if ok {
+		s.remaining--
+	}
+	remaining, resetAt := s.remaining, s.resetAt
+	s.mu.Unlock()
+
+	w.Header().Set("X-RateLimit-Limit", strconv.Itoa(s.limit))
+	w.Header().Set("X-RateLimit-Remaining", strconv.Itoa(remaining))
+	w.Header().Set("X-RateLimit-Reset", resetAt.UTC().Format(time.RFC3339))
+	if !ok {
+		s.writeError(w, http.StatusTooManyRequests, "Throttled")
+	}
+	return ok
+}
+
+func (s *Server) handleAccount(w http.ResponseWriter, idStr string) {
+	id, err := strconv.ParseInt(idStr, 10, 64)
+	if err != nil || !ids.GabID(id).Valid() {
+		s.writeError(w, http.StatusNotFound, "Record not found")
+		return
+	}
+	u := s.db.UserByGabID(ids.GabID(id))
+	if u == nil {
+		// Unallocated or deleted: the enumeration-terminating error.
+		s.writeError(w, http.StatusNotFound, "Record not found")
+		return
+	}
+	writeJSON(w, toAccount(u))
+}
+
+func (s *Server) handleRelations(w http.ResponseWriter, r *http.Request, idStr, kind string) {
+	id, err := strconv.ParseInt(idStr, 10, 64)
+	if err != nil {
+		s.writeError(w, http.StatusNotFound, "Record not found")
+		return
+	}
+	u := s.db.UserByGabID(ids.GabID(id))
+	if u == nil {
+		s.writeError(w, http.StatusNotFound, "Record not found")
+		return
+	}
+	var related []ids.GabID
+	if kind == "following" {
+		related = s.db.Follows[u.GabID]
+	} else {
+		related = s.db.Followers(u.GabID)
+	}
+	page := 1
+	if p := r.URL.Query().Get("page"); p != "" {
+		if n, err := strconv.Atoi(p); err == nil && n >= 1 {
+			page = n
+		}
+	}
+	lo := (page - 1) * PageSize
+	hi := lo + PageSize
+	out := []Account{}
+	for i := lo; i < hi && i < len(related); i++ {
+		if ru := s.db.UserByGabID(related[i]); ru != nil {
+			out = append(out, toAccount(ru))
+		}
+	}
+	writeJSON(w, out)
+}
+
+func toAccount(u *platform.User) Account {
+	return Account{
+		ID:          u.GabID.String(),
+		Username:    u.Username,
+		Acct:        u.Username,
+		DisplayName: u.DisplayName,
+		Note:        u.Bio,
+		CreatedAt:   u.CreatedAt.UTC().Format(time.RFC3339),
+	}
+}
+
+func (s *Server) writeError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	fmt.Fprintf(w, `{"error":%q}`, msg)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,192 @@
+package gabapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"dissenter/internal/synth"
+)
+
+var out = synth.Generate(synth.NewConfig(1.0/512, 5))
+
+func newTestServer(t *testing.T, opts ...Option) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(NewServer(out.DB, opts...))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func get(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf [1 << 20]byte
+	n, _ := resp.Body.Read(buf[:])
+	return resp, buf[:n]
+}
+
+func TestAccountLookup(t *testing.T) {
+	srv := newTestServer(t, WithRateLimit(0, 0))
+	resp, body := get(t, srv.URL+"/api/v1/accounts/1")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var acct Account
+	if err := json.Unmarshal(body, &acct); err != nil {
+		t.Fatal(err)
+	}
+	if acct.Username != "e" || acct.ID != "1" {
+		t.Errorf("account 1 = %+v, want @e", acct)
+	}
+	if acct.CreatedAt == "" {
+		t.Error("created_at missing")
+	}
+}
+
+func TestAccountNotFound(t *testing.T) {
+	srv := newTestServer(t, WithRateLimit(0, 0))
+	for _, path := range []string{
+		fmt.Sprintf("/api/v1/accounts/%d", out.DB.MaxGabID()+1000),
+		"/api/v1/accounts/0",
+		"/api/v1/accounts/-3",
+		"/api/v1/accounts/notanumber",
+		"/api/v1/other",
+	} {
+		resp, _ := get(t, srv.URL+path)
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("%s status = %d, want 404", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestDeletedAccountsInvisible(t *testing.T) {
+	srv := newTestServer(t, WithRateLimit(0, 0))
+	found := false
+	for _, u := range out.DB.Users {
+		if u.GabDeleted {
+			resp, _ := get(t, srv.URL+"/api/v1/accounts/"+u.GabID.String())
+			if resp.StatusCode != http.StatusNotFound {
+				t.Errorf("deleted account %q visible via API", u.Username)
+			}
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Skip("no deleted accounts at this scale")
+	}
+}
+
+func TestEnumerationFindsAllLiveAccounts(t *testing.T) {
+	srv := newTestServer(t, WithRateLimit(0, 0))
+	live := 0
+	for _, u := range out.DB.Users {
+		if !u.GabDeleted {
+			live++
+		}
+	}
+	found := 0
+	for id := int64(1); id <= int64(out.DB.MaxGabID()); id++ {
+		resp, _ := get(t, fmt.Sprintf("%s/api/v1/accounts/%d", srv.URL, id))
+		if resp.StatusCode == http.StatusOK {
+			found++
+		}
+	}
+	if found != live {
+		t.Errorf("enumeration found %d accounts, want %d", found, live)
+	}
+}
+
+func TestFollowersPagination(t *testing.T) {
+	srv := newTestServer(t, WithRateLimit(0, 0))
+	// Find a user with more than one page of following.
+	var gid string
+	for id, following := range out.DB.Follows {
+		if len(following) > PageSize {
+			gid = id.String()
+			break
+		}
+	}
+	if gid == "" {
+		// Fall back to any user with following.
+		for id, f := range out.DB.Follows {
+			if len(f) > 0 {
+				gid = id.String()
+				break
+			}
+		}
+	}
+	if gid == "" {
+		t.Fatal("no follow edges generated")
+	}
+	var all []Account
+	for page := 1; ; page++ {
+		resp, body := get(t, fmt.Sprintf("%s/api/v1/accounts/%s/following?page=%d", srv.URL, gid, page))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("page %d status = %d", page, resp.StatusCode)
+		}
+		var accts []Account
+		if err := json.Unmarshal(body, &accts); err != nil {
+			t.Fatal(err)
+		}
+		if len(accts) == 0 {
+			break
+		}
+		all = append(all, accts...)
+		if page > 1000 {
+			t.Fatal("pagination never terminated")
+		}
+	}
+	if len(all) == 0 {
+		t.Fatal("no following returned")
+	}
+	seen := map[string]bool{}
+	for _, a := range all {
+		if seen[a.ID] {
+			t.Fatalf("duplicate account %s across pages", a.ID)
+		}
+		seen[a.ID] = true
+	}
+}
+
+func TestRateLimitHeadersAndThrottle(t *testing.T) {
+	srv := newTestServer(t, WithRateLimit(3, time.Hour))
+	var last *http.Response
+	for i := 0; i < 3; i++ {
+		last, _ = get(t, srv.URL+"/api/v1/accounts/1")
+		if last.StatusCode != http.StatusOK {
+			t.Fatalf("request %d status = %d", i, last.StatusCode)
+		}
+	}
+	if got := last.Header.Get("X-RateLimit-Remaining"); got != "0" {
+		t.Errorf("remaining = %s, want 0", got)
+	}
+	resp, _ := get(t, srv.URL+"/api/v1/accounts/1")
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-limit status = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("X-RateLimit-Reset") == "" {
+		t.Error("reset header missing on 429")
+	}
+}
+
+func TestRateLimitRefreshes(t *testing.T) {
+	srv := newTestServer(t, WithRateLimit(1, 50*time.Millisecond))
+	if resp, _ := get(t, srv.URL+"/api/v1/accounts/1"); resp.StatusCode != http.StatusOK {
+		t.Fatal("first request failed")
+	}
+	if resp, _ := get(t, srv.URL+"/api/v1/accounts/1"); resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatal("second request not throttled")
+	}
+	time.Sleep(60 * time.Millisecond)
+	if resp, _ := get(t, srv.URL+"/api/v1/accounts/1"); resp.StatusCode != http.StatusOK {
+		t.Fatal("request after window not admitted")
+	}
+}

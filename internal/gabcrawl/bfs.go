@@ -1,0 +1,82 @@
+package gabcrawl
+
+import (
+	"context"
+	"sort"
+	"sync"
+
+	"dissenter/internal/crawlkit"
+	"dissenter/internal/ids"
+)
+
+// §3.1 describes the authors' FIRST harvesting attempt: mining Pushshift
+// and crawling the followers of "@a" (auto-followed by new accounts).
+// It failed — "this methodology failed to uncover users that hadn't
+// posted on Gab, had manually ceased following @a", and silent/friendless
+// users were invisible — which is why the paper switched to exhaustive
+// ID enumeration. CrawlFollowerGraph implements that first method so the
+// undercount is measurable (see BenchmarkAblationEnumVsBFS).
+
+// CrawlFollowerGraph BFS-walks the follow graph (both directions) from
+// the seed accounts, up to maxDepth hops, returning every account
+// reached. Unlike Enumerate, it can only see users connected to the seed
+// component — the silent and friendless majority stays dark.
+func (c *Client) CrawlFollowerGraph(ctx context.Context, seeds []ids.GabID, maxDepth, workers int) ([]Account, error) {
+	type node struct {
+		id    ids.GabID
+		depth int
+	}
+	var mu sync.Mutex
+	seen := map[ids.GabID]bool{}
+	found := map[ids.GabID]Account{}
+	frontier := make([]node, 0, len(seeds))
+	for _, s := range seeds {
+		if !seen[s] {
+			seen[s] = true
+			frontier = append(frontier, node{s, 0})
+		}
+	}
+	for len(frontier) > 0 {
+		var next []node
+		err := crawlkit.ForEach(ctx, frontier, workers, func(ctx context.Context, n node) error {
+			acct, ok, err := c.Account(ctx, n.id)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil
+			}
+			mu.Lock()
+			found[n.id] = acct
+			mu.Unlock()
+			if n.depth >= maxDepth {
+				return nil
+			}
+			for _, kind := range []RelationKind{Followers, Following} {
+				related, err := c.Relations(ctx, n.id, kind)
+				if err != nil {
+					return err
+				}
+				mu.Lock()
+				for _, r := range related {
+					if !seen[r.GabID] {
+						seen[r.GabID] = true
+						next = append(next, node{r.GabID, n.depth + 1})
+					}
+				}
+				mu.Unlock()
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		frontier = next
+	}
+	out := make([]Account, 0, len(found))
+	for _, a := range found {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].GabID < out[j].GabID })
+	return out, nil
+}

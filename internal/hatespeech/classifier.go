@@ -1,0 +1,88 @@
+package hatespeech
+
+import (
+	"dissenter/internal/ml"
+)
+
+// Classifier is the trained three-class comment model.
+type Classifier struct {
+	vec *ml.Vectorizer
+	svm *ml.SVM
+}
+
+// TrainConfig bundles the training pipeline's knobs.
+type TrainConfig struct {
+	SVM        ml.SVMConfig
+	ADASYN     *ml.ADASYNConfig // nil disables oversampling (ablation)
+	MinDocFreq int
+}
+
+// DefaultTrainConfig mirrors the paper's pipeline: ADASYN on, 1+2-grams.
+func DefaultTrainConfig() TrainConfig {
+	ad := ml.DefaultADASYNConfig()
+	return TrainConfig{SVM: ml.DefaultSVMConfig(), ADASYN: &ad, MinDocFreq: 2}
+}
+
+// Train fits the vectorizer and SVM on a labeled corpus.
+func Train(c Corpus, cfg TrainConfig) *Classifier {
+	vec := ml.NewVectorizer()
+	if cfg.MinDocFreq > 0 {
+		vec.MinDocFreq = cfg.MinDocFreq
+	}
+	xs := vec.FitTransform(c.Texts)
+	ds := ml.Dataset{X: xs, Y: labelsToInts(c.Labels)}
+	if cfg.ADASYN != nil {
+		ds = ml.ADASYN(ds, *cfg.ADASYN)
+	}
+	svm := ml.TrainSVM(ds, vec.VocabSize(), cfg.SVM)
+	return &Classifier{vec: vec, svm: svm}
+}
+
+// CrossValidate runs k-fold CV of the full pipeline over the corpus and
+// returns the per-fold weighted F1 scores (the paper's quality gate:
+// F1 = 0.87 with 5 folds).
+func CrossValidate(c Corpus, k int, cfg TrainConfig) ml.KFoldResult {
+	vec := ml.NewVectorizer()
+	if cfg.MinDocFreq > 0 {
+		vec.MinDocFreq = cfg.MinDocFreq
+	}
+	xs := vec.FitTransform(c.Texts)
+	ds := ml.Dataset{X: xs, Y: labelsToInts(c.Labels)}
+	return ml.CrossValidate(ds, vec.VocabSize(), k, cfg.SVM, cfg.ADASYN)
+}
+
+// Predict classifies one comment.
+func (c *Classifier) Predict(text string) Label {
+	return Label(c.svm.Predict(c.vec.Transform(text)))
+}
+
+// Proba returns the per-class probabilities for one comment, the quantity
+// the paper computes for all 1.68M Dissenter comments.
+func (c *Classifier) Proba(text string) map[Label]float64 {
+	raw := c.svm.Proba(c.vec.Transform(text))
+	out := make(map[Label]float64, len(raw))
+	for y, p := range raw {
+		out[Label(y)] = p
+	}
+	return out
+}
+
+// PredictAll classifies a batch of comments.
+func (c *Classifier) PredictAll(texts []string) []Label {
+	out := make([]Label, len(texts))
+	for i, t := range texts {
+		out[i] = c.Predict(t)
+	}
+	return out
+}
+
+// VocabSize exposes the learned feature count (useful in reports).
+func (c *Classifier) VocabSize() int { return c.vec.VocabSize() }
+
+func labelsToInts(ls []Label) []int {
+	out := make([]int, len(ls))
+	for i, l := range ls {
+		out[i] = int(l)
+	}
+	return out
+}

@@ -1,0 +1,120 @@
+package langid
+
+// seedCorpora returns the embedded training text. The sentences are
+// ordinary news-register prose chosen for breadth of function words and
+// character patterns; each corpus is a few hundred words, which is ample
+// for trigram models that only need to separate seven European languages.
+func seedCorpora() map[Language]string {
+	return map[Language]string{
+		English: `the government announced a new policy on immigration this week
+and officials said the changes would take effect next year. many people
+disagree with the decision and plan to protest in the capital on saturday.
+the president spoke about the economy and promised that jobs would return
+to the region. reporters asked questions about the budget but received few
+answers. the committee will meet again next month to discuss the proposal
+in more detail. freedom of speech remains a central question in the debate
+about online platforms and censorship. the company said it would review
+its moderation rules after users complained that their comments had been
+removed without explanation. this is not what we expected when we started
+watching the video. i think you should read the article before commenting
+because the headline does not tell the whole story. they have been working
+on this problem for years and nothing has changed. what do you think will
+happen when the court makes its ruling next week. everyone knows that the
+media never tells the truth about these things anymore. thanks for sharing
+this, exactly right and finally someone said it. wonderful point, brilliant
+take, spot on as usual. great article and an excellent report, i agree
+completely. what a pathetic excuse from a worthless coward, you people are
+sheep and the author is a fraud and a liar. they will destroy everything we
+built and eliminate every job in the region. typical media spin about the
+border crisis, the economy, the election and the police. true story, good
+question, important fact, interesting claim, correct source.`,
+
+		German: `die regierung hat diese woche eine neue politik zur einwanderung
+angekündigt und beamte sagten dass die änderungen nächstes jahr in kraft
+treten würden. viele menschen sind mit der entscheidung nicht einverstanden
+und wollen am samstag in der hauptstadt protestieren. der präsident sprach
+über die wirtschaft und versprach dass die arbeitsplätze in die region
+zurückkehren würden. journalisten stellten fragen zum haushalt erhielten
+aber nur wenige antworten. der ausschuss wird sich nächsten monat erneut
+treffen um den vorschlag ausführlicher zu besprechen. die meinungsfreiheit
+bleibt eine zentrale frage in der debatte über online plattformen und
+zensur. das unternehmen erklärte es werde seine moderationsregeln
+überprüfen nachdem nutzer sich beschwert hatten dass ihre kommentare ohne
+erklärung entfernt worden seien. das ist nicht was wir erwartet haben als
+wir das video angeschaut haben. ich denke du solltest den artikel lesen
+bevor du kommentierst weil die überschrift nicht die ganze geschichte
+erzählt. sie arbeiten seit jahren an diesem problem und nichts hat sich
+geändert.`,
+
+		French: `le gouvernement a annoncé cette semaine une nouvelle politique
+d'immigration et les responsables ont déclaré que les changements
+entreraient en vigueur l'année prochaine. beaucoup de gens ne sont pas
+d'accord avec la décision et prévoient de manifester samedi dans la
+capitale. le président a parlé de l'économie et a promis que les emplois
+reviendraient dans la région. les journalistes ont posé des questions sur
+le budget mais ont reçu peu de réponses. le comité se réunira de nouveau
+le mois prochain pour discuter de la proposition plus en détail. la
+liberté d'expression reste une question centrale dans le débat sur les
+plateformes en ligne et la censure. l'entreprise a déclaré qu'elle
+réexaminerait ses règles de modération après que des utilisateurs se sont
+plaints que leurs commentaires avaient été supprimés sans explication. ce
+n'est pas ce que nous attendions quand nous avons commencé à regarder la
+vidéo. je pense que vous devriez lire l'article avant de commenter parce
+que le titre ne raconte pas toute l'histoire.`,
+
+		Spanish: `el gobierno anunció esta semana una nueva política de
+inmigración y los funcionarios dijeron que los cambios entrarían en vigor
+el próximo año. muchas personas no están de acuerdo con la decisión y
+planean protestar el sábado en la capital. el presidente habló sobre la
+economía y prometió que los empleos volverían a la región. los periodistas
+hicieron preguntas sobre el presupuesto pero recibieron pocas respuestas.
+el comité se reunirá de nuevo el próximo mes para discutir la propuesta
+con más detalle. la libertad de expresión sigue siendo una cuestión
+central en el debate sobre las plataformas en línea y la censura. la
+empresa dijo que revisaría sus reglas de moderación después de que los
+usuarios se quejaran de que sus comentarios habían sido eliminados sin
+explicación. esto no es lo que esperábamos cuando empezamos a ver el
+video. creo que deberías leer el artículo antes de comentar porque el
+titular no cuenta toda la historia.`,
+
+		Italian: `il governo ha annunciato questa settimana una nuova politica
+sull'immigrazione e i funzionari hanno detto che i cambiamenti entreranno
+in vigore l'anno prossimo. molte persone non sono d'accordo con la
+decisione e hanno intenzione di protestare sabato nella capitale. il
+presidente ha parlato dell'economia e ha promesso che i posti di lavoro
+torneranno nella regione. i giornalisti hanno fatto domande sul bilancio
+ma hanno ricevuto poche risposte. il comitato si riunirà di nuovo il mese
+prossimo per discutere la proposta in modo più dettagliato. la libertà di
+espressione rimane una questione centrale nel dibattito sulle piattaforme
+online e sulla censura. l'azienda ha detto che rivedrà le sue regole di
+moderazione dopo che gli utenti si sono lamentati che i loro commenti
+erano stati rimossi senza spiegazione. questo non è quello che ci
+aspettavamo quando abbiamo iniziato a guardare il video.`,
+
+		Portuguese: `o governo anunciou esta semana uma nova política de
+imigração e as autoridades disseram que as mudanças entrariam em vigor no
+próximo ano. muitas pessoas discordam da decisão e planejam protestar no
+sábado na capital. o presidente falou sobre a economia e prometeu que os
+empregos voltariam para a região. os jornalistas fizeram perguntas sobre o
+orçamento mas receberam poucas respostas. o comitê se reunirá novamente no
+próximo mês para discutir a proposta com mais detalhes. a liberdade de
+expressão continua sendo uma questão central no debate sobre plataformas
+online e censura. a empresa disse que revisaria suas regras de moderação
+depois que os usuários reclamaram que seus comentários haviam sido
+removidos sem explicação. isso não é o que esperávamos quando começamos a
+assistir ao vídeo.`,
+
+		Dutch: `de regering heeft deze week een nieuw immigratiebeleid
+aangekondigd en functionarissen zeiden dat de veranderingen volgend jaar
+van kracht zouden worden. veel mensen zijn het niet eens met het besluit
+en zijn van plan zaterdag in de hoofdstad te protesteren. de president
+sprak over de economie en beloofde dat de banen naar de regio zouden
+terugkeren. journalisten stelden vragen over de begroting maar kregen
+weinig antwoorden. de commissie komt volgende maand opnieuw bijeen om het
+voorstel in meer detail te bespreken. de vrijheid van meningsuiting
+blijft een centrale vraag in het debat over online platforms en censuur.
+het bedrijf zei dat het zijn moderatieregels zou herzien nadat gebruikers
+hadden geklaagd dat hun reacties zonder uitleg waren verwijderd. dit is
+niet wat we verwachtten toen we de video begonnen te bekijken.`,
+	}
+}

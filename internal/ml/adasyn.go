@@ -1,0 +1,158 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// ADASYNConfig controls the adaptive synthetic oversampling of He et al.
+// 2008, which the paper applies because the Davidson training data is
+// heavily imbalanced (1,194 hate vs 16,025 offensive vs 20,499 neither).
+type ADASYNConfig struct {
+	// K is the neighborhood size (default 5, as in the original paper).
+	K int
+	// Beta in (0, 1] sets the post-balancing level: 1 fully balances each
+	// minority class against the majority class (default 1).
+	Beta float64
+	// MaxCandidates caps the number of randomly sampled candidate points
+	// examined per nearest-neighbor query. Exact KNN is O(n²) over the
+	// 37k-sample corpus; sampling keeps generation near-linear while
+	// preserving the *adaptive* property (harder examples still get more
+	// synthesis). 0 means exact search.
+	MaxCandidates int
+	// Seed fixes the sampling for reproducibility.
+	Seed int64
+}
+
+// DefaultADASYNConfig mirrors He et al.'s parameters with candidate
+// sampling enabled.
+func DefaultADASYNConfig() ADASYNConfig {
+	return ADASYNConfig{K: 5, Beta: 1, MaxCandidates: 256, Seed: 1}
+}
+
+// ADASYN oversamples every minority class of ds up to Beta times the
+// majority class size, appending interpolated synthetic samples. The
+// input dataset is not modified; the returned dataset shares the original
+// vectors and owns the synthetic ones.
+func ADASYN(ds Dataset, cfg ADASYNConfig) Dataset {
+	if cfg.K <= 0 {
+		cfg.K = 5
+	}
+	if cfg.Beta <= 0 || cfg.Beta > 1 {
+		cfg.Beta = 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	counts := ds.ClassCounts()
+	majority := 0
+	for _, n := range counts {
+		if n > majority {
+			majority = n
+		}
+	}
+	out := Dataset{X: append([]Vector{}, ds.X...), Y: append([]int{}, ds.Y...)}
+	classes := ds.Classes()
+	for _, c := range classes {
+		deficit := float64(majority-counts[c]) * cfg.Beta
+		if deficit < 1 {
+			continue
+		}
+		out = synthesizeClass(out, ds, c, int(deficit), cfg, rng)
+	}
+	return out
+}
+
+func synthesizeClass(out Dataset, ds Dataset, class, g int, cfg ADASYNConfig, rng *rand.Rand) Dataset {
+	var members []int
+	for i, y := range ds.Y {
+		if y == class {
+			members = append(members, i)
+		}
+	}
+	if len(members) == 0 {
+		return out
+	}
+	// r_i = fraction of the K nearest neighbors of x_i that belong to
+	// other classes: samples deep in enemy territory get more synthesis.
+	ratios := make([]float64, len(members))
+	neighborSets := make([][]int, len(members)) // same-class neighbor indices into ds
+	var totalR float64
+	for mi, i := range members {
+		nn := nearest(ds, i, cfg.K, cfg.MaxCandidates, rng)
+		foreign := 0
+		for _, j := range nn {
+			if ds.Y[j] != class {
+				foreign++
+			} else {
+				neighborSets[mi] = append(neighborSets[mi], j)
+			}
+		}
+		if len(nn) > 0 {
+			ratios[mi] = float64(foreign) / float64(len(nn))
+		}
+		totalR += ratios[mi]
+	}
+	for mi, i := range members {
+		var gi int
+		if totalR > 0 {
+			gi = int(math.Round(ratios[mi] / totalR * float64(g)))
+		} else {
+			// Perfectly clustered minority: spread evenly.
+			gi = g / len(members)
+		}
+		for k := 0; k < gi; k++ {
+			var donor Vector
+			if ns := neighborSets[mi]; len(ns) > 0 {
+				donor = ds.X[ns[rng.Intn(len(ns))]]
+			} else if len(members) > 1 {
+				donor = ds.X[members[rng.Intn(len(members))]]
+			} else {
+				donor = ds.X[i]
+			}
+			out.Append(Interpolate(ds.X[i], donor, rng.Float64()), class)
+		}
+	}
+	return out
+}
+
+// nearest returns the indices of the k most cosine-similar samples to
+// ds.X[i] (excluding i itself), searching either exhaustively or over a
+// random candidate subset.
+func nearest(ds Dataset, i, k, maxCandidates int, rng *rand.Rand) []int {
+	type cand struct {
+		idx int
+		sim float64
+	}
+	var cands []cand
+	consider := func(j int) {
+		if j == i {
+			return
+		}
+		cands = append(cands, cand{j, Cosine(ds.X[i], ds.X[j])})
+	}
+	n := ds.Len()
+	if maxCandidates <= 0 || n <= maxCandidates {
+		for j := 0; j < n; j++ {
+			consider(j)
+		}
+	} else {
+		seen := map[int]bool{i: true}
+		for len(seen)-1 < maxCandidates {
+			j := rng.Intn(n)
+			if !seen[j] {
+				seen[j] = true
+				consider(j)
+			}
+		}
+	}
+	sort.Slice(cands, func(a, b int) bool { return cands[a].sim > cands[b].sim })
+	if len(cands) > k {
+		cands = cands[:k]
+	}
+	out := make([]int, len(cands))
+	for j, c := range cands {
+		out[j] = c.idx
+	}
+	return out
+}

@@ -1,0 +1,194 @@
+package ml
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// Confusion is a confusion matrix over integer class labels.
+type Confusion struct {
+	Classes []int
+	// Counts[actual][predicted]
+	Counts map[int]map[int]int
+	Total  int
+}
+
+// NewConfusion tallies predicted against actual labels.
+func NewConfusion(actual, predicted []int) *Confusion {
+	c := &Confusion{Counts: map[int]map[int]int{}}
+	seen := map[int]bool{}
+	for i := range actual {
+		a, p := actual[i], predicted[i]
+		if c.Counts[a] == nil {
+			c.Counts[a] = map[int]int{}
+		}
+		c.Counts[a][p]++
+		c.Total++
+		seen[a] = true
+		seen[p] = true
+	}
+	for y := range seen {
+		c.Classes = append(c.Classes, y)
+	}
+	sort.Ints(c.Classes)
+	return c
+}
+
+// Accuracy returns the fraction of correct predictions.
+func (c *Confusion) Accuracy() float64 {
+	if c.Total == 0 {
+		return 0
+	}
+	correct := 0
+	for _, y := range c.Classes {
+		correct += c.Counts[y][y]
+	}
+	return float64(correct) / float64(c.Total)
+}
+
+// Precision returns TP / (TP + FP) for one class (0 when undefined).
+func (c *Confusion) Precision(class int) float64 {
+	tp := c.Counts[class][class]
+	predicted := 0
+	for _, a := range c.Classes {
+		predicted += c.Counts[a][class]
+	}
+	if predicted == 0 {
+		return 0
+	}
+	return float64(tp) / float64(predicted)
+}
+
+// Recall returns TP / (TP + FN) for one class (0 when undefined).
+func (c *Confusion) Recall(class int) float64 {
+	tp := c.Counts[class][class]
+	actual := 0
+	for _, p := range c.Counts[class] {
+		actual += p
+	}
+	if actual == 0 {
+		return 0
+	}
+	return float64(tp) / float64(actual)
+}
+
+// F1 returns the harmonic mean of precision and recall for one class.
+func (c *Confusion) F1(class int) float64 {
+	p, r := c.Precision(class), c.Recall(class)
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// MacroF1 averages per-class F1 scores with equal class weight.
+func (c *Confusion) MacroF1() float64 {
+	if len(c.Classes) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, y := range c.Classes {
+		sum += c.F1(y)
+	}
+	return sum / float64(len(c.Classes))
+}
+
+// WeightedF1 averages per-class F1 scores weighted by class support — the
+// headline metric for imbalanced classification (the paper's 0.87).
+func (c *Confusion) WeightedF1() float64 {
+	if c.Total == 0 {
+		return 0
+	}
+	var sum float64
+	for _, y := range c.Classes {
+		support := 0
+		for _, n := range c.Counts[y] {
+			support += n
+		}
+		sum += c.F1(y) * float64(support)
+	}
+	return sum / float64(c.Total)
+}
+
+// String renders the matrix for logs.
+func (c *Confusion) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "acc=%.3f macroF1=%.3f weightedF1=%.3f\n", c.Accuracy(), c.MacroF1(), c.WeightedF1())
+	for _, a := range c.Classes {
+		fmt.Fprintf(&b, "  actual %d:", a)
+		for _, p := range c.Classes {
+			fmt.Fprintf(&b, " %6d", c.Counts[a][p])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// KFoldResult is the outcome of one cross-validation run.
+type KFoldResult struct {
+	FoldF1     []float64 // weighted F1 per fold
+	MeanF1     float64
+	Confusions []*Confusion
+}
+
+// CrossValidate runs k-fold cross-validation of an SVM with the given
+// config over ds, applying ADASYN oversampling *inside* each training
+// fold (never to the evaluation fold — oversampling before splitting
+// would leak synthetic copies of test points into training).
+func CrossValidate(ds Dataset, dim int, k int, svmCfg SVMConfig, adasyn *ADASYNConfig) KFoldResult {
+	if k < 2 {
+		k = 2
+	}
+	n := ds.Len()
+	perm := rand.New(rand.NewSource(svmCfg.Seed)).Perm(n)
+	res := KFoldResult{}
+	for fold := 0; fold < k; fold++ {
+		var trainIdx, testIdx []int
+		for i, j := range perm {
+			if i%k == fold {
+				testIdx = append(testIdx, j)
+			} else {
+				trainIdx = append(trainIdx, j)
+			}
+		}
+		train := ds.Subset(trainIdx)
+		test := ds.Subset(testIdx)
+		if adasyn != nil {
+			train = ADASYN(train, *adasyn)
+		}
+		model := TrainSVM(train, dim, svmCfg)
+		conf := NewConfusion(test.Y, model.PredictAll(test.X))
+		res.Confusions = append(res.Confusions, conf)
+		res.FoldF1 = append(res.FoldF1, conf.WeightedF1())
+	}
+	var sum float64
+	for _, f := range res.FoldF1 {
+		sum += f
+	}
+	res.MeanF1 = sum / float64(len(res.FoldF1))
+	return res
+}
+
+// GridPoint is one hyper-parameter combination with its CV score.
+type GridPoint struct {
+	Config SVMConfig
+	MeanF1 float64
+}
+
+// GridSearch cross-validates every (lambda, epochs) combination and
+// returns all points sorted best-first. This is the paper's "grid search
+// to tune the hyperparameters".
+func GridSearch(ds Dataset, dim, folds int, lambdas []float64, epochs []int, adasyn *ADASYNConfig, seed int64) []GridPoint {
+	var points []GridPoint
+	for _, l := range lambdas {
+		for _, e := range epochs {
+			cfg := SVMConfig{Lambda: l, Epochs: e, Seed: seed}
+			cv := CrossValidate(ds, dim, folds, cfg, adasyn)
+			points = append(points, GridPoint{Config: cfg, MeanF1: cv.MeanF1})
+		}
+	}
+	sort.Slice(points, func(i, j int) bool { return points[i].MeanF1 > points[j].MeanF1 })
+	return points
+}

@@ -1,0 +1,452 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestVectorDot(t *testing.T) {
+	v := Vector{0: 1, 2: 3, 10: 5}
+	w := []float64{2, 0, 4} // index 10 out of range -> ignored
+	if got := v.Dot(w); got != 14 {
+		t.Errorf("Dot = %v, want 14", got)
+	}
+	if (Vector{}).Dot(w) != 0 {
+		t.Error("empty dot should be 0")
+	}
+}
+
+func TestCosine(t *testing.T) {
+	a := Vector{0: 1, 1: 1}
+	b := Vector{0: 1, 1: 1}
+	if got := Cosine(a, b); math.Abs(got-1) > 1e-12 {
+		t.Errorf("identical cosine = %v", got)
+	}
+	c := Vector{2: 1}
+	if got := Cosine(a, c); got != 0 {
+		t.Errorf("orthogonal cosine = %v", got)
+	}
+	if Cosine(a, Vector{}) != 0 {
+		t.Error("empty cosine should be 0")
+	}
+}
+
+func TestInterpolate(t *testing.T) {
+	a := Vector{0: 1, 1: 2}
+	b := Vector{1: 4, 2: 6}
+	mid := Interpolate(a, b, 0.5)
+	want := Vector{0: 0.5, 1: 3, 2: 3}
+	if !reflect.DeepEqual(mid, want) {
+		t.Errorf("Interpolate = %v, want %v", mid, want)
+	}
+	// t=0 returns a, t=1 returns b (over the union support).
+	if got := Interpolate(a, b, 0); !reflect.DeepEqual(got, a) {
+		t.Errorf("t=0: %v", got)
+	}
+	if got := Interpolate(a, b, 1); !reflect.DeepEqual(got, b) {
+		t.Errorf("t=1: %v", got)
+	}
+}
+
+func TestDatasetHelpers(t *testing.T) {
+	ds := Dataset{}
+	ds.Append(Vector{0: 1}, 2)
+	ds.Append(Vector{1: 1}, 0)
+	ds.Append(Vector{2: 1}, 2)
+	if ds.Len() != 3 {
+		t.Fatalf("Len = %d", ds.Len())
+	}
+	if got := ds.Classes(); !reflect.DeepEqual(got, []int{0, 2}) {
+		t.Errorf("Classes = %v", got)
+	}
+	if got := ds.ClassCounts(); got[2] != 2 || got[0] != 1 {
+		t.Errorf("ClassCounts = %v", got)
+	}
+	sub := ds.Subset([]int{2, 0})
+	if sub.Len() != 2 || sub.Y[0] != 2 || sub.X[1][0] != 1 {
+		t.Errorf("Subset = %+v", sub)
+	}
+}
+
+func TestVectorizer(t *testing.T) {
+	v := NewVectorizer()
+	v.MinDocFreq = 1
+	docs := []string{"the cats ran", "the cat runs", "dogs bark"}
+	v.Fit(docs)
+	if v.VocabSize() == 0 {
+		t.Fatal("empty vocabulary")
+	}
+	// "cats" and "cat" share the stem "cat", so both docs map onto the
+	// same feature.
+	x1 := v.Transform("the cats")
+	x2 := v.Transform("the cat")
+	shared := 0
+	for i := range x1 {
+		if _, ok := x2[i]; ok {
+			shared++
+		}
+	}
+	if shared < 2 { // "the" and "cat" 1-grams at least
+		t.Errorf("stemmed features not shared: %v vs %v", x1, x2)
+	}
+	// Unknown terms drop silently.
+	if got := v.Transform("zebra quagga"); len(got) != 0 {
+		t.Errorf("unknown terms produced features: %v", got)
+	}
+}
+
+func TestVectorizerMinDocFreq(t *testing.T) {
+	v := NewVectorizer() // MinDocFreq = 2
+	docs := []string{"alpha beta", "alpha gamma", "delta epsilon"}
+	v.Fit(docs)
+	// Only "alpha" appears in >= 2 documents.
+	if v.VocabSize() != 1 {
+		t.Errorf("VocabSize = %d, want 1", v.VocabSize())
+	}
+	if x := v.Transform("alpha beta"); len(x) != 1 {
+		t.Errorf("Transform = %v", x)
+	}
+}
+
+func TestVectorizerBinaryVsCount(t *testing.T) {
+	bin := &Vectorizer{MaxN: 1, MinDocFreq: 1, Binary: true}
+	cnt := &Vectorizer{MaxN: 1, MinDocFreq: 1, Binary: false}
+	docs := []string{"ha ha ha"}
+	bin.Fit(docs)
+	cnt.Fit(docs)
+	bx := bin.Transform("ha ha ha")
+	cx := cnt.Transform("ha ha ha")
+	for _, x := range bx {
+		if x != 1 {
+			t.Errorf("binary feature = %v", x)
+		}
+	}
+	var maxCount float64
+	for _, x := range cx {
+		maxCount = math.Max(maxCount, x)
+	}
+	if maxCount != 3 {
+		t.Errorf("count feature = %v, want 3", maxCount)
+	}
+}
+
+// separableDataset builds a trivially separable 2-class problem.
+func separableDataset(n int, seed int64) Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	ds := Dataset{}
+	for i := 0; i < n; i++ {
+		if rng.Float64() < 0.5 {
+			ds.Append(Vector{0: 1 + rng.Float64(), 1: rng.Float64() * 0.1}, 0)
+		} else {
+			ds.Append(Vector{1: 1 + rng.Float64(), 0: rng.Float64() * 0.1}, 1)
+		}
+	}
+	return ds
+}
+
+func TestBinarySVMSeparable(t *testing.T) {
+	ds := separableDataset(400, 1)
+	ys := make([]float64, ds.Len())
+	for i, y := range ds.Y {
+		if y == 1 {
+			ys[i] = 1
+		} else {
+			ys[i] = -1
+		}
+	}
+	m := TrainBinary(ds.X, ys, 2, DefaultSVMConfig())
+	errs := 0
+	for i, x := range ds.X {
+		if m.Predict(x) != ys[i] {
+			errs++
+		}
+	}
+	if frac := float64(errs) / float64(ds.Len()); frac > 0.02 {
+		t.Errorf("training error %.3f on separable data", frac)
+	}
+}
+
+func TestSVMMultiClass(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ds := Dataset{}
+	for i := 0; i < 600; i++ {
+		c := rng.Intn(3)
+		x := Vector{c: 1 + rng.Float64()}
+		x[(c+1)%3] = rng.Float64() * 0.05
+		ds.Append(x, c)
+	}
+	m := TrainSVM(ds, 3, DefaultSVMConfig())
+	conf := NewConfusion(ds.Y, m.PredictAll(ds.X))
+	if acc := conf.Accuracy(); acc < 0.97 {
+		t.Errorf("multi-class accuracy %.3f on separable data\n%s", acc, conf)
+	}
+}
+
+func TestSVMProba(t *testing.T) {
+	ds := separableDataset(300, 3)
+	m := TrainSVM(ds, 2, DefaultSVMConfig())
+	p := m.Proba(Vector{0: 2})
+	var sum float64
+	for _, v := range p {
+		if v < 0 || v > 1 {
+			t.Errorf("probability out of range: %v", p)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("probabilities sum to %v", sum)
+	}
+	if p[0] <= p[1] {
+		t.Errorf("class-0 point should favor class 0: %v", p)
+	}
+}
+
+func TestSVMDeterministic(t *testing.T) {
+	ds := separableDataset(200, 4)
+	a := TrainSVM(ds, 2, DefaultSVMConfig())
+	b := TrainSVM(ds, 2, DefaultSVMConfig())
+	for i := range a.models {
+		if a.models[i].Bias != b.models[i].Bias {
+			t.Fatal("training not deterministic")
+		}
+		for j := range a.models[i].W {
+			if a.models[i].W[j] != b.models[i].W[j] {
+				t.Fatal("training not deterministic")
+			}
+		}
+	}
+}
+
+func TestADASYNBalances(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ds := Dataset{}
+	for i := 0; i < 500; i++ {
+		ds.Append(Vector{0: 1 + rng.Float64()}, 0)
+	}
+	for i := 0; i < 40; i++ {
+		ds.Append(Vector{1: 1 + rng.Float64()}, 1)
+	}
+	out := ADASYN(ds, DefaultADASYNConfig())
+	counts := out.ClassCounts()
+	if counts[0] != 500 {
+		t.Errorf("majority class changed: %d", counts[0])
+	}
+	if counts[1] < 350 || counts[1] > 650 {
+		t.Errorf("minority class after ADASYN = %d, want ≈500", counts[1])
+	}
+	// The original samples must be preserved as a prefix.
+	if out.Len() < ds.Len() {
+		t.Error("ADASYN shrank the dataset")
+	}
+	for i := 0; i < ds.Len(); i++ {
+		if out.Y[i] != ds.Y[i] {
+			t.Fatal("ADASYN reordered original samples")
+		}
+	}
+}
+
+func TestADASYNAdaptive(t *testing.T) {
+	// Minority points near the majority should receive more synthesis
+	// than deeply-interior minority points. Build a minority cluster at
+	// feature 1 and a single borderline minority point overlapping the
+	// majority at feature 0.
+	ds := Dataset{}
+	for i := 0; i < 200; i++ {
+		ds.Append(Vector{0: 1}, 0)
+	}
+	for i := 0; i < 30; i++ {
+		ds.Append(Vector{1: 1}, 1)
+	}
+	ds.Append(Vector{0: 1, 1: 0.2}, 1) // borderline minority point
+	cfg := DefaultADASYNConfig()
+	cfg.MaxCandidates = 0 // exact KNN for the test
+	out := ADASYN(ds, cfg)
+	// Count synthetic samples with support on feature 0 (descendants of
+	// the borderline point).
+	borderline, interior := 0, 0
+	for i := ds.Len(); i < out.Len(); i++ {
+		if _, ok := out.X[i][0]; ok {
+			borderline++
+		} else {
+			interior++
+		}
+	}
+	if borderline == 0 {
+		t.Error("borderline minority point received no synthesis")
+	}
+	if interior > borderline*3 && borderline < 10 {
+		t.Errorf("synthesis not adaptive: borderline=%d interior=%d", borderline, interior)
+	}
+}
+
+func TestADASYNNoMinority(t *testing.T) {
+	ds := Dataset{}
+	for i := 0; i < 10; i++ {
+		ds.Append(Vector{0: 1}, 0)
+		ds.Append(Vector{1: 1}, 1)
+	}
+	out := ADASYN(ds, DefaultADASYNConfig())
+	if out.Len() != ds.Len() {
+		t.Errorf("balanced input grew: %d -> %d", ds.Len(), out.Len())
+	}
+}
+
+func TestConfusionMetrics(t *testing.T) {
+	actual := []int{0, 0, 0, 1, 1, 2}
+	pred := []int{0, 0, 1, 1, 1, 0}
+	c := NewConfusion(actual, pred)
+	if got := c.Accuracy(); math.Abs(got-4.0/6) > 1e-12 {
+		t.Errorf("Accuracy = %v", got)
+	}
+	// Class 0: TP=2, FP=1 (the class-2 sample), FN=1.
+	if got := c.Precision(0); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("Precision(0) = %v", got)
+	}
+	if got := c.Recall(0); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("Recall(0) = %v", got)
+	}
+	if got := c.F1(0); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("F1(0) = %v", got)
+	}
+	// Class 2 never predicted: precision, recall, F1 all 0.
+	if c.Precision(2) != 0 || c.Recall(2) != 0 || c.F1(2) != 0 {
+		t.Error("class-2 metrics should be 0")
+	}
+	if c.MacroF1() <= 0 || c.MacroF1() >= 1 {
+		t.Errorf("MacroF1 = %v", c.MacroF1())
+	}
+	if c.WeightedF1() <= 0 || c.WeightedF1() >= 1 {
+		t.Errorf("WeightedF1 = %v", c.WeightedF1())
+	}
+	if c.String() == "" {
+		t.Error("String should be non-empty")
+	}
+}
+
+func TestCrossValidate(t *testing.T) {
+	ds := separableDataset(300, 6)
+	res := CrossValidate(ds, 2, 5, DefaultSVMConfig(), nil)
+	if len(res.FoldF1) != 5 {
+		t.Fatalf("folds = %d", len(res.FoldF1))
+	}
+	if res.MeanF1 < 0.95 {
+		t.Errorf("MeanF1 = %.3f on separable data", res.MeanF1)
+	}
+}
+
+func TestCrossValidateWithADASYN(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ds := Dataset{}
+	for i := 0; i < 300; i++ {
+		ds.Append(Vector{0: 1 + rng.Float64(), 1: rng.Float64() * 0.2}, 0)
+	}
+	for i := 0; i < 30; i++ {
+		ds.Append(Vector{1: 1 + rng.Float64(), 0: rng.Float64() * 0.2}, 1)
+	}
+	cfg := DefaultADASYNConfig()
+	res := CrossValidate(ds, 2, 3, DefaultSVMConfig(), &cfg)
+	if res.MeanF1 < 0.9 {
+		t.Errorf("MeanF1 = %.3f with ADASYN on near-separable data", res.MeanF1)
+	}
+}
+
+func TestGridSearch(t *testing.T) {
+	ds := separableDataset(200, 8)
+	points := GridSearch(ds, 2, 3, []float64{1e-2, 1e-4}, []int{2, 5}, nil, 1)
+	if len(points) != 4 {
+		t.Fatalf("points = %d", len(points))
+	}
+	for i := 1; i < len(points); i++ {
+		if points[i-1].MeanF1 < points[i].MeanF1 {
+			t.Fatal("grid points not sorted best-first")
+		}
+	}
+}
+
+func TestQuickInterpolateBounds(t *testing.T) {
+	// Property: interpolation at t in [0,1] stays within the coordinate
+	// ranges of the endpoints.
+	f := func(seedA, seedB uint8, tRaw float64) bool {
+		tt := math.Abs(math.Mod(tRaw, 1))
+		a := Vector{0: float64(seedA), 1: 1}
+		b := Vector{0: float64(seedB), 2: 1}
+		m := Interpolate(a, b, tt)
+		lo := math.Min(float64(seedA), float64(seedB))
+		hi := math.Max(float64(seedA), float64(seedB))
+		return m[0] >= lo-1e-9 && m[0] <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCosineBounds(t *testing.T) {
+	f := func(xs, ys []uint8) bool {
+		a, b := Vector{}, Vector{}
+		for i, x := range xs {
+			a[i] = float64(x)
+		}
+		for i, y := range ys {
+			b[i] = float64(y)
+		}
+		c := Cosine(a, b)
+		return c >= -1e-9 && c <= 1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkTrainBinary(b *testing.B) {
+	ds := separableDataset(2000, 9)
+	ys := make([]float64, ds.Len())
+	for i, y := range ds.Y {
+		ys[i] = float64(y*2 - 1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TrainBinary(ds.X, ys, 2, DefaultSVMConfig())
+	}
+}
+
+func BenchmarkPredict(b *testing.B) {
+	ds := separableDataset(1000, 10)
+	m := TrainSVM(ds, 2, DefaultSVMConfig())
+	x := Vector{0: 1.5, 1: 0.1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Predict(x)
+	}
+}
+
+func BenchmarkADASYN(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	ds := Dataset{}
+	for i := 0; i < 1000; i++ {
+		ds.Append(Vector{rng.Intn(50): 1, rng.Intn(50): 1}, 0)
+	}
+	for i := 0; i < 100; i++ {
+		ds.Append(Vector{50 + rng.Intn(20): 1}, 1)
+	}
+	cfg := DefaultADASYNConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ADASYN(ds, cfg)
+	}
+}
+
+func ExampleSVM_Proba() {
+	ds := Dataset{}
+	for i := 0; i < 50; i++ {
+		ds.Append(Vector{0: 1}, 0)
+		ds.Append(Vector{1: 1}, 1)
+	}
+	m := TrainSVM(ds, 2, SVMConfig{Lambda: 1e-3, Epochs: 10, Seed: 1})
+	p := m.Proba(Vector{0: 1})
+	fmt.Println(p[0] > p[1])
+	// Output: true
+}

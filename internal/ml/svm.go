@@ -1,0 +1,166 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+)
+
+// SVMConfig holds the hyper-parameters grid search tunes.
+type SVMConfig struct {
+	// Lambda is the L2 regularization strength (Pegasos λ).
+	Lambda float64
+	// Epochs is the number of passes over the training set.
+	Epochs int
+	// Seed fixes the SGD sampling order for reproducibility.
+	Seed int64
+}
+
+// DefaultSVMConfig returns a reasonable starting configuration.
+func DefaultSVMConfig() SVMConfig {
+	return SVMConfig{Lambda: 1e-4, Epochs: 5, Seed: 1}
+}
+
+// BinarySVM is a linear classifier trained with the Pegasos stochastic
+// sub-gradient algorithm (Shalev-Shwartz et al. 2011) on the hinge loss.
+type BinarySVM struct {
+	W    []float64
+	Bias float64
+}
+
+// TrainBinary fits a BinarySVM on vectors xs with labels ys in {-1, +1}.
+// dim must be at least 1 + the largest feature index in xs.
+func TrainBinary(xs []Vector, ys []float64, dim int, cfg SVMConfig) *BinarySVM {
+	if cfg.Lambda <= 0 {
+		cfg.Lambda = 1e-4
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 5
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	w := make([]float64, dim)
+	var bias float64
+	// scale implements the multiplicative shrink (1 - ηλ) lazily so each
+	// step stays O(nnz) instead of O(dim).
+	scale := 1.0
+	t := 0
+	n := len(xs)
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		for k := 0; k < n; k++ {
+			t++
+			i := rng.Intn(n)
+			eta := 1 / (cfg.Lambda * float64(t))
+			shrink := 1 - eta*cfg.Lambda
+			if shrink < 1e-9 {
+				shrink = 1e-9
+			}
+			scale *= shrink
+			if scale < 1e-9 {
+				// Fold the scale into the weights to keep precision.
+				for j := range w {
+					w[j] *= scale
+				}
+				scale = 1
+			}
+			margin := ys[i] * (xs[i].Dot(w)*scale + bias)
+			if margin < 1 {
+				coef := eta * ys[i] / scale
+				for j, x := range xs[i] {
+					if j < dim {
+						w[j] += coef * x
+					}
+				}
+				// The bias is unregularized and must NOT use the Pegasos
+				// rate (1/λt explodes for small t); a small constant step
+				// keeps it stable.
+				bias += 0.01 * ys[i]
+			}
+		}
+	}
+	for j := range w {
+		w[j] *= scale
+	}
+	return &BinarySVM{W: w, Bias: bias}
+}
+
+// Margin returns the signed distance proxy w·x + b.
+func (m *BinarySVM) Margin(x Vector) float64 { return x.Dot(m.W) + m.Bias }
+
+// Predict returns +1 or -1.
+func (m *BinarySVM) Predict(x Vector) float64 {
+	if m.Margin(x) >= 0 {
+		return 1
+	}
+	return -1
+}
+
+// SVM is a one-vs-rest multi-class linear SVM. Construct with TrainSVM.
+type SVM struct {
+	Classes []int
+	models  []*BinarySVM
+}
+
+// TrainSVM fits one binary Pegasos model per class on ds. dim is the
+// feature-space dimension (Vectorizer.VocabSize()).
+func TrainSVM(ds Dataset, dim int, cfg SVMConfig) *SVM {
+	classes := ds.Classes()
+	s := &SVM{Classes: classes, models: make([]*BinarySVM, len(classes))}
+	for ci, c := range classes {
+		ys := make([]float64, ds.Len())
+		for i, y := range ds.Y {
+			if y == c {
+				ys[i] = 1
+			} else {
+				ys[i] = -1
+			}
+		}
+		sub := cfg
+		sub.Seed = cfg.Seed + int64(ci) // decorrelate the per-class SGD orders
+		s.models[ci] = TrainBinary(ds.X, ys, dim, sub)
+	}
+	return s
+}
+
+// Predict returns the class with the largest margin.
+func (s *SVM) Predict(x Vector) int {
+	best, bestMargin := s.Classes[0], math.Inf(-1)
+	for ci, m := range s.models {
+		if margin := m.Margin(x); margin > bestMargin {
+			bestMargin = margin
+			best = s.Classes[ci]
+		}
+	}
+	return best
+}
+
+// PredictAll classifies a batch.
+func (s *SVM) PredictAll(xs []Vector) []int {
+	out := make([]int, len(xs))
+	for i, x := range xs {
+		out[i] = s.Predict(x)
+	}
+	return out
+}
+
+// Proba returns a softmax over the per-class margins — the "probability
+// of each of the three possible classes" the paper computes for every
+// Dissenter comment. Keys are class labels.
+func (s *SVM) Proba(x Vector) map[int]float64 {
+	margins := make([]float64, len(s.models))
+	maxM := math.Inf(-1)
+	for i, m := range s.models {
+		margins[i] = m.Margin(x)
+		if margins[i] > maxM {
+			maxM = margins[i]
+		}
+	}
+	var z float64
+	for i := range margins {
+		margins[i] = math.Exp(margins[i] - maxM)
+		z += margins[i]
+	}
+	out := make(map[int]float64, len(margins))
+	for i, c := range s.Classes {
+		out[c] = margins[i] / z
+	}
+	return out
+}

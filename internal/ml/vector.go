@@ -1,0 +1,143 @@
+// Package ml implements the machine-learning stack of §3.5.3 from
+// scratch: sparse feature vectors over word n-grams, a linear SVM trained
+// with the Pegasos stochastic sub-gradient method, a one-vs-rest
+// multi-class wrapper, ADASYN oversampling for the heavily imbalanced
+// hate/offensive/neither training data, k-fold cross-validation, grid
+// search for hyper-parameter tuning, and the precision/recall/F1 metrics
+// the paper reports (F1 = 0.87 under 5-fold CV).
+package ml
+
+import (
+	"math"
+	"sort"
+)
+
+// Vector is a sparse feature vector mapping feature index to value.
+type Vector map[int]float64
+
+// Dot returns the inner product of v with a dense weight slice; indices
+// beyond len(w) contribute nothing (they correspond to features unseen at
+// training time).
+func (v Vector) Dot(w []float64) float64 {
+	var s float64
+	for i, x := range v {
+		if i < len(w) {
+			s += x * w[i]
+		}
+	}
+	return s
+}
+
+// Norm returns the Euclidean norm of v.
+func (v Vector) Norm() float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// Cosine returns the cosine similarity of two sparse vectors, 0 when
+// either is empty.
+func Cosine(a, b Vector) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	// Iterate the smaller map.
+	if len(b) < len(a) {
+		a, b = b, a
+	}
+	var dot float64
+	for i, x := range a {
+		if y, ok := b[i]; ok {
+			dot += x * y
+		}
+	}
+	na, nb := a.Norm(), b.Norm()
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / (na * nb)
+}
+
+// Clone returns a deep copy of v.
+func (v Vector) Clone() Vector {
+	out := make(Vector, len(v))
+	for i, x := range v {
+		out[i] = x
+	}
+	return out
+}
+
+// Interpolate returns a + t*(b-a) over the union of supports — the
+// synthetic-sample constructor ADASYN uses.
+func Interpolate(a, b Vector, t float64) Vector {
+	out := make(Vector, len(a)+len(b))
+	for i, x := range a {
+		out[i] = x
+	}
+	for i, y := range b {
+		out[i] = out[i] + t*(y-out[i])
+	}
+	for i, x := range a {
+		if _, ok := b[i]; !ok {
+			out[i] = x * (1 - t)
+		}
+	}
+	// Drop exact zeros to keep vectors sparse.
+	for i, x := range out {
+		if x == 0 {
+			delete(out, i)
+		}
+	}
+	return out
+}
+
+// Dataset pairs feature vectors with integer class labels.
+type Dataset struct {
+	X []Vector
+	Y []int
+}
+
+// Len returns the number of samples.
+func (d Dataset) Len() int { return len(d.X) }
+
+// Append adds a sample.
+func (d *Dataset) Append(x Vector, y int) {
+	d.X = append(d.X, x)
+	d.Y = append(d.Y, y)
+}
+
+// Classes returns the distinct labels in sorted order.
+func (d Dataset) Classes() []int {
+	seen := map[int]bool{}
+	for _, y := range d.Y {
+		seen[y] = true
+	}
+	out := make([]int, 0, len(seen))
+	for y := range seen {
+		out = append(out, y)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ClassCounts tallies samples per label.
+func (d Dataset) ClassCounts() map[int]int {
+	counts := map[int]int{}
+	for _, y := range d.Y {
+		counts[y]++
+	}
+	return counts
+}
+
+// Subset returns the dataset restricted to the given sample indices; the
+// vectors are shared, not copied.
+func (d Dataset) Subset(idx []int) Dataset {
+	sub := Dataset{X: make([]Vector, len(idx)), Y: make([]int, len(idx))}
+	for i, j := range idx {
+		sub.X[i] = d.X[j]
+		sub.Y[i] = d.Y[j]
+	}
+	return sub
+}

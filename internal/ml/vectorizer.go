@@ -1,0 +1,103 @@
+package ml
+
+import (
+	"sort"
+
+	"dissenter/internal/textutil"
+)
+
+// Vectorizer converts documents into sparse n-gram feature vectors over a
+// vocabulary learned from a training corpus: the "1 and 2-grams of
+// cleaned and stemmed word tokens" representation of §3.5.3.
+type Vectorizer struct {
+	// MaxN is the largest n-gram order (2 for the paper's features).
+	MaxN int
+	// MinDocFreq drops n-grams appearing in fewer documents (default 1).
+	MinDocFreq int
+	// Binary uses 0/1 presence features instead of term counts.
+	Binary bool
+
+	vocab map[string]int
+}
+
+// NewVectorizer returns a Vectorizer with the paper's configuration:
+// 1- and 2-grams, binary features, minimum document frequency 2.
+func NewVectorizer() *Vectorizer {
+	return &Vectorizer{MaxN: 2, MinDocFreq: 2, Binary: true}
+}
+
+// terms produces the cleaned, stemmed n-gram stream of one document.
+func (v *Vectorizer) terms(doc string) []string {
+	tokens := textutil.StemAll(textutil.Tokenize(textutil.Clean(doc)))
+	maxN := v.MaxN
+	if maxN < 1 {
+		maxN = 1
+	}
+	return textutil.NGrams(tokens, maxN)
+}
+
+// Fit learns the vocabulary from docs. It may be called once per
+// Vectorizer; refitting replaces the vocabulary.
+func (v *Vectorizer) Fit(docs []string) {
+	df := map[string]int{}
+	for _, doc := range docs {
+		seen := map[string]bool{}
+		for _, term := range v.terms(doc) {
+			if !seen[term] {
+				seen[term] = true
+				df[term]++
+			}
+		}
+	}
+	min := v.MinDocFreq
+	if min < 1 {
+		min = 1
+	}
+	kept := make([]string, 0, len(df))
+	for term, n := range df {
+		if n >= min {
+			kept = append(kept, term)
+		}
+	}
+	sort.Strings(kept) // deterministic feature indices
+	v.vocab = make(map[string]int, len(kept))
+	for i, term := range kept {
+		v.vocab[term] = i
+	}
+}
+
+// VocabSize returns the number of learned features (0 before Fit).
+func (v *Vectorizer) VocabSize() int { return len(v.vocab) }
+
+// Transform maps one document into the learned feature space. Unknown
+// terms are dropped.
+func (v *Vectorizer) Transform(doc string) Vector {
+	out := Vector{}
+	for _, term := range v.terms(doc) {
+		idx, ok := v.vocab[term]
+		if !ok {
+			continue
+		}
+		if v.Binary {
+			out[idx] = 1
+		} else {
+			out[idx]++
+		}
+	}
+	return out
+}
+
+// TransformAll maps a document slice.
+func (v *Vectorizer) TransformAll(docs []string) []Vector {
+	out := make([]Vector, len(docs))
+	for i, d := range docs {
+		out[i] = v.Transform(d)
+	}
+	return out
+}
+
+// FitTransform fits the vocabulary and returns the transformed corpus.
+func (v *Vectorizer) FitTransform(docs []string) []Vector {
+	v.Fit(docs)
+	return v.TransformAll(docs)
+}

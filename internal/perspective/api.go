@@ -1,0 +1,216 @@
+package perspective
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// The wire format mirrors the real Perspective API's comments:analyze
+// method closely enough that the study's client code is shaped like the
+// real thing: a JSON request naming requested attributes, a JSON response
+// with per-attribute summary scores.
+
+// AnalyzeRequest is the comments:analyze request body.
+type AnalyzeRequest struct {
+	Comment struct {
+		Text string `json:"text"`
+	} `json:"comment"`
+	RequestedAttributes map[Model]struct{} `json:"requestedAttributes"`
+}
+
+// AnalyzeResponse is the comments:analyze response body.
+type AnalyzeResponse struct {
+	AttributeScores map[Model]AttributeScore `json:"attributeScores"`
+}
+
+// AttributeScore carries one model's result.
+type AttributeScore struct {
+	SummaryScore struct {
+		Value float64 `json:"value"`
+	} `json:"summaryScore"`
+}
+
+// apiError is the error envelope the endpoint returns.
+type apiError struct {
+	Error struct {
+		Code    int    `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+// Handler returns an http.Handler serving POST /v1/comments:analyze.
+// It enforces a per-instance QPS limit when qps > 0, answering 429 when
+// exhausted — the client's backoff path needs something to exercise.
+func Handler(qps int) http.Handler {
+	var lim *rateLimiter
+	if qps > 0 {
+		lim = newRateLimiter(qps)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/comments:analyze", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeAPIError(w, http.StatusMethodNotAllowed, "POST required")
+			return
+		}
+		if lim != nil && !lim.allow() {
+			w.Header().Set("Retry-After", "1")
+			writeAPIError(w, http.StatusTooManyRequests, "rate limit exceeded")
+			return
+		}
+		var req AnalyzeRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeAPIError(w, http.StatusBadRequest, "bad request body")
+			return
+		}
+		if len(req.RequestedAttributes) == 0 {
+			writeAPIError(w, http.StatusBadRequest, "no requested attributes")
+			return
+		}
+		resp := AnalyzeResponse{AttributeScores: map[Model]AttributeScore{}}
+		for m := range req.RequestedAttributes {
+			if !m.Valid() {
+				writeAPIError(w, http.StatusBadRequest, fmt.Sprintf("unknown attribute %q", m))
+				return
+			}
+			var as AttributeScore
+			as.SummaryScore.Value = Score(m, req.Comment.Text)
+			resp.AttributeScores[m] = as
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(resp); err != nil {
+			// Connection-level failure; nothing more to do.
+			return
+		}
+	})
+	return mux
+}
+
+func writeAPIError(w http.ResponseWriter, code int, msg string) {
+	var e apiError
+	e.Error.Code = code
+	e.Error.Message = msg
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(e)
+}
+
+// rateLimiter is a coarse fixed-window QPS limiter.
+type rateLimiter struct {
+	mu     sync.Mutex
+	qps    int
+	window time.Time
+	used   int
+}
+
+func newRateLimiter(qps int) *rateLimiter { return &rateLimiter{qps: qps} }
+
+func (l *rateLimiter) allow() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := time.Now()
+	if now.Sub(l.window) >= time.Second {
+		l.window = now
+		l.used = 0
+	}
+	if l.used >= l.qps {
+		return false
+	}
+	l.used++
+	return true
+}
+
+// Client calls a Perspective-style endpoint. The zero value is unusable;
+// construct with NewClient.
+type Client struct {
+	baseURL    string
+	httpClient *http.Client
+	maxRetries int
+}
+
+// NewClient builds a client for the endpoint at baseURL (no trailing
+// slash). A nil httpClient uses a default with a 10s timeout.
+func NewClient(baseURL string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = &http.Client{Timeout: 10 * time.Second}
+	}
+	return &Client{baseURL: baseURL, httpClient: httpClient, maxRetries: 5}
+}
+
+// ErrRateLimited is returned when the endpoint keeps answering 429 past
+// the retry budget.
+var ErrRateLimited = errors.New("perspective: rate limited")
+
+// Analyze scores one comment with the requested models over HTTP,
+// retrying 429s with linear backoff.
+func (c *Client) Analyze(ctx context.Context, text string, models []Model) (map[Model]float64, error) {
+	var req AnalyzeRequest
+	req.Comment.Text = text
+	req.RequestedAttributes = make(map[Model]struct{}, len(models))
+	for _, m := range models {
+		req.RequestedAttributes[m] = struct{}{}
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("perspective: encode request: %w", err)
+	}
+	for attempt := 0; ; attempt++ {
+		scores, wait, err := c.post(ctx, body)
+		if err == nil {
+			return scores, nil
+		}
+		if wait <= 0 || attempt >= c.maxRetries {
+			return nil, err
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(wait):
+		}
+	}
+}
+
+// post performs one request. On a retryable failure it returns the delay
+// to wait before the next attempt (honoring Retry-After when present).
+func (c *Client) post(ctx context.Context, body []byte) (map[Model]float64, time.Duration, error) {
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.baseURL+"/v1/comments:analyze", bytes.NewReader(body))
+	if err != nil {
+		return nil, 0, fmt.Errorf("perspective: build request: %w", err)
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpClient.Do(httpReq)
+	if err != nil {
+		return nil, 0, fmt.Errorf("perspective: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusTooManyRequests {
+		wait := 200 * time.Millisecond
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
+				wait = time.Duration(secs) * time.Second
+			}
+		}
+		return nil, wait, ErrRateLimited
+	}
+	if resp.StatusCode != http.StatusOK {
+		var e apiError
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		return nil, 0, fmt.Errorf("perspective: HTTP %d: %s", resp.StatusCode, e.Error.Message)
+	}
+	var out AnalyzeResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, 0, fmt.Errorf("perspective: decode response: %w", err)
+	}
+	scores := make(map[Model]float64, len(out.AttributeScores))
+	for m, as := range out.AttributeScores {
+		scores[m] = as.SummaryScore.Value
+	}
+	return scores, 0, nil
+}

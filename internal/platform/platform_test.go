@@ -1,0 +1,139 @@
+package platform
+
+import (
+	"testing"
+	"time"
+
+	"dissenter/internal/ids"
+)
+
+func buildValid() *DB {
+	gen := ids.NewGenerator(1)
+	t0 := time.Date(2019, 3, 1, 0, 0, 0, 0, time.UTC)
+	alice := &User{GabID: 1, Username: "alice", CreatedAt: t0,
+		HasDissenter: true, AuthorID: gen.NewAt(t0)}
+	bob := &User{GabID: 2, Username: "bob", CreatedAt: t0}
+	carol := &User{GabID: 3, Username: "carol", CreatedAt: t0,
+		HasDissenter: true, AuthorID: gen.NewAt(t0), GabDeleted: true}
+	cu := &CommentURL{ID: gen.NewAt(t0), URL: "https://example.com/a",
+		FirstSeen: t0, Ups: 2, Downs: 1}
+	c1 := &Comment{ID: gen.NewAt(t0.Add(time.Hour)), URLID: cu.ID,
+		AuthorID: alice.AuthorID, Text: "first", CreatedAt: t0.Add(time.Hour)}
+	c2 := &Comment{ID: gen.NewAt(t0.Add(2 * time.Hour)), URLID: cu.ID,
+		AuthorID: carol.AuthorID, ParentID: c1.ID, Text: "reply", NSFW: true,
+		CreatedAt: t0.Add(2 * time.Hour)}
+	db := &DB{
+		Users:    []*User{alice, bob, carol},
+		URLs:     []*CommentURL{cu},
+		Comments: []*Comment{c1, c2},
+		Follows:  map[ids.GabID][]ids.GabID{1: {2}, 2: {1, 3}},
+	}
+	db.Reindex()
+	return db
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := buildValid().Validate(); err != nil {
+		t.Fatalf("valid DB rejected: %v", err)
+	}
+}
+
+func TestValidateCatchesViolations(t *testing.T) {
+	break_ := func(name string, mutate func(*DB)) {
+		db := buildValid()
+		mutate(db)
+		db.Reindex()
+		if err := db.Validate(); err == nil {
+			t.Errorf("%s: violation not caught", name)
+		}
+	}
+	break_("duplicate gab id", func(db *DB) { db.Users[1].GabID = 1 })
+	break_("duplicate username", func(db *DB) { db.Users[1].Username = "alice" })
+	break_("dissenter without author id", func(db *DB) { db.Users[0].AuthorID = ids.ObjectID{} })
+	break_("author id without dissenter", func(db *DB) {
+		db.Users[1].AuthorID = ids.NewGenerator(9).New()
+	})
+	break_("deleted non-dissenter", func(db *DB) {
+		db.Users[1].GabDeleted = true
+	})
+	break_("comment on unknown url", func(db *DB) {
+		db.Comments[0].URLID = ids.NewGenerator(9).New()
+	})
+	break_("comment by unknown author", func(db *DB) {
+		db.Comments[0].AuthorID = ids.NewGenerator(9).New()
+	})
+	break_("reply to unknown parent", func(db *DB) {
+		db.Comments[1].ParentID = ids.NewGenerator(9).New()
+	})
+	break_("negative votes", func(db *DB) { db.URLs[0].Ups = -1 })
+	break_("self follow", func(db *DB) {
+		db.Follows[1] = append(db.Follows[1], 1)
+	})
+	break_("follow unknown", func(db *DB) {
+		db.Follows[1] = append(db.Follows[1], 999)
+	})
+}
+
+func TestValidateRequiresIndex(t *testing.T) {
+	db := &DB{}
+	if err := db.Validate(); err == nil {
+		t.Error("unindexed DB validated")
+	}
+}
+
+func TestLookups(t *testing.T) {
+	db := buildValid()
+	if db.UserByUsername("alice") == nil || db.UserByUsername("nope") != nil {
+		t.Error("UserByUsername wrong")
+	}
+	// Deleted users invisible by Gab ID, visible by username.
+	if db.UserByGabID(3) != nil {
+		t.Error("deleted user visible via Gab ID")
+	}
+	if db.UserByUsername("carol") == nil {
+		t.Error("deleted user's Dissenter page should persist")
+	}
+	if db.MaxGabID() != 3 {
+		t.Errorf("MaxGabID = %d", db.MaxGabID())
+	}
+	alice := db.UserByUsername("alice")
+	if got := db.URLsCommentedBy(alice.AuthorID); len(got) != 1 {
+		t.Errorf("URLsCommentedBy = %d", len(got))
+	}
+	if got := db.Followers(1); len(got) != 1 || got[0] != 2 {
+		t.Errorf("Followers(1) = %v", got)
+	}
+	if db.URLs[0].NetVotes() != 1 {
+		t.Error("NetVotes wrong")
+	}
+}
+
+func TestCensus(t *testing.T) {
+	c := buildValid().Census()
+	if c.GabUsers != 3 || c.DissenterUsers != 2 || c.ActiveUsers != 2 {
+		t.Errorf("census = %+v", c)
+	}
+	if c.Comments != 2 || c.Replies != 1 || c.NSFWComments != 1 || c.OffensiveComments != 0 {
+		t.Errorf("census = %+v", c)
+	}
+	if c.DeletedGabUsers != 1 {
+		t.Errorf("deleted = %d", c.DeletedGabUsers)
+	}
+}
+
+func TestCommentsSortedOnURL(t *testing.T) {
+	db := buildValid()
+	comments := db.CommentsOnURL(db.URLs[0].ID)
+	if len(comments) != 2 {
+		t.Fatalf("comments = %d", len(comments))
+	}
+	if !comments[0].ID.Before(comments[1].ID) {
+		t.Error("comments not in creation order")
+	}
+	if comments[0].IsReply() || !comments[1].IsReply() {
+		t.Error("IsReply wrong")
+	}
+	if comments[0].Hidden() || !comments[1].Hidden() {
+		t.Error("Hidden wrong")
+	}
+}

@@ -1,0 +1,119 @@
+package pushshift
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"time"
+
+	"dissenter/internal/crawlkit"
+)
+
+// Client queries a Pushshift-style endpoint the way §4.4.1 does: check
+// whether each Dissenter username exists on Reddit, then page through the
+// matched accounts' complete comment histories.
+type Client struct {
+	base    string
+	fetcher *crawlkit.Fetcher
+}
+
+// NewClient builds a client for the API at base.
+func NewClient(base string, httpClient *http.Client) *Client {
+	return &Client{
+		base:    base,
+		fetcher: crawlkit.NewFetcher(httpClient, crawlkit.WithRetries(4, 50*time.Millisecond)),
+	}
+}
+
+// Exists reports whether the username has a Reddit account.
+func (c *Client) Exists(ctx context.Context, username string) (bool, error) {
+	res, err := c.fetcher.Get(ctx, c.base+"/api/user/"+url.PathEscape(username))
+	if err != nil {
+		return false, err
+	}
+	return res.Status == http.StatusOK, nil
+}
+
+// Comments pages through a user's full comment history.
+func (c *Client) Comments(ctx context.Context, username string) ([]Comment, error) {
+	var all []Comment
+	for offset := 0; ; offset += PageSize {
+		target := fmt.Sprintf("%s/reddit/search/comment/?author=%s&size=%d&offset=%d",
+			c.base, url.QueryEscape(username), PageSize, offset)
+		res, err := c.fetcher.Get(ctx, target)
+		if err != nil {
+			return nil, err
+		}
+		if res.Status != http.StatusOK {
+			return nil, fmt.Errorf("pushshift: comments %q: HTTP %d", username, res.Status)
+		}
+		var page struct {
+			Data []Comment `json:"data"`
+		}
+		if err := json.Unmarshal(res.Body, &page); err != nil {
+			return nil, fmt.Errorf("pushshift: decode: %w", err)
+		}
+		if len(page.Data) == 0 {
+			return all, nil
+		}
+		all = append(all, page.Data...)
+	}
+}
+
+// MatchResult pairs a username with its Reddit observation.
+type MatchResult struct {
+	Username string
+	Comments []Comment
+}
+
+// MatchUsers probes every username and fetches histories for matches,
+// with bounded parallelism.
+func (c *Client) MatchUsers(ctx context.Context, usernames []string, workers int) ([]MatchResult, error) {
+	type slot struct {
+		idx  int
+		name string
+	}
+	slots := make([]slot, len(usernames))
+	for i, n := range usernames {
+		slots[i] = slot{i, n}
+	}
+	results := make([]*MatchResult, len(usernames))
+	err := crawlkit.ForEach(ctx, slots, workers, func(ctx context.Context, s slot) error {
+		ok, err := c.Exists(ctx, s.name)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		history, err := c.Comments(ctx, s.name)
+		if err != nil {
+			return err
+		}
+		results[s.idx] = &MatchResult{Username: s.name, Comments: history}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []MatchResult
+	for _, r := range results {
+		if r != nil {
+			out = append(out, *r)
+		}
+	}
+	return out, nil
+}
+
+// CommentRatio computes Figure 6's statistic d/(d+r) for one user; ok is
+// false when the user commented on neither platform (the ratio is
+// undefined and the paper drops those users).
+func CommentRatio(dissenterComments, redditComments int) (float64, bool) {
+	total := dissenterComments + redditComments
+	if total == 0 {
+		return 0, false
+	}
+	return float64(dissenterComments) / float64(total), true
+}

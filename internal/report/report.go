@@ -1,0 +1,165 @@
+// Package report renders analysis results as aligned ASCII tables, CDF
+// sparklines, and paper-vs-measured comparison blocks — the output format
+// of the dissenter-repro harness and the bench suite.
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"dissenter/internal/stats"
+)
+
+// Table is a simple aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render writes the aligned table.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "== %s ==\n", t.Title)
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, cell := range cells {
+			if i < len(widths) {
+				parts[i] = pad(cell, widths[i])
+			} else {
+				parts[i] = cell
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+}
+
+// String renders to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Render(&b)
+	return b.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Pct formats a fraction as a percentage.
+func Pct(f float64) string { return fmt.Sprintf("%.2f%%", f*100) }
+
+// N formats an integer with thousands separators.
+func N(n int) string {
+	s := fmt.Sprintf("%d", n)
+	if n < 0 {
+		return s
+	}
+	var parts []string
+	for len(s) > 3 {
+		parts = append([]string{s[len(s)-3:]}, parts...)
+		s = s[:len(s)-3]
+	}
+	parts = append([]string{s}, parts...)
+	return strings.Join(parts, ",")
+}
+
+// CDFBlock renders named ECDFs as rows of quantiles — the textual
+// equivalent of the paper's CDF figures.
+func CDFBlock(w io.Writer, title string, curves map[string]*stats.ECDF) {
+	fmt.Fprintf(w, "== %s ==\n", title)
+	qs := []float64{0.10, 0.25, 0.50, 0.75, 0.90, 0.95}
+	t := &Table{Headers: []string{"series", "n", "p10", "p25", "p50", "p75", "p90", "p95", ">=0.5"}}
+	names := make([]string, 0, len(curves))
+	for name := range curves {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		e := curves[name]
+		row := []string{name, N(e.N())}
+		for _, q := range qs {
+			row = append(row, fmt.Sprintf("%.3f", e.Quantile(q)))
+		}
+		row = append(row, Pct(e.FractionAbove(0.5)))
+		t.AddRow(row...)
+	}
+	t.Render(w)
+}
+
+// Sparkline renders a y-series as a unicode mini-chart.
+func Sparkline(points []stats.Point) string {
+	if len(points) == 0 {
+		return ""
+	}
+	ticks := []rune("▁▂▃▄▅▆▇█")
+	lo, hi := points[0].Y, points[0].Y
+	for _, p := range points {
+		if p.Y < lo {
+			lo = p.Y
+		}
+		if p.Y > hi {
+			hi = p.Y
+		}
+	}
+	var b strings.Builder
+	for _, p := range points {
+		idx := 0
+		if hi > lo {
+			idx = int((p.Y - lo) / (hi - lo) * float64(len(ticks)-1))
+		}
+		b.WriteRune(ticks[idx])
+	}
+	return b.String()
+}
+
+// Comparison is one paper-vs-measured line.
+type Comparison struct {
+	Metric   string
+	Paper    string
+	Measured string
+	// Holds reports whether the qualitative claim survives at the run's
+	// scale.
+	Holds bool
+}
+
+// ComparisonBlock renders a set of comparisons.
+func ComparisonBlock(w io.Writer, title string, comps []Comparison) {
+	t := &Table{Title: title, Headers: []string{"metric", "paper", "measured", "holds"}}
+	for _, c := range comps {
+		mark := "yes"
+		if !c.Holds {
+			mark = "NO"
+		}
+		t.AddRow(c.Metric, c.Paper, c.Measured, mark)
+	}
+	t.Render(w)
+}

@@ -1,0 +1,87 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"dissenter/internal/stats"
+)
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{Title: "Demo", Headers: []string{"name", "count"}}
+	tab.AddRow("youtube.com", "121,928")
+	tab.AddRow("x", "1")
+	out := tab.String()
+	if !strings.Contains(out, "== Demo ==") {
+		t.Error("title missing")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d: %q", len(lines), out)
+	}
+	// Alignment: the separator row must be as wide as the widest cell.
+	if !strings.Contains(lines[2], strings.Repeat("-", len("youtube.com"))) {
+		t.Errorf("separator not sized to content: %q", lines[2])
+	}
+}
+
+func TestN(t *testing.T) {
+	cases := map[int]string{
+		0: "0", 12: "12", 123: "123", 1234: "1,234",
+		1234567: "1,234,567", -5: "-5",
+	}
+	for in, want := range cases {
+		if got := N(in); got != want {
+			t.Errorf("N(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestPct(t *testing.T) {
+	if Pct(0.2075) != "20.75%" {
+		t.Errorf("Pct = %q", Pct(0.2075))
+	}
+}
+
+func TestCDFBlock(t *testing.T) {
+	var b strings.Builder
+	CDFBlock(&b, "scores", map[string]*stats.ECDF{
+		"dissenter": stats.NewECDF([]float64{0.1, 0.6, 0.9}),
+		"nyt":       stats.NewECDF([]float64{0.1, 0.2}),
+	})
+	out := b.String()
+	if !strings.Contains(out, "dissenter") || !strings.Contains(out, "nyt") {
+		t.Errorf("series missing: %q", out)
+	}
+	// Sorted order: dissenter before nyt.
+	if strings.Index(out, "dissenter") > strings.Index(out, "nyt") {
+		t.Error("series not sorted")
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	points := []stats.Point{{X: 0, Y: 0}, {X: 1, Y: 0.5}, {X: 2, Y: 1}}
+	s := Sparkline(points)
+	if len([]rune(s)) != 3 {
+		t.Errorf("sparkline = %q", s)
+	}
+	if Sparkline(nil) != "" {
+		t.Error("empty input should render empty")
+	}
+	flat := Sparkline([]stats.Point{{Y: 1}, {Y: 1}})
+	if len([]rune(flat)) != 2 {
+		t.Errorf("flat = %q", flat)
+	}
+}
+
+func TestComparisonBlock(t *testing.T) {
+	var b strings.Builder
+	ComparisonBlock(&b, "F3", []Comparison{
+		{Metric: "top share", Paper: "14%", Measured: "12%", Holds: true},
+		{Metric: "other", Paper: "x", Measured: "y", Holds: false},
+	})
+	out := b.String()
+	if !strings.Contains(out, "yes") || !strings.Contains(out, "NO") {
+		t.Errorf("holds column wrong: %q", out)
+	}
+}

@@ -1,0 +1,48 @@
+package repro
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestRunAndReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline run")
+	}
+	res, err := Run(context.Background(), Options{Scale: 1.0 / 512, Seed: 33, BaselineSample: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.DS.Comments) == 0 || len(res.Accounts) == 0 {
+		t.Fatal("empty result")
+	}
+	var b strings.Builder
+	res.WriteReport(&b)
+	out := b.String()
+	for _, want := range []string{
+		"S1 headline statistics",
+		"Table 1", "Table 2", "Table 3",
+		"Figure 2", "Figure 3", "Figure 4", "Figure 5", "Figure 6",
+		"Figure 7", "Figure 8", "§4.5 social network", "§4.2.2 YouTube",
+		"§4.2.3 languages", "§4.3.1 shadow overlay", "§3.5.3 NLP",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing block %q", want)
+		}
+	}
+	// No qualitative claim may fail at this scale.
+	if n := strings.Count(out, "  NO\n"); n > 0 {
+		t.Errorf("%d claims failed to hold:\n%s", n, grepLines(out, "  NO"))
+	}
+}
+
+func grepLines(s, needle string) string {
+	var out []string
+	for _, line := range strings.Split(s, "\n") {
+		if strings.Contains(line, needle) {
+			out = append(out, line)
+		}
+	}
+	return strings.Join(out, "\n")
+}

@@ -1,0 +1,58 @@
+package synth
+
+import "math/rand"
+
+// TextSampler exposes the comment-text generator to the baseline-corpus
+// builders (internal/pushshift, internal/baselines): the same phrase
+// machinery with caller-chosen tone mixes, so cross-platform toxicity
+// comparisons (Figure 7) reflect tone *composition* rather than
+// vocabulary differences.
+type TextSampler struct {
+	rng *rand.Rand
+	gen *textGen
+}
+
+// NewTextSampler builds a deterministic sampler.
+func NewTextSampler(seed int64) *TextSampler {
+	rng := rand.New(rand.NewSource(seed))
+	return &TextSampler{rng: rng, gen: newTextGen(rng)}
+}
+
+// Comment renders one comment with the given tone.
+func (t *TextSampler) Comment(tone Tone) string { return t.gen.comment(tone) }
+
+// ToneMix is a distribution over tones; weights need not sum to 1 — the
+// remainder is ToneNeutral.
+type ToneMix struct {
+	Hateful   float64
+	Offensive float64
+	Attack    float64
+	Grumble   float64
+	Positive  float64
+}
+
+// Sample draws a tone from the mix.
+func (m ToneMix) Sample(rng *rand.Rand) Tone {
+	switch u := rng.Float64(); {
+	case u < m.Hateful:
+		return ToneHateful
+	case u < m.Hateful+m.Offensive:
+		return ToneOffensive
+	case u < m.Hateful+m.Offensive+m.Attack:
+		return ToneAttack
+	case u < m.Hateful+m.Offensive+m.Attack+m.Grumble:
+		return ToneGrumble
+	case u < m.Hateful+m.Offensive+m.Attack+m.Grumble+m.Positive:
+		return TonePositive
+	default:
+		return ToneNeutral
+	}
+}
+
+// MixedComment draws a tone from mix and renders it.
+func (t *TextSampler) MixedComment(mix ToneMix) string {
+	return t.gen.comment(mix.Sample(t.rng))
+}
+
+// Rand exposes the sampler's RNG for callers that need coordinated draws.
+func (t *TextSampler) Rand() *rand.Rand { return t.rng }

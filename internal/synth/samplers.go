@@ -1,0 +1,111 @@
+package synth
+
+import (
+	"math"
+	"math/rand"
+)
+
+// zipfWeights returns unnormalized Zipf rank weights i^-s for ranks
+// 1..n — the head-heavy activity distributions of Figures 3 and 9.
+func zipfWeights(n int, s float64) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = math.Pow(float64(i+1), -s)
+	}
+	return w
+}
+
+// cumSampler draws indices proportional to a fixed weight vector in
+// O(log n) via binary search on the cumulative sum.
+type cumSampler struct {
+	cum []float64
+}
+
+func newCumSampler(weights []float64) *cumSampler {
+	cum := make([]float64, len(weights))
+	var total float64
+	for i, w := range weights {
+		if w < 0 {
+			w = 0
+		}
+		total += w
+		cum[i] = total
+	}
+	return &cumSampler{cum: cum}
+}
+
+func (s *cumSampler) sample(rng *rand.Rand) int {
+	if len(s.cum) == 0 {
+		return 0
+	}
+	total := s.cum[len(s.cum)-1]
+	u := rng.Float64() * total
+	lo, hi := 0, len(s.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.cum[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// boundedPareto draws an integer from a truncated power law on
+// [min, max] with tail exponent alpha, via inverse-CDF sampling.
+func boundedPareto(rng *rand.Rand, alpha float64, min, max int) int {
+	if min >= max {
+		return min
+	}
+	lo, hi := float64(min), float64(max)
+	u := rng.Float64()
+	// Inverse CDF of the bounded Pareto distribution.
+	la, ha := math.Pow(lo, -alpha), math.Pow(hi, -alpha)
+	x := math.Pow(la-u*(la-ha), -1/alpha)
+	n := int(x)
+	if n < min {
+		n = min
+	}
+	if n > max {
+		n = max
+	}
+	return n
+}
+
+// betaish draws from an approximate Beta(a, b) by averaging order
+// statistics — cheap, deterministic-in-rng, and close enough for
+// propensity shaping (we only need a right-skewed unit-interval draw).
+func betaish(rng *rand.Rand, a, b float64) float64 {
+	// Use the fact that Beta(a,b) for small integer-ish a,b is the a-th
+	// smallest of a+b-1 uniforms; interpolate for fractional parameters.
+	n := int(a+b+0.5) - 1
+	if n < 1 {
+		return rng.Float64()
+	}
+	k := int(a + 0.5)
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	us := make([]float64, n)
+	for i := range us {
+		us[i] = rng.Float64()
+	}
+	// Partial selection of the k-th smallest.
+	for i := 0; i < k; i++ {
+		minIdx := i
+		for j := i + 1; j < n; j++ {
+			if us[j] < us[minIdx] {
+				minIdx = j
+			}
+		}
+		us[i], us[minIdx] = us[minIdx], us[i]
+	}
+	return us[k-1]
+}
+
+// bernoulli draws true with probability p.
+func bernoulli(rng *rand.Rand, p float64) bool { return rng.Float64() < p }

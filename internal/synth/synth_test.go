@@ -1,0 +1,437 @@
+package synth
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"dissenter/internal/perspective"
+	"dissenter/internal/stats"
+	"dissenter/internal/urlkit"
+)
+
+// testOutput is shared across tests; generation is deterministic so a
+// single instance is safe.
+var testOut = Generate(NewConfig(1.0/512, 42))
+
+func TestGenerateValidates(t *testing.T) {
+	if err := testOut.DB.Validate(); err != nil {
+		t.Fatalf("generated DB invalid: %v", err)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(NewConfig(1.0/512, 7))
+	b := Generate(NewConfig(1.0/512, 7))
+	ca, cb := a.DB.Census(), b.DB.Census()
+	if ca != cb {
+		t.Fatalf("censuses differ: %+v vs %+v", ca, cb)
+	}
+	for i := range a.DB.Comments {
+		if a.DB.Comments[i].Text != b.DB.Comments[i].Text {
+			t.Fatal("comment streams differ")
+		}
+	}
+}
+
+func TestCensusShape(t *testing.T) {
+	c := testOut.DB.Census()
+	cfg := NewConfig(1.0/512, 42)
+	// Dissenter users ≈ 8% of Gab users.
+	frac := float64(c.DissenterUsers) / float64(c.GabUsers)
+	if frac < 0.05 || frac > 0.12 {
+		t.Errorf("Dissenter fraction = %.3f, want ≈0.08", frac)
+	}
+	// Active ≈ 47% of Dissenter users (core construction may nudge it).
+	active := float64(c.ActiveUsers) / float64(c.DissenterUsers)
+	if active < 0.35 || active > 0.60 {
+		t.Errorf("active fraction = %.3f, want ≈0.47", active)
+	}
+	if c.Comments < cfg.Comments {
+		t.Errorf("comments = %d, want >= %d", c.Comments, cfg.Comments)
+	}
+	if c.URLs != cfg.URLs {
+		t.Errorf("URLs = %d, want %d", c.URLs, cfg.URLs)
+	}
+	if c.DeletedGabUsers != cfg.DeletedGabAccounts {
+		t.Errorf("deleted = %d, want %d", c.DeletedGabUsers, cfg.DeletedGabAccounts)
+	}
+	// Shadow overlay rates: ≈0.6%/0.5% at 1/64 scale; at the 1/512 test
+	// scale the labeler set is a handful of users, so the band is wide
+	// (a single Zipf-head labeler moves the rate by a point).
+	nsfwRate := float64(c.NSFWComments) / float64(c.Comments)
+	offRate := float64(c.OffensiveComments) / float64(c.Comments)
+	if nsfwRate < 0.002 || nsfwRate > 0.03 {
+		t.Errorf("NSFW rate = %.4f, want ≈0.006", nsfwRate)
+	}
+	if offRate < 0.002 || offRate > 0.02 {
+		t.Errorf("offensive rate = %.4f, want ≈0.005", offRate)
+	}
+}
+
+func TestAdminsAndBanned(t *testing.T) {
+	admins, banned, moderators := 0, 0, 0
+	for _, u := range testOut.DB.Users {
+		if u.Flags.IsAdmin {
+			admins++
+			if u.Username != "a" && u.Username != "shadowknight412" {
+				t.Errorf("unexpected admin %q", u.Username)
+			}
+		}
+		if u.Flags.IsBanned {
+			banned++
+		}
+		if u.Flags.IsModerator {
+			moderators++
+		}
+	}
+	if admins != 2 {
+		t.Errorf("admins = %d, want 2", admins)
+	}
+	if want := NewConfig(1.0/512, 42).BannedUsers; banned != want {
+		t.Errorf("banned = %d, want %d", banned, want)
+	}
+	if moderators != 0 {
+		t.Errorf("moderators = %d, want 0", moderators)
+	}
+}
+
+func TestGabIDAnomalies(t *testing.T) {
+	// Gab IDs should be mostly monotone in creation time with a small
+	// number of late accounts carrying low (recycled-range) IDs.
+	users := testOut.DB.Users
+	inversions := 0
+	for i := 1; i < len(users); i++ {
+		// Users are generated in creation order.
+		if users[i].GabID < users[i-1].GabID {
+			inversions++
+		}
+	}
+	if inversions == 0 {
+		t.Error("no ID anomalies generated; Figure 2's stripes would be empty")
+	}
+	if frac := float64(inversions) / float64(len(users)); frac > 0.05 {
+		t.Errorf("inversion fraction %.3f too high; IDs should be mostly monotone", frac)
+	}
+	if users[0].GabID != 1 || users[0].Username != "e" {
+		t.Errorf("Gab ID 1 should be @e, got %q (%d)", users[0].Username, users[0].GabID)
+	}
+}
+
+func TestFirstMonthJoinShare(t *testing.T) {
+	cfg := NewConfig(1.0/512, 42)
+	cutoff := cfg.DissenterLaunch.Add(37 * 24 * 60 * 60 * 1e9)
+	first, total := 0, 0
+	for _, u := range testOut.DB.DissenterUsers() {
+		total++
+		if u.AuthorID.Time().Before(cutoff) {
+			first++
+		}
+	}
+	frac := float64(first) / float64(total)
+	if frac < 0.60 || frac > 0.90 {
+		t.Errorf("first-month join share = %.2f, want ≈0.77", frac)
+	}
+}
+
+func TestCommentConcentration(t *testing.T) {
+	// Figure 3: ~90% of comments from a small head of active users.
+	byAuthor := map[string]int{}
+	for _, c := range testOut.DB.Comments {
+		byAuthor[c.AuthorID.String()]++
+	}
+	contrib := make([]float64, 0, len(byAuthor))
+	for _, n := range byAuthor {
+		contrib = append(contrib, float64(n))
+	}
+	topShare := stats.GiniTopShare(contrib, 0.90)
+	if topShare > 0.45 {
+		t.Errorf("90%% of comments come from %.0f%% of active users; want a concentrated head", topShare*100)
+	}
+}
+
+func TestURLMixShape(t *testing.T) {
+	var urls []string
+	for _, cu := range testOut.DB.URLs {
+		urls = append(urls, cu.URL)
+	}
+	tlds := urlkit.RankTLDs(urls)
+	if tlds[0].Name != "com" {
+		t.Errorf("top TLD = %s, want com", tlds[0].Name)
+	}
+	comShare := float64(tlds[0].N) / float64(len(urls))
+	if comShare < 0.70 || comShare > 0.85 {
+		t.Errorf("com share = %.3f, want ≈0.78", comShare)
+	}
+	domains := urlkit.RankDomains(urls)
+	if domains[0].Name != "youtube.com" {
+		t.Errorf("top domain = %s, want youtube.com", domains[0].Name)
+	}
+	ytShare := float64(domains[0].N) / float64(len(urls))
+	if ytShare < 0.15 || ytShare > 0.27 {
+		t.Errorf("youtube share = %.3f, want ≈0.21", ytShare)
+	}
+	// Scheme census: https dominates, and the fixed artifacts exist.
+	schemes := map[urlkit.SchemeClass]int{}
+	for _, u := range urls {
+		schemes[urlkit.ClassifyScheme(u)]++
+	}
+	cfg := NewConfig(1.0/512, 42)
+	if schemes[urlkit.SchemeFile] != cfg.FileURLs {
+		t.Errorf("file URLs = %d, want %d", schemes[urlkit.SchemeFile], cfg.FileURLs)
+	}
+	if schemes[urlkit.SchemeBrowser] == 0 {
+		t.Error("no browser-scheme URLs")
+	}
+	httpsShare := float64(schemes[urlkit.SchemeHTTPS]) / float64(len(urls))
+	if httpsShare < 0.90 {
+		t.Errorf("https share = %.3f, want ≈0.97", httpsShare)
+	}
+}
+
+func TestDuplicateArtifacts(t *testing.T) {
+	var urls []string
+	for _, cu := range testOut.DB.URLs {
+		urls = append(urls, cu.URL)
+	}
+	oc := urlkit.AnalyzeOverCount(urls)
+	cfg := NewConfig(1.0/512, 42)
+	if oc.SchemeOnly < 2*cfg.ProtocolDupPairs {
+		t.Errorf("scheme-only duplicates = %d, want >= %d", oc.SchemeOnly, 2*cfg.ProtocolDupPairs)
+	}
+	if oc.SlashOnly < 2*cfg.SlashDupPairs {
+		t.Errorf("slash-only duplicates = %d, want >= %d", oc.SlashOnly, 2*cfg.SlashDupPairs)
+	}
+}
+
+func TestPileOnURLs(t *testing.T) {
+	db := testOut.DB
+	for _, dom := range []string{"thewatcherfiles.com", "deutschland.de"} {
+		found := false
+		for _, cu := range db.URLs {
+			if strings.Contains(cu.URL, dom) && len(db.CommentsOnURL(cu.ID)) >= 90 {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no high-volume comment page on %s", dom)
+		}
+	}
+}
+
+func TestHaComment(t *testing.T) {
+	longest := 0
+	var text string
+	for _, c := range testOut.DB.Comments {
+		if len(c.Text) > longest {
+			longest = len(c.Text)
+			text = c.Text
+		}
+	}
+	if longest < 90000 {
+		t.Fatalf("longest comment is %d chars, want > 90k", longest)
+	}
+	if !strings.HasPrefix(text, "ha ha") {
+		t.Errorf("longest comment should be repeated ha, got %.20q", text)
+	}
+}
+
+func TestVotePlanShape(t *testing.T) {
+	zero, pos, neg := 0, 0, 0
+	within10 := 0
+	for _, cu := range testOut.DB.URLs {
+		switch net := cu.NetVotes(); {
+		case net == 0:
+			zero++
+		case net > 0:
+			pos++
+		default:
+			neg++
+		}
+		if n := cu.NetVotes(); n > -10 && n < 10 {
+			within10++
+		}
+	}
+	total := len(testOut.DB.URLs)
+	if f := float64(zero) / float64(total); f < 0.60 || f > 0.80 {
+		t.Errorf("zero-vote share = %.3f, want ≈0.714", f)
+	}
+	if pos <= neg {
+		t.Errorf("positive (%d) should outnumber negative (%d)", pos, neg)
+	}
+	if f := float64(within10) / float64(total); f < 0.95 {
+		t.Errorf("|net|<10 share = %.3f, want ≈0.99", f)
+	}
+}
+
+func TestTonesRecorded(t *testing.T) {
+	if len(testOut.Tones) != len(testOut.DB.Comments) {
+		t.Fatalf("tones recorded for %d of %d comments", len(testOut.Tones), len(testOut.DB.Comments))
+	}
+}
+
+func TestCoreUsersQualify(t *testing.T) {
+	db := testOut.DB
+	cfg := NewConfig(1.0/512, 42)
+	if len(testOut.CoreUsernames) != cfg.coreTotal() {
+		t.Fatalf("core size = %d, want %d", len(testOut.CoreUsernames), cfg.coreTotal())
+	}
+	for _, name := range testOut.CoreUsernames {
+		u := db.UserByUsername(name)
+		if u == nil {
+			t.Fatalf("core user %q missing", name)
+		}
+		comments := db.CommentsByAuthor(u.AuthorID)
+		if len(comments) < cfg.HatefulCoreMinComments {
+			t.Errorf("core user %q has %d comments, want >= %d", name, len(comments), cfg.HatefulCoreMinComments)
+		}
+		scores := make([]float64, len(comments))
+		for i, c := range comments {
+			scores[i] = perspective.Score(perspective.SevereToxicity, c.Text)
+		}
+		if med := stats.Median(scores); med < 0.3 {
+			t.Errorf("core user %q median toxicity = %.3f, want >= 0.3", name, med)
+		}
+	}
+}
+
+func TestCoreMutualEdges(t *testing.T) {
+	db := testOut.DB
+	isFollowing := func(from, to string) bool {
+		fu, tu := db.UserByUsername(from), db.UserByUsername(to)
+		for _, g := range db.Follows[fu.GabID] {
+			if g == tu.GabID {
+				return true
+			}
+		}
+		return false
+	}
+	cfg := NewConfig(1.0/512, 42)
+	offset := 0
+	for _, size := range cfg.HatefulCoreComponents {
+		members := testOut.CoreUsernames[offset : offset+size]
+		offset += size
+		// Ring (or single pair edge) must be mutual.
+		for k := range members {
+			if size == 2 && k == 1 {
+				break
+			}
+			a, b := members[k], members[(k+1)%len(members)]
+			if !isFollowing(a, b) || !isFollowing(b, a) {
+				t.Errorf("core pair (%s, %s) not mutual", a, b)
+			}
+		}
+	}
+}
+
+func TestLanguageMixSampling(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	counts := map[string]int{}
+	const n = 20000
+	for i := 0; i < n; i++ {
+		counts[sampleLanguage(rng)]++
+	}
+	if f := float64(counts["en"]) / n; f < 0.92 || f > 0.97 {
+		t.Errorf("en share = %.3f, want ≈0.945", f)
+	}
+	if f := float64(counts["de"]) / n; f < 0.012 || f > 0.03 {
+		t.Errorf("de share = %.3f, want ≈0.02", f)
+	}
+}
+
+func TestCensorshipBios(t *testing.T) {
+	mentions, total := 0, 0
+	for _, u := range testOut.DB.DissenterUsers() {
+		total++
+		if strings.Contains(strings.ToLower(u.Bio), "censorship") {
+			mentions++
+		}
+	}
+	f := float64(mentions) / float64(total)
+	if f < 0.15 || f > 0.35 {
+		t.Errorf("censorship bio share = %.2f, want ≈0.25", f)
+	}
+}
+
+func TestYouTubeGroundTruth(t *testing.T) {
+	yt := testOut.YouTube
+	if yt.Len() == 0 {
+		t.Fatal("no YouTube ground truth")
+	}
+	if yt.OwnerTotal("Fox News") == 0 {
+		t.Error("Fox News owner total missing")
+	}
+	// Every youtube.com/youtu.be URL in the DB must resolve in the site.
+	misses := 0
+	for _, cu := range testOut.DB.URLs {
+		if urlkit.IsYouTube(cu.URL) {
+			if _, ok := yt.Lookup(cu.URL); !ok {
+				misses++
+			}
+		}
+	}
+	if misses > 0 {
+		t.Errorf("%d YouTube URLs missing from ground truth", misses)
+	}
+}
+
+func TestTextGenTones(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := newTextGen(rng)
+	for _, tone := range []Tone{ToneHateful, ToneOffensive, ToneAttack, ToneNeutral, TonePositive} {
+		if g.comment(tone) == "" {
+			t.Errorf("empty comment for tone %v", tone)
+		}
+	}
+	// Hateful comments must out-score neutral ones on average.
+	var hate, neutral float64
+	const n = 60
+	for i := 0; i < n; i++ {
+		hate += perspective.Score(perspective.SevereToxicity, g.comment(ToneHateful))
+		neutral += perspective.Score(perspective.SevereToxicity, g.comment(ToneNeutral))
+	}
+	if hate/n < neutral/n+0.3 {
+		t.Errorf("tone separation too weak: hateful %.3f vs neutral %.3f", hate/n, neutral/n)
+	}
+}
+
+func TestToneString(t *testing.T) {
+	names := map[Tone]string{
+		ToneHateful: "hateful", ToneOffensive: "offensive", ToneAttack: "attack",
+		ToneNeutral: "neutral", TonePositive: "positive", Tone(9): "unknown",
+	}
+	for tone, want := range names {
+		if tone.String() != want {
+			t.Errorf("%d.String() = %q", int(tone), tone.String())
+		}
+	}
+}
+
+func BenchmarkGenerate(b *testing.B) {
+	cfg := NewConfig(1.0/512, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Generate(cfg)
+	}
+}
+
+// TestSeedSweepValidates generates small corpora across seeds and checks
+// the structural invariants every time — seed-sensitive bugs in the
+// generator surface here rather than in downstream pipelines.
+func TestSeedSweepValidates(t *testing.T) {
+	for seed := int64(100); seed < 110; seed++ {
+		cfg := NewConfig(1.0/2048, seed)
+		out := Generate(cfg)
+		if err := out.DB.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		c := out.DB.Census()
+		if c.DissenterUsers == 0 || c.Comments == 0 {
+			t.Fatalf("seed %d: empty corpus %+v", seed, c)
+		}
+		if got := len(out.CoreUsernames); got != cfg.coreTotal() {
+			t.Fatalf("seed %d: core size %d, want %d", seed, got, cfg.coreTotal())
+		}
+	}
+}

@@ -1,0 +1,247 @@
+package synth
+
+import (
+	"math/rand"
+	"strings"
+
+	"dissenter/internal/lexicon"
+)
+
+// Tone is the latent register of a generated comment. Tones drive both
+// the wording (through the shared lexicons) and the labeling behaviour
+// (NSFW/offensive). The classification pipeline never sees tones — it
+// must recover them from the text, which is the whole point.
+type Tone int
+
+// Tones, roughly in decreasing order of toxicity.
+const (
+	ToneHateful Tone = iota
+	ToneOffensive
+	ToneAttack  // ad hominem against the article's author
+	ToneGrumble // aggrieved, norm-violating, but not hateful — the register
+	// that makes Dissenter comments "likely to be rejected" by moderators
+	// (Figure 7a) without registering as severely toxic
+	ToneNeutral
+	TonePositive
+)
+
+// String names the tone.
+func (t Tone) String() string {
+	switch t {
+	case ToneHateful:
+		return "hateful"
+	case ToneOffensive:
+		return "offensive"
+	case ToneAttack:
+		return "attack"
+	case ToneGrumble:
+		return "grumble"
+	case ToneNeutral:
+		return "neutral"
+	case TonePositive:
+		return "positive"
+	}
+	return "unknown"
+}
+
+// textGen composes comment text. It is not safe for concurrent use; the
+// generator owns one.
+type textGen struct {
+	rng       *rand.Rand
+	slurs     []string
+	violence  []string
+	profanity []string
+	insults   []string
+	threats   []string
+	positive  []string
+	neutral   []string
+	ambiguous []string
+	authors   []string
+}
+
+func newTextGen(rng *rand.Rand) *textGen {
+	dict := lexicon.Hatebase()
+	return &textGen{
+		rng:       rng,
+		slurs:     dict.WordsByCategory(lexicon.CategorySlur),
+		violence:  dict.WordsByCategory(lexicon.CategoryViolence),
+		profanity: append(dict.WordsByCategory(lexicon.CategoryProfanity), lexicon.Profanity()...),
+		insults:   lexicon.Insults(),
+		threats:   lexicon.Threats(),
+		positive:  lexicon.Positive(),
+		neutral:   lexicon.Neutral(),
+		ambiguous: dict.WordsByCategory(lexicon.CategoryAmbiguous),
+		authors:   lexicon.AuthorReferences(),
+	}
+}
+
+func (g *textGen) pick(list []string) string { return list[g.rng.Intn(len(list))] }
+
+func (g *textGen) phrase(n int) string {
+	words := make([]string, n)
+	for i := range words {
+		words[i] = g.pick(g.neutral)
+	}
+	return strings.Join(words, " ")
+}
+
+// comment renders text for a tone. Sentences are template-based word
+// salad — grammar does not matter to any model in the pipeline, lexical
+// content does.
+func (g *textGen) comment(tone Tone) string {
+	switch tone {
+	case ToneHateful:
+		s := "the " + g.pick(g.slurs) + " " + g.pick(g.neutral) + " will " +
+			g.pick(g.threats) + " our " + g.pick(g.neutral)
+		if g.rng.Float64() < 0.5 {
+			s += ", " + g.pick(g.threats) + " every " + g.pick(g.slurs)
+		}
+		if g.rng.Float64() < 0.4 {
+			s += " " + g.pick(g.insults)
+		}
+		if g.rng.Float64() < 0.25 {
+			s = strings.ToUpper(s)
+		}
+		return s
+	case ToneOffensive:
+		s := "what a " + g.pick(g.insults) + " take on the " + g.pick(g.neutral)
+		if g.rng.Float64() < 0.7 {
+			s += ", " + g.pick(g.profanity)
+		}
+		if g.rng.Float64() < 0.5 {
+			s += " you " + g.pick(g.insults)
+		}
+		if g.rng.Float64() < 0.15 {
+			s += " " + g.pick(g.ambiguous)
+		}
+		return s
+	case ToneAttack:
+		s := g.pick(g.authors) + " is a " + g.pick(g.insults)
+		if g.rng.Float64() < 0.6 {
+			s += " and a " + g.pick(g.insults)
+		}
+		s += ", typical " + g.pick(g.neutral) + " " + g.pick(g.neutral)
+		return s
+	case ToneGrumble:
+		s := "wake up you " + g.pick(g.insults) + ", the " + g.pick(g.neutral) +
+			" is lying about the " + g.pick(g.neutral) + " again"
+		if g.rng.Float64() < 0.6 {
+			s += "!!"
+		}
+		if g.rng.Float64() < 0.4 {
+			s += " nobody believes you anymore"
+		}
+		return s
+	case TonePositive:
+		return g.pick(g.positive) + " " + g.pick(g.neutral) + ", " +
+			g.pick(g.positive) + " " + g.pick(g.neutral) + " thanks"
+	default: // ToneNeutral
+		s := "the " + g.pick(g.neutral) + " about the " + g.pick(g.neutral) +
+			" " + g.phrase(2+g.rng.Intn(6))
+		if g.rng.Float64() < 0.1 {
+			s += " " + g.pick(g.ambiguous) // innocent ambiguous-term use
+		}
+		return s
+	}
+}
+
+// Non-English phrase pools, sampled for the ~6% of comments the language
+// analysis of §4.2.3 must pick out. Register is deliberately mundane.
+var foreignPhrases = map[string][]string{
+	"de": {
+		"die regierung hat wieder einmal alles falsch gemacht und niemand sagt etwas",
+		"das ist genau das problem mit den medien in diesem land",
+		"wer das glaubt hat die kontrolle über sein leben verloren",
+		"endlich sagt es jemand so wie es wirklich ist",
+		"diese zensur im internet wird immer schlimmer",
+	},
+	"fr": {
+		"le gouvernement ne dit jamais la vérité sur ces questions",
+		"c'est exactement le problème avec les médias aujourd'hui",
+		"enfin quelqu'un qui ose dire la vérité sur ce sujet",
+		"cette censure sur internet devient insupportable",
+	},
+	"es": {
+		"el gobierno nunca dice la verdad sobre estos temas",
+		"este es exactamente el problema con los medios de hoy",
+		"por fin alguien se atreve a decir la verdad",
+		"esta censura en internet es cada vez peor",
+	},
+	"it": {
+		"il governo non dice mai la verità su queste questioni",
+		"questo è esattamente il problema con i media di oggi",
+		"finalmente qualcuno che osa dire la verità",
+		"questa censura su internet sta peggiorando",
+	},
+	"pt": {
+		"o governo nunca diz a verdade sobre esses assuntos",
+		"este é exatamente o problema com a mídia de hoje",
+		"finalmente alguém tem coragem de dizer a verdade",
+	},
+	"nl": {
+		"de regering vertelt nooit de waarheid over deze zaken",
+		"dit is precies het probleem met de media van vandaag",
+		"eindelijk iemand die de waarheid durft te zeggen",
+	},
+}
+
+// foreignComment renders a comment in the given language code.
+func (g *textGen) foreignComment(lang string) string {
+	pool := foreignPhrases[lang]
+	if len(pool) == 0 {
+		return g.comment(ToneNeutral)
+	}
+	s := g.pick(pool)
+	if g.rng.Float64() < 0.3 {
+		s += " " + g.pick(pool)
+	}
+	return s
+}
+
+// languageMix is the per-comment language distribution targeting the
+// §4.2.3 result (94% English, 2% German, <0.5% each for the rest).
+var languageMix = []struct {
+	lang string
+	p    float64
+}{
+	{"en", 0.945},
+	{"de", 0.020},
+	{"fr", 0.0085},
+	{"es", 0.0085},
+	{"it", 0.008},
+	{"pt", 0.005},
+	{"nl", 0.005},
+}
+
+// sampleLanguage draws a comment language.
+func sampleLanguage(rng *rand.Rand) string {
+	u := rng.Float64()
+	for _, lm := range languageMix {
+		if u < lm.p {
+			return lm.lang
+		}
+		u -= lm.p
+	}
+	return "en"
+}
+
+// bioFor renders a user biography; fraction censorshipRate of Dissenter
+// bios mention censorship (the paper: 25%).
+func (g *textGen) bioFor(censorship bool) string {
+	if censorship {
+		openers := []string{
+			"fighting censorship everywhere",
+			"banned three times, still here. end censorship",
+			"free speech absolutist against big tech censorship",
+			"censorship is the real virus",
+		}
+		return g.pick(openers)
+	}
+	return g.pick([]string{
+		"just here for the comments",
+		"father, patriot, truth seeker",
+		"news junkie and coffee drinker",
+		"say what you think",
+		"",
+	})
+}

@@ -1,0 +1,348 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"dissenter/internal/youtube"
+)
+
+// domainEntry is one row of the synthetic web's domain mix. Weights are
+// percentages calibrated against Table 2 (domains) and its TLD half; the
+// generator samples URLs from this table, so at scale the crawled corpus
+// reproduces the published mix.
+type domainEntry struct {
+	domain string
+	weight float64
+	kind   siteKind
+}
+
+type siteKind int
+
+const (
+	siteNews siteKind = iota
+	siteVideo
+	siteSocial
+	siteFringe
+)
+
+// domainTable is the calibrated mix. Comments show the Table 2 target
+// where one exists.
+var domainTable = []domainEntry{
+	{"youtube.com", 20.75, siteVideo},   // 20.75%
+	{"twitter.com", 6.87, siteSocial},   // 6.87%
+	{"breitbart.com", 4.03, siteNews},   // 4.03%
+	{"bbc.co.uk", 2.76, siteNews},       // 2.76%
+	{"dailymail.co.uk", 2.68, siteNews}, // 2.68%
+	{"foxnews.com", 2.08, siteNews},     // 2.08%
+	{"bitchute.com", 2.06, siteVideo},   // 2.06%
+	{"zerohedge.com", 1.47, siteNews},   // 1.47%
+	{"theguardian.com", 1.36, siteNews}, // 1.36%
+	{"youtu.be", 1.33, siteVideo},       // 1.33%
+
+	{"gab.com", 1.20, siteSocial},
+	{"facebook.com", 0.80, siteSocial},
+	{"reddit.com", 0.60, siteSocial},
+	{"nytimes.com", 0.50, siteNews}, // "21st most popular"
+	{"cnn.com", 0.40, siteNews},
+	{"washingtontimes.com", 0.40, siteNews},
+
+	// Synthetic outlets with Allsides ratings (see internal/allsides).
+	{"liberty-ledger.com", 1.60, siteNews},
+	{"patriot-dispatch.com", 1.50, siteNews},
+	{"heartland-herald.com", 1.30, siteNews},
+	{"capital-chronicle.com", 1.20, siteNews},
+	{"metro-monitor.com", 1.10, siteNews},
+	{"harbor-tribune.com", 1.00, siteNews},
+	{"progress-post.com", 0.90, siteNews},
+	{"peoples-gazette.com", 0.90, siteNews},
+
+	// ccTLD mix fillers (Table 2, left half).
+	{"london-ledger.co.uk", 1.01, siteNews}, // .uk -> 7.45 with bbc+dailymail
+	{"albion-courier.co.uk", 1.00, siteNews},
+	{"truthkeepers.org", 1.12, siteFringe}, // .org -> 3.32
+	{"wikipedia.org", 1.00, siteNews},
+	{"archive.org", 1.20, siteNews},
+	{"berliner-bericht.de", 0.80, siteNews}, // .de -> 1.75
+	{"rheinkurier.de", 0.65, siteNews},
+	{"deutschland.de", 0.30, siteNews},
+	{"brussel-nieuws.be", 0.03, siteNews},      // .be -> 1.36 with youtu.be
+	{"sydney-standard.com.au", 1.17, siteNews}, // .au
+	{"maple-monitor.ca", 0.93, siteNews},       // .ca
+	{"freedomsignal.net", 0.81, siteFringe},    // .net
+	{"kiwi-chronicle.co.nz", 0.51, siteNews},   // .nz
+	{"fjord-avisen.no", 0.50, siteNews},        // .no
+
+	// The long tail of "Other" TLDs (~4.6%).
+	{"canal-direct.fr", 0.70, siteNews},
+	{"prensa-libre.es", 0.65, siteNews},
+	{"cronaca-vera.it", 0.60, siteNews},
+	{"omroep-vrij.nl", 0.55, siteNews},
+	{"norrland-nytt.se", 0.50, siteNews},
+	{"alpen-blick.ch", 0.45, siteNews},
+	{"techdispatch.io", 0.45, siteFringe},
+	{"streamhub.tv", 0.40, siteVideo},
+	{"pravda-segodnya.ru", 0.30, siteFringe},
+}
+
+// comFillerWeight is the extra generic-.com mass that brings the .com
+// TLD share to Table 2's 77.57%.
+const comFillerWeight = 25.5
+
+// comFillerDomains are interchangeable generic .com blogs.
+var comFillerDomains = []string{
+	"daily-disclosure.com", "redpill-report.com", "frontier-forum.com",
+	"anchor-analysis.com", "beacon-bulletin.com", "catalyst-comment.com",
+	"drumbeat-daily.com", "echo-examiner.com", "foundry-files.com",
+	"gateway-gazette.com", "keystone-korner.com", "liberty-lookout.com",
+	"meridian-memo.com", "northstar-notes.com", "outpost-observer.com",
+	"pioneer-press-blog.com", "quarry-quill.com", "rampart-review.com",
+	"sentinel-scroll.com", "torchlight-times.com",
+}
+
+// webGen samples the URL universe.
+type webGen struct {
+	rng          *rand.Rand
+	sampler      *cumSampler
+	entries      []domainEntry
+	slugs        []string
+	ytOwners     *cumSampler
+	ytOwnerNames []string
+	seen         map[string]bool
+}
+
+func newWebGen(rng *rand.Rand) *webGen {
+	entries := make([]domainEntry, 0, len(domainTable)+len(comFillerDomains))
+	entries = append(entries, domainTable...)
+	per := comFillerWeight / float64(len(comFillerDomains))
+	for _, d := range comFillerDomains {
+		entries = append(entries, domainEntry{d, per, siteNews})
+	}
+	weights := make([]float64, len(entries))
+	for i, e := range entries {
+		weights[i] = e.weight
+	}
+	// The YouTube content-owner universe: Fox News and CNN (the paper's
+	// §4.2.2 comparison) plus a Zipf tail of synthetic channels.
+	ownerNames := []string{"Fox News", "CNN"}
+	for i := 0; i < 300; i++ {
+		ownerNames = append(ownerNames, fmt.Sprintf("Channel %03d", i))
+	}
+	ownerWeights := make([]float64, len(ownerNames))
+	ownerWeights[0] = 2.4 // Fox News: 2.4% of commented videos
+	ownerWeights[1] = 0.6 // CNN: 0.6%
+	tail := zipfWeights(300, 1.05)
+	var tailSum float64
+	for _, w := range tail {
+		tailSum += w
+	}
+	for i, w := range tail {
+		ownerWeights[i+2] = w / tailSum * 97.0
+	}
+	return &webGen{
+		rng:          rng,
+		sampler:      newCumSampler(weights),
+		entries:      entries,
+		slugs:        slugWords,
+		ytOwners:     newCumSampler(ownerWeights),
+		ytOwnerNames: ownerNames,
+		seen:         map[string]bool{},
+	}
+}
+
+var slugWords = []string{
+	"election", "border", "economy", "debate", "protest", "ruling",
+	"scandal", "report", "crisis", "reform", "hearing", "verdict",
+	"summit", "budget", "strike", "probe", "leak", "vote", "rally",
+	"speech", "policy", "media", "tech", "health", "energy", "trade",
+}
+
+func (g *webGen) slug(n int) string {
+	parts := make([]string, n)
+	for i := range parts {
+		parts[i] = g.slugs[g.rng.Intn(len(g.slugs))]
+	}
+	return strings.Join(parts, "-")
+}
+
+// genURL is one generated URL with its static page metadata and, for
+// YouTube URLs, the video ground truth.
+type genURL struct {
+	url         string
+	title       string
+	description string
+	video       *youtube.Video
+}
+
+// next generates a fresh, previously unseen URL.
+func (g *webGen) next() genURL {
+	for {
+		u := g.generate()
+		if !g.seen[u.url] {
+			g.seen[u.url] = true
+			return u
+		}
+	}
+}
+
+func (g *webGen) generate() genURL {
+	e := g.entries[g.sampler.sample(g.rng)]
+	scheme := "https"
+	if g.rng.Float64() < 0.02 {
+		scheme = "http"
+	}
+	switch e.kind {
+	case siteVideo:
+		if e.domain == "youtube.com" || e.domain == "youtu.be" {
+			return g.generateYouTube(e.domain, scheme)
+		}
+		id := g.ident(10)
+		return genURL{
+			url:         fmt.Sprintf("%s://www.%s/video/%s", scheme, e.domain, id),
+			title:       strings.Title(strings.ReplaceAll(g.slug(3), "-", " ")),
+			description: "video " + g.slug(2),
+		}
+	case siteSocial:
+		var path string
+		switch e.domain {
+		case "twitter.com":
+			path = fmt.Sprintf("/%s/status/%d", g.ident(8), 1_000_000_000+g.rng.Int63n(9_000_000_000))
+		case "reddit.com":
+			path = fmt.Sprintf("/r/%s/comments/%s", g.slugs[g.rng.Intn(len(g.slugs))], g.ident(6))
+		default:
+			path = "/" + g.ident(8)
+		}
+		// Social embeds defeat Dissenter's title extraction (§2.2).
+		return genURL{
+			url:   fmt.Sprintf("%s://%s%s", scheme, e.domain, path),
+			title: "",
+		}
+	default:
+		year := 2019
+		if g.rng.Float64() < 0.35 {
+			year = 2020
+		}
+		slug := g.slug(3 + g.rng.Intn(3))
+		u := fmt.Sprintf("%s://www.%s/%d/%02d/%s", scheme, e.domain, year, 1+g.rng.Intn(12), slug)
+		if g.rng.Float64() < 0.15 {
+			// Multi-parameter query strings: the §4.2.1 over-counting
+			// surface.
+			u += fmt.Sprintf("?id=%d&utm_source=%s&ref=%s",
+				g.rng.Intn(10000), g.ident(4), g.ident(4))
+		}
+		title := strings.Title(strings.ReplaceAll(slug, "-", " "))
+		return genURL{
+			url:         u,
+			title:       title,
+			description: "article about " + strings.ReplaceAll(slug, "-", " "),
+		}
+	}
+}
+
+func (g *webGen) generateYouTube(domain, scheme string) genURL {
+	id := g.ident(11)
+	var u string
+	if domain == "youtu.be" {
+		u = fmt.Sprintf("%s://youtu.be/%s", scheme, id)
+	} else {
+		u = fmt.Sprintf("%s://www.youtube.com/watch?v=%s", scheme, id)
+	}
+	v := youtube.Video{URL: u}
+	switch p := g.rng.Float64(); {
+	case p < 0.9766:
+		v.Kind = youtube.KindVideo
+	case p < 0.9922:
+		v.Kind = youtube.KindChannel
+		u = fmt.Sprintf("%s://www.youtube.com/channel/%s", scheme, g.ident(16))
+		v.URL = u
+	default:
+		v.Kind = youtube.KindUser
+		u = fmt.Sprintf("%s://www.youtube.com/user/%s", scheme, g.ident(9))
+		v.URL = u
+	}
+	switch p := g.rng.Float64(); {
+	case p < 0.852:
+		v.Status = youtube.StatusActive
+	case p < 0.929:
+		v.Status = youtube.StatusUnavailable
+	case p < 0.953:
+		v.Status = youtube.StatusPrivate
+	case p < 0.977:
+		v.Status = youtube.StatusTerminated
+	case p < 0.980:
+		v.Status = youtube.StatusHateRemoved
+	default:
+		v.Status = youtube.StatusUnavailable
+	}
+	if v.Status == youtube.StatusActive && g.rng.Float64() < 0.103 {
+		v.CommentsDisabled = true
+	}
+	v.Owner = g.ytOwnerNames[g.ytOwners.sample(g.rng)]
+	v.Title = strings.Title(strings.ReplaceAll(g.slug(3), "-", " "))
+	// Dissenter's own page shows only "/watch" with a null description
+	// for YouTube content (§3.3).
+	return genURL{url: u, title: "/watch", description: "", video: &v}
+}
+
+const identAlphabet = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+
+func (g *webGen) ident(n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = identAlphabet[g.rng.Intn(len(identAlphabet))]
+	}
+	return string(b)
+}
+
+// specialURLs builds the fixed-count artifact URLs of §4.2.1: scheme
+// twins, trailing-slash twins, file:// leaks, and browser-internal pages.
+func specialURLs(cfg Config, g *webGen) []genURL {
+	var out []genURL
+	// The two famous pile-on pages (§4.2.1): a conspiracy page with 116
+	// comments and a deutschland.de page with 95; makeComments recognizes
+	// them by domain and pins their comment budgets.
+	out = append(out,
+		genURL{
+			url:   "https://www.thewatcherfiles.com/2019/04/the-hidden-files",
+			title: "The Hidden Files",
+		},
+		genURL{
+			url:   "https://www.deutschland.de/2019/06/leben-und-zuwanderung",
+			title: "Leben und Zuwanderung",
+		},
+	)
+	for i := 0; i < cfg.ProtocolDupPairs; i++ {
+		slug := g.slug(3)
+		base := fmt.Sprintf("www.daily-disclosure.com/dup/%03d/%s", i, slug)
+		title := strings.Title(strings.ReplaceAll(slug, "-", " "))
+		out = append(out,
+			genURL{url: "https://" + base, title: title},
+			genURL{url: "http://" + base, title: title},
+		)
+	}
+	for i := 0; i < cfg.SlashDupPairs; i++ {
+		slug := g.slug(3)
+		base := fmt.Sprintf("https://www.frontier-forum.com/slash/%03d/%s", i, slug)
+		title := strings.Title(strings.ReplaceAll(slug, "-", " "))
+		out = append(out,
+			genURL{url: base, title: title},
+			genURL{url: base + "/", title: title},
+		)
+	}
+	for i := 0; i < cfg.FileURLs; i++ {
+		var u string
+		if i < 9 {
+			u = fmt.Sprintf("file:///C:/Users/user%d/Downloads/document%d.pdf", i, i)
+		} else {
+			u = fmt.Sprintf("file:///C:/leaked/report-%d.docx", i)
+		}
+		out = append(out, genURL{url: u, title: ""})
+	}
+	out = append(out,
+		genURL{url: "chrome://startpage/", title: ""},
+		genURL{url: "chrome://newtab/", title: ""},
+		genURL{url: "about:blank", title: ""},
+	)
+	return out
+}

@@ -1,0 +1,255 @@
+package textutil
+
+// Porter stemming algorithm (M.F. Porter, "An algorithm for suffix
+// stripping", Program 14(3), 1980). This is the stemmer the paper applies
+// before Hatebase dictionary matching — stemming is what catches hate
+// terms pluralized or suffixed to evade naive matching (the paper's
+// example of a slur followed by "z" is handled by the dictionary's fuzzy
+// variants; regular morphology is handled here).
+//
+// The implementation operates on lowercase ASCII; tokens containing other
+// characters are returned unchanged.
+
+// Stem returns the Porter stem of a lowercase word. Words shorter than 3
+// characters are returned unchanged, per the original algorithm.
+func Stem(word string) string {
+	if len(word) < 3 {
+		return word
+	}
+	for i := 0; i < len(word); i++ {
+		c := word[i]
+		if c < 'a' || c > 'z' {
+			return word
+		}
+	}
+	w := &stemWord{b: []byte(word)}
+	w.step1a()
+	w.step1b()
+	w.step1c()
+	w.step2()
+	w.step3()
+	w.step4()
+	w.step5a()
+	w.step5b()
+	return string(w.b)
+}
+
+type stemWord struct {
+	b []byte
+}
+
+// isConsonant reports whether b[i] is a consonant in Porter's sense:
+// letters other than a, e, i, o, u; and 'y' is a consonant when it
+// follows a vowel or starts the word.
+func (w *stemWord) isConsonant(i int) bool {
+	switch w.b[i] {
+	case 'a', 'e', 'i', 'o', 'u':
+		return false
+	case 'y':
+		if i == 0 {
+			return true
+		}
+		return !w.isConsonant(i - 1)
+	}
+	return true
+}
+
+// measure computes m, the number of vowel-consonant sequences in
+// b[0:len-suffixLen].
+func (w *stemWord) measure(suffixLen int) int {
+	end := len(w.b) - suffixLen
+	m := 0
+	i := 0
+	// Skip initial consonants.
+	for i < end && w.isConsonant(i) {
+		i++
+	}
+	for i < end {
+		// In a vowel run.
+		for i < end && !w.isConsonant(i) {
+			i++
+		}
+		if i >= end {
+			break
+		}
+		m++
+		for i < end && w.isConsonant(i) {
+			i++
+		}
+	}
+	return m
+}
+
+// hasVowel reports whether the stem b[0:len-suffixLen] contains a vowel.
+func (w *stemWord) hasVowel(suffixLen int) bool {
+	end := len(w.b) - suffixLen
+	for i := 0; i < end; i++ {
+		if !w.isConsonant(i) {
+			return true
+		}
+	}
+	return false
+}
+
+// endsDoubleConsonant reports whether the word ends with a double
+// consonant (*d in Porter's notation).
+func (w *stemWord) endsDoubleConsonant() bool {
+	n := len(w.b)
+	if n < 2 {
+		return false
+	}
+	return w.b[n-1] == w.b[n-2] && w.isConsonant(n-1)
+}
+
+// endsCVC reports *o: the stem b[0:len-suffixLen] ends
+// consonant-vowel-consonant where the final consonant is not w, x, or y.
+func (w *stemWord) endsCVC(suffixLen int) bool {
+	end := len(w.b) - suffixLen
+	if end < 3 {
+		return false
+	}
+	if !w.isConsonant(end-3) || w.isConsonant(end-2) || !w.isConsonant(end-1) {
+		return false
+	}
+	switch w.b[end-1] {
+	case 'w', 'x', 'y':
+		return false
+	}
+	return true
+}
+
+func (w *stemWord) hasSuffix(s string) bool {
+	n := len(w.b)
+	return n >= len(s) && string(w.b[n-len(s):]) == s
+}
+
+// replace swaps the suffix `from` for `to` (caller must ensure hasSuffix).
+func (w *stemWord) replace(from, to string) {
+	w.b = append(w.b[:len(w.b)-len(from)], to...)
+}
+
+func (w *stemWord) step1a() {
+	switch {
+	case w.hasSuffix("sses"):
+		w.replace("sses", "ss")
+	case w.hasSuffix("ies"):
+		w.replace("ies", "i")
+	case w.hasSuffix("ss"):
+		// keep
+	case w.hasSuffix("s"):
+		w.replace("s", "")
+	}
+}
+
+func (w *stemWord) step1b() {
+	if w.hasSuffix("eed") {
+		if w.measure(3) > 0 {
+			w.replace("eed", "ee")
+		}
+		return
+	}
+	stripped := false
+	if w.hasSuffix("ed") && w.hasVowel(2) {
+		w.replace("ed", "")
+		stripped = true
+	} else if w.hasSuffix("ing") && w.hasVowel(3) {
+		w.replace("ing", "")
+		stripped = true
+	}
+	if !stripped {
+		return
+	}
+	switch {
+	case w.hasSuffix("at"):
+		w.replace("at", "ate")
+	case w.hasSuffix("bl"):
+		w.replace("bl", "ble")
+	case w.hasSuffix("iz"):
+		w.replace("iz", "ize")
+	case w.endsDoubleConsonant():
+		last := w.b[len(w.b)-1]
+		if last != 'l' && last != 's' && last != 'z' {
+			w.b = w.b[:len(w.b)-1]
+		}
+	case w.measure(0) == 1 && w.endsCVC(0):
+		w.b = append(w.b, 'e')
+	}
+}
+
+func (w *stemWord) step1c() {
+	if w.hasSuffix("y") && w.hasVowel(1) {
+		w.b[len(w.b)-1] = 'i'
+	}
+}
+
+// suffixRule rewrites `from` to `to` when measure(len(from)) > threshold.
+type suffixRule struct{ from, to string }
+
+var step2Rules = []suffixRule{
+	{"ational", "ate"}, {"tional", "tion"}, {"enci", "ence"},
+	{"anci", "ance"}, {"izer", "ize"}, {"abli", "able"},
+	{"alli", "al"}, {"entli", "ent"}, {"eli", "e"}, {"ousli", "ous"},
+	{"ization", "ize"}, {"ation", "ate"}, {"ator", "ate"},
+	{"alism", "al"}, {"iveness", "ive"}, {"fulness", "ful"},
+	{"ousness", "ous"}, {"aliti", "al"}, {"iviti", "ive"},
+	{"biliti", "ble"},
+}
+
+var step3Rules = []suffixRule{
+	{"icate", "ic"}, {"ative", ""}, {"alize", "al"}, {"iciti", "ic"},
+	{"ical", "ic"}, {"ful", ""}, {"ness", ""},
+}
+
+var step4Suffixes = []string{
+	"al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement",
+	"ment", "ent", "ion", "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+}
+
+func (w *stemWord) applyRules(rules []suffixRule, minMeasure int) {
+	for _, r := range rules {
+		if w.hasSuffix(r.from) {
+			if w.measure(len(r.from)) > minMeasure {
+				w.replace(r.from, r.to)
+			}
+			return
+		}
+	}
+}
+
+func (w *stemWord) step2() { w.applyRules(step2Rules, 0) }
+func (w *stemWord) step3() { w.applyRules(step3Rules, 0) }
+
+func (w *stemWord) step4() {
+	for _, s := range step4Suffixes {
+		if !w.hasSuffix(s) {
+			continue
+		}
+		if w.measure(len(s)) > 1 {
+			if s == "ion" {
+				// (m>1 and (*S or *T)) ION ->
+				idx := len(w.b) - len(s) - 1
+				if idx < 0 || (w.b[idx] != 's' && w.b[idx] != 't') {
+					return
+				}
+			}
+			w.replace(s, "")
+		}
+		return
+	}
+}
+
+func (w *stemWord) step5a() {
+	if !w.hasSuffix("e") {
+		return
+	}
+	m := w.measure(1)
+	if m > 1 || (m == 1 && !w.endsCVC(1)) {
+		w.replace("e", "")
+	}
+}
+
+func (w *stemWord) step5b() {
+	if w.measure(0) > 1 && w.endsDoubleConsonant() && w.b[len(w.b)-1] == 'l' {
+		w.b = w.b[:len(w.b)-1]
+	}
+}

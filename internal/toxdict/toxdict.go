@@ -1,0 +1,86 @@
+// Package toxdict implements the dictionary-based hate scoring of §3.5.1:
+// tokenize each comment, apply Porter stemming, count tokens matching the
+// (synthetic) Hatebase dictionary, and report the ratio of hate tokens to
+// total tokens. The metric is deliberately simple — the paper keeps it
+// because it permits direct comparison with prior Gab and 4chan /pol/
+// studies that used the same dictionary.
+package toxdict
+
+import (
+	"dissenter/internal/lexicon"
+	"dissenter/internal/textutil"
+)
+
+// Scorer scores comments against a hate dictionary. The zero value is not
+// usable; construct with New or Default.
+type Scorer struct {
+	dict           *lexicon.Dictionary
+	countAmbiguous bool
+}
+
+// Option configures a Scorer.
+type Option func(*Scorer)
+
+// WithoutAmbiguous excludes ambiguous dictionary terms ("queen", "pig")
+// from matching. The paper keeps them for comparability; excluding them
+// is the ablation that quantifies the dictionary's false-positive surface.
+func WithoutAmbiguous() Option {
+	return func(s *Scorer) { s.countAmbiguous = false }
+}
+
+// New builds a Scorer over dict.
+func New(dict *lexicon.Dictionary, opts ...Option) *Scorer {
+	s := &Scorer{dict: dict, countAmbiguous: true}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Default returns a Scorer over the canonical synthetic Hatebase
+// dictionary.
+func Default(opts ...Option) *Scorer { return New(lexicon.Hatebase(), opts...) }
+
+// Result is the dictionary classification of one comment.
+type Result struct {
+	Score      float64 // hate tokens / total tokens; 0 for empty comments
+	HateTokens int
+	Tokens     int
+	Matched    []lexicon.Term // matched dictionary terms, in comment order
+}
+
+// Score returns just the hate-token ratio of the comment.
+func (s *Scorer) Score(comment string) float64 { return s.Classify(comment).Score }
+
+// Classify tokenizes, stems, and matches the comment against the
+// dictionary, returning the full per-comment result.
+func (s *Scorer) Classify(comment string) Result {
+	tokens := textutil.Tokenize(textutil.Clean(comment))
+	res := Result{Tokens: len(tokens)}
+	if len(tokens) == 0 {
+		return res
+	}
+	for _, tok := range tokens {
+		term, ok := s.dict.MatchToken(tok)
+		if !ok {
+			continue
+		}
+		if !s.countAmbiguous && term.Category == lexicon.CategoryAmbiguous {
+			continue
+		}
+		res.HateTokens++
+		res.Matched = append(res.Matched, term)
+	}
+	res.Score = float64(res.HateTokens) / float64(res.Tokens)
+	return res
+}
+
+// ScoreAll classifies every comment and returns the score slice, the form
+// the aggregate analyses consume.
+func (s *Scorer) ScoreAll(comments []string) []float64 {
+	out := make([]float64, len(comments))
+	for i, c := range comments {
+		out[i] = s.Score(c)
+	}
+	return out
+}

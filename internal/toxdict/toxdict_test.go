@@ -1,0 +1,115 @@
+package toxdict
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dissenter/internal/lexicon"
+)
+
+func TestScoreEmpty(t *testing.T) {
+	s := Default()
+	if got := s.Score(""); got != 0 {
+		t.Errorf("Score(\"\") = %v", got)
+	}
+	if got := s.Score("!!! ..."); got != 0 {
+		t.Errorf("Score(punct) = %v", got)
+	}
+}
+
+func TestScoreRatio(t *testing.T) {
+	s := Default()
+	// "queen" is in the dictionary (ambiguous); 1 hate token of 5.
+	r := s.Classify("long live our glorious queen")
+	if r.Tokens != 5 || r.HateTokens != 1 {
+		t.Fatalf("tokens=%d hate=%d, want 5/1", r.Tokens, r.HateTokens)
+	}
+	if math.Abs(r.Score-0.2) > 1e-12 {
+		t.Errorf("Score = %v, want 0.2", r.Score)
+	}
+	if len(r.Matched) != 1 || r.Matched[0].Word != "queen" {
+		t.Errorf("Matched = %v", r.Matched)
+	}
+}
+
+func TestScoreStemming(t *testing.T) {
+	s := Default()
+	if s.Score("pigs pigs pigs") != 1 {
+		t.Error("stemmed plurals did not match")
+	}
+}
+
+func TestWithoutAmbiguous(t *testing.T) {
+	full := Default()
+	strict := Default(WithoutAmbiguous())
+	comment := "the queen is a pig"
+	if full.Score(comment) == 0 {
+		t.Fatal("ambiguous terms should match in default mode")
+	}
+	if strict.Score(comment) != 0 {
+		t.Error("ambiguous terms matched in WithoutAmbiguous mode")
+	}
+	// Non-ambiguous terms still match in strict mode.
+	slur := lexicon.Hatebase().WordsByCategory(lexicon.CategorySlur)[0]
+	if strict.Score("you are a "+slur) == 0 {
+		t.Error("slur did not match in strict mode")
+	}
+}
+
+func TestCleanAppliedBeforeScoring(t *testing.T) {
+	s := Default()
+	// URL contents must not count as tokens.
+	withURL := s.Classify("queen https://example.com/queen-pig-skank")
+	if withURL.Tokens != 1 || withURL.HateTokens != 1 {
+		t.Errorf("URL leaked into tokens: %+v", withURL)
+	}
+}
+
+func TestScoreAll(t *testing.T) {
+	s := Default()
+	scores := s.ScoreAll([]string{"queen", "hello world", ""})
+	if len(scores) != 3 {
+		t.Fatalf("len = %d", len(scores))
+	}
+	if scores[0] != 1 || scores[1] != 0 || scores[2] != 0 {
+		t.Errorf("scores = %v", scores)
+	}
+}
+
+func TestQuickScoreBounds(t *testing.T) {
+	s := Default()
+	f := func(comment string) bool {
+		v := s.Score(comment)
+		return v >= 0 && v <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickClassifyConsistent(t *testing.T) {
+	s := Default()
+	f := func(comment string) bool {
+		r := s.Classify(comment)
+		if r.HateTokens != len(r.Matched) {
+			return false
+		}
+		if r.Tokens == 0 {
+			return r.Score == 0
+		}
+		return r.Score == float64(r.HateTokens)/float64(r.Tokens)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkClassify(b *testing.B) {
+	s := Default()
+	comment := "the queen and her pigs went to the market to argue about censorship on the internet"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Classify(comment)
+	}
+}

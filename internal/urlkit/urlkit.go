@@ -1,0 +1,232 @@
+// Package urlkit provides the URL analyses of §4.2.1: scheme
+// classification (HTTPS/HTTP/browser-internal/file), TLD and registrable
+// second-level-domain extraction (with the multi-label suffixes like
+// co.uk that put bbc.co.uk rather than co.uk in Table 2), and the
+// over-counting analysis — Dissenter assigns distinct commenturl-ids to
+// URLs that differ only in scheme, only in a trailing slash, or only in
+// GET parameters past the first key-value pair.
+package urlkit
+
+import (
+	"net/url"
+	"sort"
+	"strings"
+)
+
+// SchemeClass buckets a URL's scheme the way §4.2.1 reports them.
+type SchemeClass int
+
+const (
+	// SchemeHTTPS covers https:// URLs (97% of the corpus).
+	SchemeHTTPS SchemeClass = iota
+	// SchemeHTTP covers plain http:// URLs (2%).
+	SchemeHTTP
+	// SchemeBrowser covers browser-internal pages such as chrome://.
+	SchemeBrowser
+	// SchemeFile covers file:// URLs leaking local filesystem paths.
+	SchemeFile
+	// SchemeOther covers everything else, including invalid URLs.
+	SchemeOther
+)
+
+// String names the class.
+func (s SchemeClass) String() string {
+	switch s {
+	case SchemeHTTPS:
+		return "https"
+	case SchemeHTTP:
+		return "http"
+	case SchemeBrowser:
+		return "browser"
+	case SchemeFile:
+		return "file"
+	}
+	return "other"
+}
+
+// ClassifyScheme buckets rawurl by scheme.
+func ClassifyScheme(rawurl string) SchemeClass {
+	u, err := url.Parse(rawurl)
+	if err != nil {
+		return SchemeOther
+	}
+	switch strings.ToLower(u.Scheme) {
+	case "https":
+		return SchemeHTTPS
+	case "http":
+		return SchemeHTTP
+	case "file":
+		return SchemeFile
+	case "chrome", "brave", "about", "edge", "dissenter":
+		return SchemeBrowser
+	default:
+		return SchemeOther
+	}
+}
+
+// multiLabelSuffixes is the minimal public-suffix knowledge needed for
+// the synthetic web universe: second-level registrations under ccTLDs.
+var multiLabelSuffixes = map[string]bool{
+	"co.uk": true, "org.uk": true, "ac.uk": true, "gov.uk": true,
+	"com.au": true, "net.au": true, "org.au": true,
+	"co.nz": true, "org.nz": true,
+	"com.br": true, "co.jp": true, "co.in": true, "co.za": true,
+}
+
+// Host extracts the lowercase hostname of rawurl, or "" if unparseable.
+func Host(rawurl string) string {
+	u, err := url.Parse(rawurl)
+	if err != nil {
+		return ""
+	}
+	return strings.ToLower(u.Hostname())
+}
+
+// TLD returns the final DNS label of the URL's host ("com", "uk", "be"),
+// or "" when the URL has no host. This matches the left half of Table 2.
+func TLD(rawurl string) string {
+	host := Host(rawurl)
+	if host == "" {
+		return ""
+	}
+	labels := strings.Split(host, ".")
+	return labels[len(labels)-1]
+}
+
+// Domain returns the registrable domain of the URL's host: the last two
+// labels, or the last three when the final two form a known multi-label
+// suffix (so bbc.co.uk, not co.uk). Bare hosts and IPs return themselves.
+func Domain(rawurl string) string {
+	host := Host(rawurl)
+	if host == "" {
+		return ""
+	}
+	labels := strings.Split(host, ".")
+	if len(labels) <= 2 {
+		return host
+	}
+	lastTwo := strings.Join(labels[len(labels)-2:], ".")
+	if multiLabelSuffixes[lastTwo] {
+		return strings.Join(labels[len(labels)-3:], ".")
+	}
+	return lastTwo
+}
+
+// CanonicalKey reduces rawurl to the identity Dissenter *should* have
+// used according to the paper's over-counting analysis: scheme collapsed
+// to https, trailing slash dropped, and at most the first GET key-value
+// pair retained. URLs with equal CanonicalKeys are the paper's
+// "duplicate content" candidates.
+func CanonicalKey(rawurl string) string {
+	u, err := url.Parse(rawurl)
+	if err != nil {
+		return rawurl
+	}
+	scheme := strings.ToLower(u.Scheme)
+	if scheme == "http" {
+		scheme = "https"
+	}
+	path := strings.TrimSuffix(u.EscapedPath(), "/")
+	query := ""
+	if raw := u.RawQuery; raw != "" {
+		// Keep only the first key-value pair, preserving its raw form.
+		if i := strings.IndexByte(raw, '&'); i >= 0 {
+			raw = raw[:i]
+		}
+		query = "?" + raw
+	}
+	return scheme + "://" + strings.ToLower(u.Host) + path + query
+}
+
+// OverCount reports how a URL set over-counts unique content.
+type OverCount struct {
+	Total          int // URLs examined
+	SchemeOnly     int // URLs whose canonical twin differs only in scheme
+	SlashOnly      int // URLs whose twin differs only in a trailing slash
+	QueryCollapsed int // URLs that collapse together once extra GET params drop
+	UniqueCanon    int // distinct canonical keys
+}
+
+// AnalyzeOverCount computes the §4.2.1 duplicate analysis over urls.
+func AnalyzeOverCount(urls []string) OverCount {
+	oc := OverCount{Total: len(urls)}
+	seen := make(map[string]bool, len(urls))
+	exact := make(map[string]bool, len(urls))
+	for _, u := range urls {
+		exact[u] = true
+	}
+	for _, u := range urls {
+		key := CanonicalKey(u)
+		if !seen[key] {
+			seen[key] = true
+		}
+		// Scheme twin: the same URL with the other scheme present verbatim.
+		if strings.HasPrefix(u, "https://") {
+			if exact["http://"+u[len("https://"):]] {
+				oc.SchemeOnly++
+			}
+		} else if strings.HasPrefix(u, "http://") {
+			if exact["https://"+u[len("http://"):]] {
+				oc.SchemeOnly++
+			}
+		}
+		// Slash twin.
+		if strings.HasSuffix(u, "/") {
+			if exact[strings.TrimSuffix(u, "/")] {
+				oc.SlashOnly++
+			}
+		} else if exact[u+"/"] {
+			oc.SlashOnly++
+		}
+	}
+	oc.UniqueCanon = len(seen)
+	oc.QueryCollapsed = oc.Total - oc.UniqueCanon
+	return oc
+}
+
+// Count is a (name, n) pair in a ranked tally.
+type Count struct {
+	Name string
+	N    int
+}
+
+// RankBy tallies the given key function over urls and returns counts in
+// decreasing order (ties broken alphabetically), the presentation of
+// Table 2. Empty keys are tallied under "(none)".
+func RankBy(urls []string, key func(string) string) []Count {
+	tally := make(map[string]int)
+	for _, u := range urls {
+		k := key(u)
+		if k == "" {
+			k = "(none)"
+		}
+		tally[k]++
+	}
+	out := make([]Count, 0, len(tally))
+	for k, n := range tally {
+		out = append(out, Count{Name: k, N: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].N != out[j].N {
+			return out[i].N > out[j].N
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// RankTLDs returns the Table 2 left half for urls.
+func RankTLDs(urls []string) []Count { return RankBy(urls, TLD) }
+
+// RankDomains returns the Table 2 right half for urls.
+func RankDomains(urls []string) []Count { return RankBy(urls, Domain) }
+
+// IsYouTube reports whether the URL points at YouTube content, counting
+// the youtu.be domain hack the paper calls out under the .be TLD.
+func IsYouTube(rawurl string) bool {
+	switch Domain(rawurl) {
+	case "youtube.com", "youtu.be":
+		return true
+	}
+	return false
+}
