@@ -1,0 +1,35 @@
+# Targets mirror the CI pipeline (.github/workflows/ci.yml): a green
+# `make ci` locally means a green pipeline.
+
+GO ?= go
+
+RACE_PKGS = ./internal/platform/... ./internal/respcache/... \
+            ./internal/gabapi/... ./internal/dissenterweb/...
+
+.PHONY: build test race bench lint fmt ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+# Smoke-run every benchmark once so bench code can never rot; use
+# `go test -bench=Concurrent -cpu 1,2,4,8 .` for real numbers.
+bench:
+	$(GO) test -run 'ProbablyNoSuchTest' -bench=. -benchtime=1x ./...
+
+lint:
+	$(GO) vet ./...
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$unformatted" >&2; exit 1; \
+	fi
+
+fmt:
+	gofmt -w .
+
+ci: build lint test race bench

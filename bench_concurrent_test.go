@@ -1,0 +1,186 @@
+// Concurrent-load benchmarks for the sharded platform store and the
+// HTTP simulators in front of it. Run with -cpu to see scaling, e.g.
+//
+//	go test -bench=Concurrent -cpu 1,2,4,8 .
+//
+// The store benchmarks measure raw index throughput; the httptest-driven
+// ones measure what a crawler fleet actually experiences, with and
+// without the response cache.
+package dissenter_test
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dissenter/internal/dissenterweb"
+	"dissenter/internal/gabapi"
+	"dissenter/internal/ids"
+	"dissenter/internal/platform"
+	"dissenter/internal/synth"
+)
+
+var (
+	loadOnce sync.Once
+	loadOut  *synth.Output
+)
+
+// loadFixture is a dedicated small corpus for the load benchmarks,
+// independent of the full-pipeline fixture so `-bench=Concurrent` runs
+// start fast.
+func loadFixture(b *testing.B) *synth.Output {
+	b.Helper()
+	loadOnce.Do(func() {
+		loadOut = synth.Generate(synth.NewConfig(1.0/256, 7))
+	})
+	return loadOut
+}
+
+func BenchmarkStoreConcurrentReads(b *testing.B) {
+	out := loadFixture(b)
+	db := out.DB
+	users := db.Users()
+	urls := db.URLs()
+	maxID := int64(db.MaxGabID())
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			i++
+			_ = db.UserByGabID(ids.GabID(1 + int64(i)%maxID))
+			u := users[i%len(users)]
+			_ = db.UserByUsername(u.Username)
+			cu := urls[i%len(urls)]
+			for _, c := range db.CommentsOnURL(cu.ID) {
+				_ = c.IsReply()
+			}
+			_, _ = db.Votes(cu.ID)
+			_ = db.Followers(u.GabID)
+		}
+	})
+}
+
+func BenchmarkStoreConcurrentMixed(b *testing.B) {
+	// ~6% writes (submit + vote), the rest reads — a trends-heavy day.
+	// Private fixture: this benchmark grows the store, and sharing it
+	// would order-couple the read-only benchmarks that follow.
+	out := synth.Generate(synth.NewConfig(1.0/256, 7))
+	db := out.DB
+	urls := db.URLs()
+	var seq atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		gen := ids.NewGenerator(uint64(seq.Add(1)) * 7919)
+		i := 0
+		for pb.Next() {
+			i++
+			cu := urls[i%len(urls)]
+			if i%16 == 0 {
+				n := seq.Add(1)
+				submitted, _ := db.SubmitURL(&platform.CommentURL{
+					ID:        gen.New(),
+					URL:       fmt.Sprintf("https://bench.example/%d", n%4096),
+					FirstSeen: time.Now(),
+				})
+				db.Vote(submitted.ID, 1, 0)
+				continue
+			}
+			for _, c := range db.CommentsOnURL(cu.ID) {
+				_ = c.Hidden()
+			}
+			_, _ = db.Votes(cu.ID)
+		}
+	})
+}
+
+// benchClient is a keep-alive client sized for the parallel benchmarks.
+func benchClient() *http.Client {
+	tr := &http.Transport{MaxIdleConnsPerHost: 256}
+	return &http.Client{Transport: tr}
+}
+
+func benchGet(b *testing.B, client *http.Client, url string) {
+	resp, err := client.Get(url)
+	if err != nil {
+		b.Fatal(err)
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+}
+
+func BenchmarkGabAPIConcurrentLoad(b *testing.B) {
+	out := loadFixture(b)
+	srv := httptest.NewServer(gabapi.NewServer(out.DB, gabapi.WithRateLimit(0, 0)))
+	defer srv.Close()
+	client := benchClient()
+	maxID := int64(out.DB.MaxGabID())
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			i++
+			benchGet(b, client, fmt.Sprintf("%s/api/v1/accounts/%d", srv.URL, 1+int64(i)%maxID))
+		}
+	})
+}
+
+func benchmarkDiscussionLoad(b *testing.B, opts ...dissenterweb.Option) {
+	out := loadFixture(b)
+	opts = append([]dissenterweb.Option{dissenterweb.WithURLRateLimit(0, 0)}, opts...)
+	s := dissenterweb.NewServer(out.DB, opts...)
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+	client := benchClient()
+	urls := out.DB.URLs()
+	// A zipf-less stand-in for crawler locality: cycle a small hot set.
+	hot := urls
+	if len(hot) > 64 {
+		hot = hot[:64]
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			i++
+			benchGet(b, client, srv.URL+"/discussion?url="+url.QueryEscape(hot[i%len(hot)].URL))
+		}
+	})
+	b.StopTimer()
+	hits, misses := s.CacheStats()
+	if total := hits + misses; total > 0 {
+		b.ReportMetric(float64(hits)/float64(total)*100, "cache_hit_pct")
+	}
+}
+
+func BenchmarkWebDiscussionConcurrentCached(b *testing.B) {
+	benchmarkDiscussionLoad(b)
+}
+
+func BenchmarkWebDiscussionConcurrentUncached(b *testing.B) {
+	benchmarkDiscussionLoad(b, dissenterweb.WithResponseCache(0, 0))
+}
+
+func BenchmarkWebTrendsConcurrentCached(b *testing.B) {
+	out := loadFixture(b)
+	s := dissenterweb.NewServer(out.DB, dissenterweb.WithURLRateLimit(0, 0))
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+	client := benchClient()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			benchGet(b, client, srv.URL+"/trends")
+		}
+	})
+	b.StopTimer()
+	hits, misses := s.CacheStats()
+	if total := hits + misses; total > 0 {
+		b.ReportMetric(float64(hits)/float64(total)*100, "cache_hit_pct")
+	}
+}

@@ -13,6 +13,7 @@
 //	/api/v1/accounts/...        Gab API (enumeration, relations)
 //	/user/... /discussion /comment/...   Dissenter web app
 //	/trends /discussion/begin            Gab Trends portal + URL submission
+//	/discussion/vote                     up/down voting on a comment page
 //	/watch /channel/... /user-yt/...     YouTube simulator
 //	/v1/comments:analyze        Perspective-style scoring
 //	/reddit/... /api/user/...   Pushshift-style Reddit API
@@ -80,6 +81,7 @@ func main() {
 	mux.Handle("/user/", web)
 	mux.Handle("/discussion", web)
 	mux.Handle("/discussion/begin", web)
+	mux.Handle("/discussion/vote", web)
 	mux.Handle("/trends", web)
 	mux.Handle("/trends/", web)
 	mux.Handle("/comment/", web)

@@ -16,5 +16,35 @@
 // Start with DESIGN.md for the system inventory, EXPERIMENTS.md for the
 // paper-vs-measured results, and examples/quickstart for running code.
 // The root-level benchmarks (bench_test.go) regenerate every table and
-// figure of the paper's §4.
+// figure of the paper's §4; bench_concurrent_test.go measures the
+// simulators under concurrent crawler load.
+//
+// # Store architecture
+//
+// The ground truth lives in internal/platform.DB, a concurrency-safe
+// sharded store. Every lookup index (users by Gab ID / username /
+// author-id, URLs by id / address, comments by id / page / author, the
+// follower reverse index, and the serve-time vote tallies) is split
+// across 16 independently RWMutex-guarded shards keyed by a mixed hash
+// of the index key, and is maintained incrementally on insert — there
+// is no whole-store rebuild. Entity records are immutable once
+// inserted; slice-valued index entries are replaced copy-on-write, so
+// any slice handed to a reader is a stable snapshot. The mutable
+// surfaces are Gab Trends URL submission (DB.SubmitURL, idempotent per
+// address) and voting (DB.Vote), which the web simulator exposes at
+// /discussion/begin and /discussion/vote.
+//
+// The HTTP simulators front their hot endpoints — comment listings,
+// user profiles, trends — with a small LRU+TTL response cache
+// (internal/respcache) keyed by endpoint, subject, and session view, so
+// shadow-overlay opt-ins never share cached pages with anonymous
+// sessions. Invalidation rules: a vote invalidates every session view
+// of that address's discussion renderings (exact keys, no cache scan),
+// and a render that raced with an invalidation of its own key is
+// discarded at insert via per-key tombstones; everything else expires
+// by TTL, the backstop for out-of-band store writes. URL submissions
+// need no invalidation — unknown-URL invitation pages are never cached
+// (their keys are visitor-chosen, so caching them would let a URL scan
+// evict the hot set) and the store fully indexes a submission before it
+// becomes findable.
 package dissenter

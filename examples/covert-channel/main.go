@@ -43,20 +43,18 @@ func main() {
 		{bob, "confirmed. same time thursday"},
 		{alice, "bring the second key"},
 	}
-	db := &platform.DB{
-		Users:   []*platform.User{alice, bob},
-		URLs:    []*platform.CommentURL{drop},
-		Follows: map[ids.GabID][]ids.GabID{},
-	}
+	db := platform.New(
+		[]*platform.User{alice, bob},
+		[]*platform.CommentURL{drop},
+		nil, nil)
 	var parent ids.ObjectID
 	for i, m := range msgs {
 		at := t0.Add(time.Duration(i+1) * time.Minute)
 		c := &platform.Comment{ID: gen.NewAt(at), URLID: drop.ID,
 			AuthorID: m.author.AuthorID, ParentID: parent, Text: m.text, CreatedAt: at}
-		db.Comments = append(db.Comments, c)
+		db.AddComment(c)
 		parent = c.ID
 	}
-	db.Reindex()
 	if err := db.Validate(); err != nil {
 		log.Fatal(err)
 	}

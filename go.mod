@@ -1,0 +1,3 @@
+module dissenter
+
+go 1.24

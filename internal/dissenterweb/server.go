@@ -5,6 +5,15 @@
 // user metadata in commented-out JavaScript, and the NSFW/"offensive"
 // shadow overlay that is only rendered for authenticated sessions that
 // opted in.
+//
+// The server reads the sharded platform store concurrently and fronts
+// its hot endpoints — comment listings, user profiles, trends — with an
+// LRU+TTL response cache keyed by endpoint, subject, and session view
+// (so shadow-overlay opt-ins never leak into another session's cached
+// page). The mutable surfaces (URL submission, voting) invalidate every
+// session view of the affected page by exact key, and an epoch check
+// discards renders that raced with an invalidation; the TTL is the
+// backstop for out-of-band store writes.
 package dissenterweb
 
 import (
@@ -15,10 +24,12 @@ import (
 	"net/url"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dissenter/internal/ids"
 	"dissenter/internal/platform"
+	"dissenter/internal/respcache"
 )
 
 // Session is the view configuration of an authenticated account, the
@@ -33,7 +44,12 @@ type Session struct {
 // Server serves the simulated web app over a platform.DB. Construct with
 // NewServer; it implements http.Handler.
 type Server struct {
-	db *platform.DB
+	db    *platform.DB
+	idgen *ids.Generator
+	cache *respcache.Cache[string]
+	// cacheConfigured marks that WithResponseCache ran, so NewServer
+	// does not build the default cache just to throw it away.
+	cacheConfigured bool
 
 	urlLimit  int // requests per URL per window (10/min observed)
 	urlWindow time.Duration
@@ -41,7 +57,6 @@ type Server struct {
 	mu       sync.Mutex
 	sessions map[string]Session
 	hits     map[string]*hitWindow
-	trends   *trendsState
 }
 
 type hitWindow struct {
@@ -61,18 +76,42 @@ func WithURLRateLimit(limit int, window time.Duration) Option {
 	}
 }
 
+// Default response-cache shape: enough entries for the hot set of a
+// crawl, with a short TTL as the invalidation backstop.
+const (
+	DefaultCacheSize = 4096
+	DefaultCacheTTL  = 30 * time.Second
+)
+
+// WithResponseCache overrides the response cache's capacity and TTL.
+// size <= 0 or ttl <= 0 disables caching entirely.
+func WithResponseCache(size int, ttl time.Duration) Option {
+	return func(s *Server) {
+		s.cache = respcache.New[string](size, ttl)
+		s.cacheConfigured = true
+	}
+}
+
+// serverSeq distinguishes the ID-generator seeds of servers created in
+// one process: two servers sharing a DB must never mint colliding
+// commenturl-ids for same-second submissions.
+var serverSeq atomic.Uint64
+
 // NewServer builds the web app simulator.
 func NewServer(db *platform.DB, opts ...Option) *Server {
 	s := &Server{
 		db:        db,
+		idgen:     ids.NewGenerator(0xD15C0551 ^ serverSeq.Add(1)<<32 ^ uint64(time.Now().UnixNano())),
 		urlLimit:  10,
 		urlWindow: time.Minute,
 		sessions:  map[string]Session{},
 		hits:      map[string]*hitWindow{},
-		trends:    newTrendsState(),
 	}
 	for _, o := range opts {
 		o(s)
+	}
+	if !s.cacheConfigured {
+		s.cache = respcache.New[string](DefaultCacheSize, DefaultCacheTTL)
 	}
 	return s
 }
@@ -107,6 +146,50 @@ func visible(c *platform.Comment, sess Session) bool {
 	return true
 }
 
+// --- response cache helpers --------------------------------------------
+
+// viewKey encodes the bits of the session that change what is rendered.
+// Two sessions with equal view settings share cache entries; a session
+// that can see the shadow overlay never shares with one that cannot.
+func viewKey(sess Session) string {
+	k := [2]byte{'0', '0'}
+	if sess.ShowNSFW {
+		k[0] = '1'
+	}
+	if sess.ShowOffensive {
+		k[1] = '1'
+	}
+	return string(k[:])
+}
+
+func trendsKey(sess Session) string      { return "trends|" + viewKey(sess) }
+func discussionPrefix(raw string) string { return "disc|" + raw + "|" }
+func homePrefix(username string) string  { return "home|" + username + "|" }
+
+// allViewKeys enumerates every viewKey value, so a subject's cache
+// entries can be dropped with exact deletes instead of a full-cache
+// prefix scan.
+var allViewKeys = [...]string{"00", "01", "10", "11"}
+
+func (s *Server) cacheGet(key string) (string, bool) { return s.cache.Get(key) }
+
+// invalidateSubject drops every session view of one cache subject
+// ("disc|<url>|" or "trends|").
+func (s *Server) invalidateSubject(prefix string) {
+	for _, vk := range allViewKeys {
+		s.cache.Invalidate(prefix + vk)
+	}
+}
+
+// CacheStats exposes the response cache's hit/miss counters (zero when
+// caching is disabled); the load benchmarks report them.
+func (s *Server) CacheStats() (hits, misses uint64) { return s.cache.Stats() }
+
+func writeHTML(w http.ResponseWriter, body string) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, body)
+}
+
 // ServeHTTP routes the app's pages.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	switch {
@@ -120,6 +203,8 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		s.handleTrends(w, r)
 	case r.URL.Path == "/discussion/begin":
 		s.handleBegin(w, r)
+	case r.URL.Path == "/discussion/vote":
+		s.handleVote(w, r)
 	default:
 		http.NotFound(w, r)
 	}
@@ -127,7 +212,8 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 // rateLimit applies the per-URL request budget. The counter is keyed by
 // the *target* URL, so a crawler that never revisits a page never trips
-// it — exactly the loophole §3.2 reports.
+// it — exactly the loophole §3.2 reports. Cached responses still count:
+// the real platform throttled by request, not by render cost.
 func (s *Server) rateLimit(w http.ResponseWriter, key string) bool {
 	if s.urlLimit <= 0 {
 		return true
@@ -161,6 +247,12 @@ func (s *Server) handleHome(w http.ResponseWriter, r *http.Request, username str
 		return
 	}
 	sess := s.session(r)
+	key := homePrefix(username) + viewKey(sess)
+	if body, ok := s.cacheGet(key); ok {
+		writeHTML(w, body)
+		return
+	}
+	epoch := s.cache.Epoch(key)
 	var b strings.Builder
 	b.WriteString("<!DOCTYPE html><html><head><title>Dissenter</title></head><body>\n")
 	fmt.Fprintf(&b, `<div class="profile" data-author-id="%s">`+"\n", u.AuthorID)
@@ -178,8 +270,9 @@ func (s *Server) handleHome(w http.ResponseWriter, r *http.Request, username str
 	b.WriteString("</ul>\n")
 	b.WriteString(appBundle)
 	b.WriteString("</body></html>\n")
-	w.Header().Set("Content-Type", "text/html; charset=utf-8")
-	fmt.Fprint(w, b.String())
+	body := b.String()
+	s.cache.PutAt(key, body, epoch)
+	writeHTML(w, body)
 }
 
 // anyVisibleBy reports whether the author has at least one comment on the
@@ -203,20 +296,25 @@ func (s *Server) handleDiscussion(w http.ResponseWriter, r *http.Request) {
 	if !s.rateLimit(w, "discussion:"+raw) {
 		return
 	}
-	cu := s.db.URLByString(raw)
-	if cu == nil {
-		cu = s.trends.lookup(raw)
-	}
 	sess := s.session(r)
-	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	key := discussionPrefix(raw) + viewKey(sess)
+	if body, ok := s.cacheGet(key); ok {
+		writeHTML(w, body)
+		return
+	}
+	epoch := s.cache.Epoch(key)
+	cu := s.db.URLByString(raw)
 	var b strings.Builder
 	b.WriteString("<!DOCTYPE html><html><head><title>Dissenter Discussion</title></head><body>\n")
 	if cu == nil {
 		// A URL nobody has entered yet: an empty comment page inviting
-		// the first comment (§2.1).
+		// the first comment (§2.1). Never cached — the key is
+		// visitor-controlled, so a scan of novel URLs would evict the
+		// whole hot set with copies of this constant page, and the
+		// render is cheaper than the lookup that missed.
 		b.WriteString(`<div class="discussion new"><p>No comments yet. Be the first to dissent!</p></div>` + "\n")
 		b.WriteString("</body></html>\n")
-		fmt.Fprint(w, b.String())
+		writeHTML(w, b.String())
 		return
 	}
 	fmt.Fprintf(&b, `<div class="discussion" data-commenturl-id="%s">`+"\n", cu.ID)
@@ -229,7 +327,8 @@ func (s *Server) handleDiscussion(w http.ResponseWriter, r *http.Request) {
 			shown++
 		}
 	}
-	fmt.Fprintf(&b, `<span class="votes" data-up="%d" data-down="%d"></span>`+"\n", cu.Ups, cu.Downs)
+	ups, downs := s.db.Votes(cu.ID)
+	fmt.Fprintf(&b, `<span class="votes" data-up="%d" data-down="%d"></span>`+"\n", ups, downs)
 	fmt.Fprintf(&b, `<span class="commentcount">%d</span>`+"\n", shown)
 	b.WriteString("</div>\n")
 	for _, c := range comments {
@@ -244,7 +343,9 @@ func (s *Server) handleDiscussion(w http.ResponseWriter, r *http.Request) {
 		b.WriteString("</div>\n")
 	}
 	b.WriteString("</body></html>\n")
-	fmt.Fprint(w, b.String())
+	body := b.String()
+	s.cache.PutAt(key, body, epoch)
+	writeHTML(w, body)
 }
 
 func parentAttr(c *platform.Comment) string {

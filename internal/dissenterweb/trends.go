@@ -7,10 +7,8 @@ import (
 	"net/url"
 	"sort"
 	"strings"
-	"sync"
 	"time"
 
-	"dissenter/internal/ids"
 	"dissenter/internal/platform"
 )
 
@@ -20,59 +18,29 @@ import (
 // endpoint accepts a NEW URL submission — "if the URL is new to the
 // Dissenter and Gab Trends system, this page contains no comments, but
 // allows new users that navigate to it to make comments about this URL".
-// Submission is the one mutable surface of the simulator: a submitted
-// URL is assigned a fresh commenturl-id on the spot, which is also what
-// makes the §6 covert-channel observation live — any string becomes an
-// addressable comment thread.
-
-// trendsState holds runtime-submitted URLs, separate from the immutable
-// generated DB.
-type trendsState struct {
-	mu        sync.Mutex
-	submitted map[string]*platform.CommentURL
-	idgen     *ids.Generator
-}
-
-func newTrendsState() *trendsState {
-	return &trendsState{
-		submitted: map[string]*platform.CommentURL{},
-		idgen:     ids.NewGenerator(0xD15C0551),
-	}
-}
-
-// lookupSubmitted returns a runtime-submitted URL record, or nil.
-func (t *trendsState) lookup(raw string) *platform.CommentURL {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.submitted[raw]
-}
-
-// submit registers a URL (idempotently) and returns its record.
-func (t *trendsState) submit(raw string) *platform.CommentURL {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if cu, ok := t.submitted[raw]; ok {
-		return cu
-	}
-	cu := &platform.CommentURL{
-		ID:        t.idgen.New(),
-		URL:       raw,
-		FirstSeen: time.Now().UTC().Truncate(time.Second),
-	}
-	t.submitted[raw] = cu
-	return cu
-}
+// Submission is a mutable surface of the simulator: a submitted URL is
+// assigned a fresh commenturl-id on the spot and inserted straight into
+// the sharded platform store, which is also what makes the §6
+// covert-channel observation live — any string becomes an addressable
+// comment thread. Voting (/discussion/vote) is the second mutable
+// surface; tallies accumulate in the store's sharded vote index.
 
 // handleTrends renders the Gab Trends homepage: the most-commented URLs
 // with their titles and comment counts, newest first among ties.
 func (s *Server) handleTrends(w http.ResponseWriter, r *http.Request) {
 	sess := s.session(r)
+	key := trendsKey(sess)
+	if body, ok := s.cacheGet(key); ok {
+		writeHTML(w, body)
+		return
+	}
+	epoch := s.cache.Epoch(key)
 	type entry struct {
 		cu    *platform.CommentURL
 		count int
 	}
 	var entries []entry
-	for _, cu := range s.db.URLs {
+	for _, cu := range s.db.URLs() {
 		count := 0
 		for _, c := range s.db.CommentsOnURL(cu.ID) {
 			if visible(c, sess) {
@@ -107,12 +75,14 @@ func (s *Server) handleTrends(w http.ResponseWriter, r *http.Request) {
 			e.count, url.QueryEscape(e.cu.URL), html.EscapeString(title))
 	}
 	b.WriteString("</ol>\n</body></html>\n")
-	w.Header().Set("Content-Type", "text/html; charset=utf-8")
-	fmt.Fprint(w, b.String())
+	body := b.String()
+	s.cache.PutAt(key, body, epoch)
+	writeHTML(w, body)
 }
 
 // handleBegin accepts a URL submission and redirects to its comment
-// page, minting a commenturl-id when the URL is new to the system.
+// page, minting a commenturl-id and inserting the record into the
+// platform store when the URL is new to the system.
 func (s *Server) handleBegin(w http.ResponseWriter, r *http.Request) {
 	raw := r.URL.Query().Get("url")
 	if raw == "" {
@@ -120,7 +90,43 @@ func (s *Server) handleBegin(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if s.db.URLByString(raw) == nil {
-		s.trends.submit(raw)
+		// No cache invalidation needed: invitation pages for unknown
+		// URLs are never cached, SubmitURL fully indexes the record
+		// before URLByString can return it, and a zero-comment URL
+		// cannot appear in trends listings.
+		s.db.SubmitURL(&platform.CommentURL{
+			ID:        s.idgen.New(),
+			URL:       raw,
+			FirstSeen: time.Now().UTC().Truncate(time.Second),
+		})
 	}
+	http.Redirect(w, r, "/discussion?url="+url.QueryEscape(raw), http.StatusFound)
+}
+
+// handleVote records an up/down vote for a URL's comment page and
+// invalidates its cached rendering.
+func (s *Server) handleVote(w http.ResponseWriter, r *http.Request) {
+	raw := r.URL.Query().Get("url")
+	if raw == "" {
+		http.Error(w, "missing url", http.StatusBadRequest)
+		return
+	}
+	cu := s.db.URLByString(raw)
+	if cu == nil {
+		http.NotFound(w, r)
+		return
+	}
+	var ups, downs int
+	switch r.URL.Query().Get("dir") {
+	case "up":
+		ups = 1
+	case "down":
+		downs = 1
+	default:
+		http.Error(w, "dir must be up or down", http.StatusBadRequest)
+		return
+	}
+	s.db.Vote(cu.ID, ups, downs)
+	s.invalidateSubject(discussionPrefix(raw))
 	http.Redirect(w, r, "/discussion?url="+url.QueryEscape(raw), http.StatusFound)
 }

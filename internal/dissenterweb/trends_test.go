@@ -40,7 +40,7 @@ func TestTrendsHomepage(t *testing.T) {
 	}
 	// The top trend should agree with ground truth's busiest page.
 	best := 0
-	for _, cu := range out.DB.URLs {
+	for _, cu := range out.DB.URLs() {
 		visible := 0
 		for _, c := range out.DB.CommentsOnURL(cu.ID) {
 			if !c.Hidden() {
@@ -57,7 +57,7 @@ func TestTrendsHomepage(t *testing.T) {
 }
 
 func TestSubmitNewURL(t *testing.T) {
-	_, srv := newTestServer(t)
+	_, srv, _ := newIsolatedServer(t)
 	novel := "https://example.org/breaking/totally-new-story"
 
 	// Before submission: the invitation page, no commenturl-id.
@@ -105,7 +105,7 @@ func TestSubmitNewURL(t *testing.T) {
 
 func TestSubmitExistingURLKeepsID(t *testing.T) {
 	_, srv := newTestServer(t)
-	existing := out.DB.URLs[0]
+	existing := out.DB.URLs()[0]
 	client := &http.Client{CheckRedirect: func(*http.Request, []*http.Request) error {
 		return http.ErrUseLastResponse
 	}}
@@ -123,7 +123,7 @@ func TestSubmitExistingURLKeepsID(t *testing.T) {
 func TestSubmitCovertAnchor(t *testing.T) {
 	// §6: "The URL need not exist, can use any arbitrary scheme" — the
 	// covert-channel property.
-	_, srv := newTestServer(t)
+	_, srv, _ := newIsolatedServer(t)
 	anchor := "dissenter://secret/meeting-point-7"
 	client := &http.Client{CheckRedirect: func(*http.Request, []*http.Request) error {
 		return http.ErrUseLastResponse

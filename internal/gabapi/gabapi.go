@@ -150,7 +150,7 @@ func (s *Server) handleRelations(w http.ResponseWriter, r *http.Request, idStr, 
 	}
 	var related []ids.GabID
 	if kind == "following" {
-		related = s.db.Follows[u.GabID]
+		related = s.db.Following(u.GabID)
 	} else {
 		related = s.db.Followers(u.GabID)
 	}

@@ -1,0 +1,29 @@
+// Package hashkit holds the tiny hash helpers shared by the sharded
+// containers (the platform store's index shards, the response cache):
+// FNV-1a for string keys and a splitmix64 finalizer for integer keys.
+package hashkit
+
+// FNV1a hashes s with 64-bit FNV-1a.
+func FNV1a(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}
+
+// Mix64 finalizes an integer key (splitmix64 finalizer) so that
+// sequential IDs spread across shards instead of striping.
+func Mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

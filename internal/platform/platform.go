@@ -5,11 +5,16 @@
 // crawlers in internal/gabcrawl and internal/dissentercrawl then try to
 // reconstruct it from the outside, exactly as the paper's measurement
 // campaign reconstructed the real platform.
+//
+// The store (DB) is safe for heavy concurrent use: every lookup index is
+// hash-sharded across independently RWMutex-guarded segments and
+// maintained incrementally on insert, so simulators can serve many
+// crawler clients while Gab Trends submissions and votes stream in. See
+// store.go for the write paths and the snapshot discipline.
 package platform
 
 import (
 	"fmt"
-	"sort"
 	"time"
 
 	"dissenter/internal/ids"
@@ -47,7 +52,7 @@ type ViewFilters struct {
 }
 
 // User is one Gab account, which may or may not also hold a Dissenter
-// account.
+// account. Users are immutable once inserted into a DB.
 type User struct {
 	GabID       ids.GabID
 	Username    string
@@ -68,7 +73,10 @@ type User struct {
 	Language string // hidden commentAuthor metadata
 }
 
-// CommentURL is one URL with a Dissenter comment page.
+// CommentURL is one URL with a Dissenter comment page. Records are
+// immutable once inserted into a DB; Ups/Downs are the generated
+// baseline tally, and serve-time votes accumulate in the store's sharded
+// vote index (DB.Vote / DB.Votes).
 type CommentURL struct {
 	ID          ids.ObjectID
 	URL         string
@@ -81,7 +89,7 @@ type CommentURL struct {
 // NetVotes returns ups minus downs, the quantity Figure 5 plots.
 func (u *CommentURL) NetVotes() int { return u.Ups - u.Downs }
 
-// Comment is one comment or reply.
+// Comment is one comment or reply, immutable once inserted into a DB.
 type Comment struct {
 	ID        ids.ObjectID
 	URLID     ids.ObjectID
@@ -101,158 +109,15 @@ func (c *Comment) IsReply() bool { return !c.ParentID.IsZero() }
 // Hidden reports whether the comment is part of the shadow overlay.
 func (c *Comment) Hidden() bool { return c.NSFW || c.Offensive }
 
-// DB is the platform's ground truth. Build one with synth.Generate, then
-// treat it as immutable; the HTTP simulators read it concurrently.
-type DB struct {
-	Users    []*User
-	URLs     []*CommentURL
-	Comments []*Comment
-	// Follows maps a Gab user to the set of Gab users they follow.
-	Follows map[ids.GabID][]ids.GabID
-
-	byGabID          map[ids.GabID]*User
-	byUsername       map[string]*User
-	byAuthor         map[ids.ObjectID]*User
-	urlByID          map[ids.ObjectID]*CommentURL
-	urlByURL         map[string]*CommentURL
-	commentsByURL    map[ids.ObjectID][]*Comment
-	commentByID      map[ids.ObjectID]*Comment
-	commentsByAuthor map[ids.ObjectID][]*Comment
-	maxGabID         ids.GabID
-}
-
-// Reindex (re)builds every lookup index. Call once after constructing or
-// mutating the raw slices.
-func (db *DB) Reindex() {
-	db.byGabID = make(map[ids.GabID]*User, len(db.Users))
-	db.byUsername = make(map[string]*User, len(db.Users))
-	db.byAuthor = make(map[ids.ObjectID]*User, len(db.Users))
-	db.maxGabID = 0
-	for _, u := range db.Users {
-		db.byGabID[u.GabID] = u
-		db.byUsername[u.Username] = u
-		if u.HasDissenter {
-			db.byAuthor[u.AuthorID] = u
-		}
-		if u.GabID > db.maxGabID {
-			db.maxGabID = u.GabID
-		}
-	}
-	db.urlByID = make(map[ids.ObjectID]*CommentURL, len(db.URLs))
-	db.urlByURL = make(map[string]*CommentURL, len(db.URLs))
-	for _, cu := range db.URLs {
-		db.urlByID[cu.ID] = cu
-		db.urlByURL[cu.URL] = cu
-	}
-	db.commentsByURL = make(map[ids.ObjectID][]*Comment, len(db.URLs))
-	db.commentByID = make(map[ids.ObjectID]*Comment, len(db.Comments))
-	db.commentsByAuthor = make(map[ids.ObjectID][]*Comment)
-	for _, c := range db.Comments {
-		db.commentsByURL[c.URLID] = append(db.commentsByURL[c.URLID], c)
-		db.commentByID[c.ID] = c
-		db.commentsByAuthor[c.AuthorID] = append(db.commentsByAuthor[c.AuthorID], c)
-	}
-	for _, list := range db.commentsByURL {
-		sort.Slice(list, func(i, j int) bool { return list[i].ID.Before(list[j].ID) })
-	}
-}
-
-// UserByGabID returns the user with the given Gab ID, or nil. Deleted Gab
-// accounts return nil — the API no longer knows them.
-func (db *DB) UserByGabID(id ids.GabID) *User {
-	u := db.byGabID[id]
-	if u == nil || u.GabDeleted {
-		return nil
-	}
-	return u
-}
-
-// UserByUsername returns the user (including Gab-deleted ones, whose
-// Dissenter pages persist), or nil.
-func (db *DB) UserByUsername(name string) *User { return db.byUsername[name] }
-
-// UserByAuthorID resolves a Dissenter author-id.
-func (db *DB) UserByAuthorID(id ids.ObjectID) *User { return db.byAuthor[id] }
-
-// MaxGabID returns the largest allocated Gab ID (enumeration's endpoint).
-func (db *DB) MaxGabID() ids.GabID { return db.maxGabID }
-
-// URLByID resolves a commenturl-id.
-func (db *DB) URLByID(id ids.ObjectID) *CommentURL { return db.urlByID[id] }
-
-// URLByString resolves a raw URL.
-func (db *DB) URLByString(raw string) *CommentURL { return db.urlByURL[raw] }
-
-// CommentsOnURL returns the comments of one comment page in creation
-// order. The slice is shared; callers must not modify it.
-func (db *DB) CommentsOnURL(id ids.ObjectID) []*Comment { return db.commentsByURL[id] }
-
-// CommentByID resolves a comment-id.
-func (db *DB) CommentByID(id ids.ObjectID) *Comment { return db.commentByID[id] }
-
-// CommentsByAuthor returns all comments by one Dissenter author.
-func (db *DB) CommentsByAuthor(id ids.ObjectID) []*Comment { return db.commentsByAuthor[id] }
-
-// URLsCommentedBy returns the distinct URLs the author commented on, in
-// first-comment order — the listing a Dissenter home page exposes.
-func (db *DB) URLsCommentedBy(id ids.ObjectID) []*CommentURL {
-	seen := map[ids.ObjectID]bool{}
-	var out []*CommentURL
-	for _, c := range db.commentsByAuthor[id] {
-		if !seen[c.URLID] {
-			seen[c.URLID] = true
-			out = append(out, db.urlByID[c.URLID])
-		}
-	}
-	return out
-}
-
-// Followers returns the Gab users following id (derived from Follows).
-func (db *DB) Followers(id ids.GabID) []ids.GabID {
-	var out []ids.GabID
-	for follower, following := range db.Follows {
-		for _, f := range following {
-			if f == id {
-				out = append(out, follower)
-				break
-			}
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
-}
-
-// DissenterUsers returns users with Dissenter accounts.
-func (db *DB) DissenterUsers() []*User {
-	var out []*User
-	for _, u := range db.Users {
-		if u.HasDissenter {
-			out = append(out, u)
-		}
-	}
-	return out
-}
-
-// ActiveUsers returns Dissenter users with at least one comment or reply.
-func (db *DB) ActiveUsers() []*User {
-	var out []*User
-	for _, u := range db.Users {
-		if u.HasDissenter && len(db.commentsByAuthor[u.AuthorID]) > 0 {
-			out = append(out, u)
-		}
-	}
-	return out
-}
-
 // Validate checks the database's structural invariants. A generated DB
 // must always pass; the property tests lean on this.
 func (db *DB) Validate() error {
-	if db.byGabID == nil {
-		return fmt.Errorf("platform: DB not indexed; call Reindex")
+	if !db.initialized() {
+		return fmt.Errorf("platform: DB not initialized; build it with New")
 	}
 	seenGab := map[ids.GabID]bool{}
 	seenName := map[string]bool{}
-	for _, u := range db.Users {
+	for _, u := range db.Users() {
 		if !u.GabID.Valid() {
 			return fmt.Errorf("platform: user %q has invalid Gab ID %d", u.Username, u.GabID)
 		}
@@ -277,7 +142,7 @@ func (db *DB) Validate() error {
 			return fmt.Errorf("platform: deleted Gab user %q without Dissenter account is unobservable", u.Username)
 		}
 	}
-	for _, cu := range db.URLs {
+	for _, cu := range db.URLs() {
 		if cu.ID.IsZero() {
 			return fmt.Errorf("platform: URL %q has zero id", cu.URL)
 		}
@@ -288,15 +153,16 @@ func (db *DB) Validate() error {
 			return fmt.Errorf("platform: URL %q has negative votes", cu.URL)
 		}
 	}
-	for _, c := range db.Comments {
-		if db.urlByID[c.URLID] == nil {
+	for _, c := range db.Comments() {
+		cu := db.URLByID(c.URLID)
+		if cu == nil {
 			return fmt.Errorf("platform: comment %s references unknown URL %s", c.ID, c.URLID)
 		}
-		if db.byAuthor[c.AuthorID] == nil {
+		if db.UserByAuthorID(c.AuthorID) == nil {
 			return fmt.Errorf("platform: comment %s references unknown author %s", c.ID, c.AuthorID)
 		}
 		if !c.ParentID.IsZero() {
-			parent := db.commentByID[c.ParentID]
+			parent := db.CommentByID(c.ParentID)
 			if parent == nil {
 				return fmt.Errorf("platform: reply %s references unknown parent %s", c.ID, c.ParentID)
 			}
@@ -304,16 +170,16 @@ func (db *DB) Validate() error {
 				return fmt.Errorf("platform: reply %s crosses comment pages", c.ID)
 			}
 		}
-		if c.ID.Time().Before(db.urlByID[c.URLID].FirstSeen) {
+		if c.ID.Time().Before(cu.FirstSeen) {
 			return fmt.Errorf("platform: comment %s predates its URL's first-seen time", c.ID)
 		}
 	}
-	for follower, following := range db.Follows {
-		if db.byGabID[follower] == nil {
+	for follower, following := range db.Follows() {
+		if _, ok := db.byGabID.get(follower); !ok {
 			return fmt.Errorf("platform: follow edge from unknown user %d", follower)
 		}
 		for _, f := range following {
-			if db.byGabID[f] == nil {
+			if _, ok := db.byGabID.get(f); !ok {
 				return fmt.Errorf("platform: follow edge to unknown user %d", f)
 			}
 			if f == follower {
@@ -340,11 +206,12 @@ type Stats struct {
 // Census counts the headline quantities.
 func (db *DB) Census() Stats {
 	var s Stats
-	s.GabUsers = len(db.Users)
-	for _, u := range db.Users {
+	users := db.Users()
+	s.GabUsers = len(users)
+	for _, u := range users {
 		if u.HasDissenter {
 			s.DissenterUsers++
-			if len(db.commentsByAuthor[u.AuthorID]) > 0 {
+			if len(db.CommentsByAuthor(u.AuthorID)) > 0 {
 				s.ActiveUsers++
 			}
 		}
@@ -352,8 +219,8 @@ func (db *DB) Census() Stats {
 			s.DeletedGabUsers++
 		}
 	}
-	s.URLs = len(db.URLs)
-	for _, c := range db.Comments {
+	s.URLs = len(db.URLs())
+	for _, c := range db.Comments() {
 		s.Comments++
 		if c.IsReply() {
 			s.Replies++

@@ -7,7 +7,16 @@ import (
 	"dissenter/internal/ids"
 )
 
-func buildValid() *DB {
+// parts are the raw entities of the small valid fixture, mutable before
+// they are handed to New.
+type parts struct {
+	users    []*User
+	urls     []*CommentURL
+	comments []*Comment
+	follows  map[ids.GabID][]ids.GabID
+}
+
+func validParts() *parts {
 	gen := ids.NewGenerator(1)
 	t0 := time.Date(2019, 3, 1, 0, 0, 0, 0, time.UTC)
 	alice := &User{GabID: 1, Username: "alice", CreatedAt: t0,
@@ -22,15 +31,19 @@ func buildValid() *DB {
 	c2 := &Comment{ID: gen.NewAt(t0.Add(2 * time.Hour)), URLID: cu.ID,
 		AuthorID: carol.AuthorID, ParentID: c1.ID, Text: "reply", NSFW: true,
 		CreatedAt: t0.Add(2 * time.Hour)}
-	db := &DB{
-		Users:    []*User{alice, bob, carol},
-		URLs:     []*CommentURL{cu},
-		Comments: []*Comment{c1, c2},
-		Follows:  map[ids.GabID][]ids.GabID{1: {2}, 2: {1, 3}},
+	return &parts{
+		users:    []*User{alice, bob, carol},
+		urls:     []*CommentURL{cu},
+		comments: []*Comment{c1, c2},
+		follows:  map[ids.GabID][]ids.GabID{1: {2}, 2: {1, 3}},
 	}
-	db.Reindex()
-	return db
 }
+
+func (p *parts) build() *DB {
+	return New(p.users, p.urls, p.comments, p.follows)
+}
+
+func buildValid() *DB { return validParts().build() }
 
 func TestValidateOK(t *testing.T) {
 	if err := buildValid().Validate(); err != nil {
@@ -39,45 +52,44 @@ func TestValidateOK(t *testing.T) {
 }
 
 func TestValidateCatchesViolations(t *testing.T) {
-	break_ := func(name string, mutate func(*DB)) {
-		db := buildValid()
-		mutate(db)
-		db.Reindex()
-		if err := db.Validate(); err == nil {
+	break_ := func(name string, mutate func(*parts)) {
+		p := validParts()
+		mutate(p)
+		if err := p.build().Validate(); err == nil {
 			t.Errorf("%s: violation not caught", name)
 		}
 	}
-	break_("duplicate gab id", func(db *DB) { db.Users[1].GabID = 1 })
-	break_("duplicate username", func(db *DB) { db.Users[1].Username = "alice" })
-	break_("dissenter without author id", func(db *DB) { db.Users[0].AuthorID = ids.ObjectID{} })
-	break_("author id without dissenter", func(db *DB) {
-		db.Users[1].AuthorID = ids.NewGenerator(9).New()
+	break_("duplicate gab id", func(p *parts) { p.users[1].GabID = 1 })
+	break_("duplicate username", func(p *parts) { p.users[1].Username = "alice" })
+	break_("dissenter without author id", func(p *parts) { p.users[0].AuthorID = ids.ObjectID{} })
+	break_("author id without dissenter", func(p *parts) {
+		p.users[1].AuthorID = ids.NewGenerator(9).New()
 	})
-	break_("deleted non-dissenter", func(db *DB) {
-		db.Users[1].GabDeleted = true
+	break_("deleted non-dissenter", func(p *parts) {
+		p.users[1].GabDeleted = true
 	})
-	break_("comment on unknown url", func(db *DB) {
-		db.Comments[0].URLID = ids.NewGenerator(9).New()
+	break_("comment on unknown url", func(p *parts) {
+		p.comments[0].URLID = ids.NewGenerator(9).New()
 	})
-	break_("comment by unknown author", func(db *DB) {
-		db.Comments[0].AuthorID = ids.NewGenerator(9).New()
+	break_("comment by unknown author", func(p *parts) {
+		p.comments[0].AuthorID = ids.NewGenerator(9).New()
 	})
-	break_("reply to unknown parent", func(db *DB) {
-		db.Comments[1].ParentID = ids.NewGenerator(9).New()
+	break_("reply to unknown parent", func(p *parts) {
+		p.comments[1].ParentID = ids.NewGenerator(9).New()
 	})
-	break_("negative votes", func(db *DB) { db.URLs[0].Ups = -1 })
-	break_("self follow", func(db *DB) {
-		db.Follows[1] = append(db.Follows[1], 1)
+	break_("negative votes", func(p *parts) { p.urls[0].Ups = -1 })
+	break_("self follow", func(p *parts) {
+		p.follows[1] = append(p.follows[1], 1)
 	})
-	break_("follow unknown", func(db *DB) {
-		db.Follows[1] = append(db.Follows[1], 999)
+	break_("follow unknown", func(p *parts) {
+		p.follows[1] = append(p.follows[1], 999)
 	})
 }
 
-func TestValidateRequiresIndex(t *testing.T) {
+func TestValidateRequiresInit(t *testing.T) {
 	db := &DB{}
 	if err := db.Validate(); err == nil {
-		t.Error("unindexed DB validated")
+		t.Error("uninitialized DB validated")
 	}
 }
 
@@ -103,7 +115,10 @@ func TestLookups(t *testing.T) {
 	if got := db.Followers(1); len(got) != 1 || got[0] != 2 {
 		t.Errorf("Followers(1) = %v", got)
 	}
-	if db.URLs[0].NetVotes() != 1 {
+	if got := db.Following(2); len(got) != 2 {
+		t.Errorf("Following(2) = %v", got)
+	}
+	if db.URLs()[0].NetVotes() != 1 {
 		t.Error("NetVotes wrong")
 	}
 }
@@ -123,7 +138,7 @@ func TestCensus(t *testing.T) {
 
 func TestCommentsSortedOnURL(t *testing.T) {
 	db := buildValid()
-	comments := db.CommentsOnURL(db.URLs[0].ID)
+	comments := db.CommentsOnURL(db.URLs()[0].ID)
 	if len(comments) != 2 {
 		t.Fatalf("comments = %d", len(comments))
 	}
@@ -135,5 +150,48 @@ func TestCommentsSortedOnURL(t *testing.T) {
 	}
 	if comments[0].Hidden() || !comments[1].Hidden() {
 		t.Error("Hidden wrong")
+	}
+}
+
+func TestIncrementalInsert(t *testing.T) {
+	db := buildValid()
+	gen := ids.NewGenerator(7)
+	at := time.Date(2019, 6, 1, 0, 0, 0, 0, time.UTC)
+
+	// A submitted URL becomes visible through every read path.
+	cu := &CommentURL{ID: gen.NewAt(at), URL: "https://example.com/new", FirstSeen: at}
+	got, inserted := db.SubmitURL(cu)
+	if !inserted || got != cu {
+		t.Fatalf("SubmitURL: got %v inserted=%v", got, inserted)
+	}
+	if db.URLByString(cu.URL) != cu || db.URLByID(cu.ID) != cu {
+		t.Error("submitted URL not indexed")
+	}
+	// Re-submitting the same address returns the canonical record.
+	dup := &CommentURL{ID: gen.NewAt(at), URL: cu.URL, FirstSeen: at}
+	if got, inserted := db.SubmitURL(dup); inserted || got != cu {
+		t.Errorf("duplicate submit: got %v inserted=%v", got, inserted)
+	}
+
+	// An added comment lands on its page in creation order.
+	alice := db.UserByUsername("alice")
+	c := &Comment{ID: gen.NewAt(at.Add(time.Minute)), URLID: cu.ID,
+		AuthorID: alice.AuthorID, Text: "late", CreatedAt: at.Add(time.Minute)}
+	db.AddComment(c)
+	if page := db.CommentsOnURL(cu.ID); len(page) != 1 || page[0] != c {
+		t.Errorf("page after AddComment = %v", page)
+	}
+	if db.CommentByID(c.ID) != c {
+		t.Error("comment not resolvable by ID")
+	}
+	if err := db.Validate(); err != nil {
+		t.Errorf("DB invalid after incremental inserts: %v", err)
+	}
+
+	// Votes accumulate on top of the generated baseline.
+	first := db.URLs()[0]
+	db.Vote(first.ID, 3, 1)
+	if ups, downs := db.Votes(first.ID); ups != 5 || downs != 2 {
+		t.Errorf("Votes = %d/%d, want 5/2", ups, downs)
 	}
 }

@@ -1,0 +1,104 @@
+package platform
+
+import (
+	"sync"
+
+	"dissenter/internal/hashkit"
+	"dissenter/internal/ids"
+)
+
+// The store splits every index across numShards independently locked
+// segments, keyed by a hash of the index key. Reads on different shards
+// never contend, and reads on the same shard contend only with writes to
+// that shard — which is what lets the HTTP simulators serve many
+// concurrent crawler clients against one DB.
+const (
+	shardBits = 4
+	numShards = 1 << shardBits
+	shardMask = numShards - 1
+)
+
+// shardedMap is a hash-sharded map with a sync.RWMutex per shard. V is
+// stored by value; slice-valued maps must be updated copy-on-write (see
+// update) so that snapshots handed to readers are never mutated in place.
+type shardedMap[K comparable, V any] struct {
+	hash   func(K) uint64
+	shards [numShards]struct {
+		mu sync.RWMutex
+		m  map[K]V
+	}
+}
+
+func newShardedMap[K comparable, V any](hash func(K) uint64) *shardedMap[K, V] {
+	s := &shardedMap[K, V]{hash: hash}
+	for i := range s.shards {
+		s.shards[i].m = make(map[K]V)
+	}
+	return s
+}
+
+func (s *shardedMap[K, V]) shard(k K) *struct {
+	mu sync.RWMutex
+	m  map[K]V
+} {
+	return &s.shards[s.hash(k)&shardMask]
+}
+
+func (s *shardedMap[K, V]) get(k K) (V, bool) {
+	sh := s.shard(k)
+	sh.mu.RLock()
+	v, ok := sh.m[k]
+	sh.mu.RUnlock()
+	return v, ok
+}
+
+func (s *shardedMap[K, V]) set(k K, v V) {
+	sh := s.shard(k)
+	sh.mu.Lock()
+	sh.m[k] = v
+	sh.mu.Unlock()
+}
+
+// update replaces the value under k with f(old). f must not mutate the
+// old value in place: concurrent readers may still hold it.
+func (s *shardedMap[K, V]) update(k K, f func(V) V) {
+	sh := s.shard(k)
+	sh.mu.Lock()
+	sh.m[k] = f(sh.m[k])
+	sh.mu.Unlock()
+}
+
+// getOrCreate returns the value under k, calling create to build and
+// publish it if absent. create runs under the shard's write lock, so at
+// most one caller creates per key; its side effects (inserts into other
+// indexes) complete before the value becomes visible here.
+func (s *shardedMap[K, V]) getOrCreate(k K, create func() V) (V, bool) {
+	sh := s.shard(k)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if v, ok := sh.m[k]; ok {
+		return v, false
+	}
+	v := create()
+	sh.m[k] = v
+	return v, true
+}
+
+// --- hash functions -----------------------------------------------------
+
+func hashGabID(id ids.GabID) uint64 { return hashkit.Mix64(uint64(id)) }
+
+// hashObjectID folds the 12 identifier bytes. The timestamp prefix alone
+// would cluster same-second IDs, so the machine+counter suffix is mixed in.
+func hashObjectID(id ids.ObjectID) uint64 {
+	var hi, lo uint64
+	for i := 0; i < 8; i++ {
+		hi = hi<<8 | uint64(id[i])
+	}
+	for i := 8; i < 12; i++ {
+		lo = lo<<8 | uint64(id[i])
+	}
+	return hashkit.Mix64(hi ^ hashkit.Mix64(lo))
+}
+
+func hashString(s string) uint64 { return hashkit.FNV1a(s) }

@@ -1,0 +1,372 @@
+package platform
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"dissenter/internal/ids"
+)
+
+// DB is the platform's ground truth: a concurrency-safe sharded store of
+// users, commented URLs, comments, votes, and the Gab follower graph.
+// Build one with New (synth.Generate does); the HTTP simulators read it
+// concurrently while the mutable surfaces — Gab Trends URL submission
+// and voting — write through SubmitURL and Vote.
+//
+// Every index is split across numShards RWMutex-guarded segments keyed
+// by ID hash, and maintained incrementally on insert; there is no
+// whole-store rebuild. Entity records (*User, *CommentURL, *Comment)
+// are treated as immutable once inserted: mutable state that changes at
+// serve time (vote tallies) lives in its own sharded index, and
+// slice-valued indexes are updated copy-on-write so snapshots handed to
+// readers are never written again.
+type DB struct {
+	mu       sync.RWMutex // guards the slices and follows map below
+	users    []*User
+	urls     []*CommentURL
+	comments []*Comment
+	follows  map[ids.GabID][]ids.GabID
+
+	byGabID          *shardedMap[ids.GabID, *User]
+	byUsername       *shardedMap[string, *User]
+	byAuthor         *shardedMap[ids.ObjectID, *User]
+	urlByID          *shardedMap[ids.ObjectID, *CommentURL]
+	urlByURL         *shardedMap[string, *CommentURL]
+	commentByID      *shardedMap[ids.ObjectID, *Comment]
+	commentsByURL    *shardedMap[ids.ObjectID, []*Comment]
+	commentsByAuthor *shardedMap[ids.ObjectID, []*Comment]
+	followersOf      *shardedMap[ids.GabID, []ids.GabID]
+	votes            *shardedMap[ids.ObjectID, voteDelta]
+
+	maxGabID atomic.Int64
+}
+
+// voteDelta accumulates serve-time votes on top of a URL's generated
+// Ups/Downs baseline.
+type voteDelta struct{ ups, downs int }
+
+// New builds an indexed store from raw entity slices. The slices are
+// retained; callers hand over ownership and must not mutate the records
+// afterwards. Any argument may be nil.
+//
+// Construction happens before the store is shared, so it bulk-builds
+// the grouped indexes — append everything, sort each list once —
+// instead of going through the copy-on-write insert path, which would
+// cost O(k²) on the largest comment page or follower list.
+func New(users []*User, urls []*CommentURL, comments []*Comment, follows map[ids.GabID][]ids.GabID) *DB {
+	db := &DB{
+		users:            users,
+		urls:             urls,
+		comments:         comments,
+		follows:          make(map[ids.GabID][]ids.GabID, len(follows)),
+		byGabID:          newShardedMap[ids.GabID, *User](hashGabID),
+		byUsername:       newShardedMap[string, *User](hashString),
+		byAuthor:         newShardedMap[ids.ObjectID, *User](hashObjectID),
+		urlByID:          newShardedMap[ids.ObjectID, *CommentURL](hashObjectID),
+		urlByURL:         newShardedMap[string, *CommentURL](hashString),
+		commentByID:      newShardedMap[ids.ObjectID, *Comment](hashObjectID),
+		commentsByURL:    newShardedMap[ids.ObjectID, []*Comment](hashObjectID),
+		commentsByAuthor: newShardedMap[ids.ObjectID, []*Comment](hashObjectID),
+		followersOf:      newShardedMap[ids.GabID, []ids.GabID](hashGabID),
+		votes:            newShardedMap[ids.ObjectID, voteDelta](hashObjectID),
+	}
+	for _, u := range users {
+		db.indexUser(u)
+	}
+	for _, cu := range urls {
+		db.urlByID.set(cu.ID, cu)
+		db.urlByURL.set(cu.URL, cu)
+	}
+	byURL := make(map[ids.ObjectID][]*Comment)
+	byAuthor := make(map[ids.ObjectID][]*Comment)
+	for _, c := range comments {
+		db.commentByID.set(c.ID, c)
+		byURL[c.URLID] = append(byURL[c.URLID], c)
+		byAuthor[c.AuthorID] = append(byAuthor[c.AuthorID], c)
+	}
+	for id, list := range byURL {
+		sort.Slice(list, func(i, j int) bool { return list[i].ID.Before(list[j].ID) })
+		db.commentsByURL.set(id, list)
+	}
+	for id, list := range byAuthor {
+		sort.Slice(list, func(i, j int) bool { return list[i].ID.Before(list[j].ID) })
+		db.commentsByAuthor.set(id, list)
+	}
+	followers := make(map[ids.GabID][]ids.GabID)
+	for from, tos := range follows {
+		db.follows[from] = tos
+		for _, to := range tos {
+			followers[to] = append(followers[to], from)
+		}
+	}
+	for id, list := range followers {
+		sort.Slice(list, func(i, j int) bool { return list[i] < list[j] })
+		db.followersOf.set(id, list)
+	}
+	return db
+}
+
+// initialized reports whether the DB was built with New; the zero DB has
+// no indexes and rejects everything.
+func (db *DB) initialized() bool { return db.byGabID != nil }
+
+// --- incremental inserts ------------------------------------------------
+
+// indexUser writes a user's point-lookup entries and advances maxGabID.
+func (db *DB) indexUser(u *User) {
+	db.byGabID.set(u.GabID, u)
+	db.byUsername.set(u.Username, u)
+	if u.HasDissenter {
+		db.byAuthor.set(u.AuthorID, u)
+	}
+	for {
+		cur := db.maxGabID.Load()
+		if int64(u.GabID) <= cur || db.maxGabID.CompareAndSwap(cur, int64(u.GabID)) {
+			break
+		}
+	}
+}
+
+// AddUser indexes a user. Inserting a duplicate Gab ID or username
+// overwrites the index entry; Validate reports the corruption.
+func (db *DB) AddUser(u *User) {
+	db.indexUser(u)
+	db.mu.Lock()
+	db.users = append(db.users, u)
+	db.mu.Unlock()
+}
+
+// SubmitURL registers cu unless a URL with the same address already
+// exists, returning the canonical record. This is the Gab Trends
+// /discussion/begin write path: at most one caller wins per address, and
+// the winner's record is fully indexed before it becomes visible via
+// URLByString. The loser's minted ID is discarded.
+func (db *DB) SubmitURL(cu *CommentURL) (canonical *CommentURL, inserted bool) {
+	return db.urlByURL.getOrCreate(cu.URL, func() *CommentURL {
+		db.urlByID.set(cu.ID, cu)
+		db.mu.Lock()
+		db.urls = append(db.urls, cu)
+		db.mu.Unlock()
+		return cu
+	})
+}
+
+// AddComment indexes a comment. The per-URL listing is written last, so
+// a comment visible on its page always resolves via CommentByID.
+func (db *DB) AddComment(c *Comment) {
+	db.commentByID.set(c.ID, c)
+	db.commentsByAuthor.update(c.AuthorID, func(old []*Comment) []*Comment {
+		return insertSorted(old, c)
+	})
+	db.mu.Lock()
+	db.comments = append(db.comments, c)
+	db.mu.Unlock()
+	db.commentsByURL.update(c.URLID, func(old []*Comment) []*Comment {
+		return insertSorted(old, c)
+	})
+}
+
+// insertSorted returns a new slice with c inserted in ID (creation)
+// order. Copy-on-write: the old backing array is never shifted, because
+// concurrent readers may still be iterating it.
+func insertSorted(old []*Comment, c *Comment) []*Comment {
+	i := sort.Search(len(old), func(i int) bool { return c.ID.Before(old[i].ID) })
+	out := make([]*Comment, 0, len(old)+1)
+	out = append(out, old[:i]...)
+	out = append(out, c)
+	out = append(out, old[i:]...)
+	return out
+}
+
+// AddFollow records a follow edge and maintains the reverse (followers)
+// index incrementally — Followers is a lookup, not an edge scan.
+func (db *DB) AddFollow(from, to ids.GabID) {
+	db.mu.Lock()
+	db.follows[from] = append(db.follows[from], to)
+	db.mu.Unlock()
+	db.followersOf.update(to, func(old []ids.GabID) []ids.GabID {
+		i := sort.Search(len(old), func(i int) bool { return old[i] >= from })
+		out := make([]ids.GabID, 0, len(old)+1)
+		out = append(out, old[:i]...)
+		out = append(out, from)
+		out = append(out, old[i:]...)
+		return out
+	})
+}
+
+// Vote adds serve-time up/down votes to a URL's tally.
+func (db *DB) Vote(urlID ids.ObjectID, ups, downs int) {
+	db.votes.update(urlID, func(d voteDelta) voteDelta {
+		d.ups += ups
+		d.downs += downs
+		return d
+	})
+}
+
+// Votes returns the URL's current tally: the generated baseline plus any
+// serve-time votes. Unknown URLs count zero.
+func (db *DB) Votes(urlID ids.ObjectID) (ups, downs int) {
+	if cu, ok := db.urlByID.get(urlID); ok {
+		ups, downs = cu.Ups, cu.Downs
+	}
+	d, _ := db.votes.get(urlID)
+	return ups + d.ups, downs + d.downs
+}
+
+// --- point lookups ------------------------------------------------------
+
+// UserByGabID returns the user with the given Gab ID, or nil. Deleted Gab
+// accounts return nil — the API no longer knows them.
+func (db *DB) UserByGabID(id ids.GabID) *User {
+	u, _ := db.byGabID.get(id)
+	if u == nil || u.GabDeleted {
+		return nil
+	}
+	return u
+}
+
+// UserByUsername returns the user (including Gab-deleted ones, whose
+// Dissenter pages persist), or nil.
+func (db *DB) UserByUsername(name string) *User {
+	u, _ := db.byUsername.get(name)
+	return u
+}
+
+// UserByAuthorID resolves a Dissenter author-id.
+func (db *DB) UserByAuthorID(id ids.ObjectID) *User {
+	u, _ := db.byAuthor.get(id)
+	return u
+}
+
+// MaxGabID returns the largest allocated Gab ID (enumeration's endpoint).
+func (db *DB) MaxGabID() ids.GabID { return ids.GabID(db.maxGabID.Load()) }
+
+// URLByID resolves a commenturl-id.
+func (db *DB) URLByID(id ids.ObjectID) *CommentURL {
+	cu, _ := db.urlByID.get(id)
+	return cu
+}
+
+// URLByString resolves a raw URL.
+func (db *DB) URLByString(raw string) *CommentURL {
+	cu, _ := db.urlByURL.get(raw)
+	return cu
+}
+
+// CommentsOnURL returns the comments of one comment page in creation
+// order. The slice is a stable snapshot; callers must not modify it.
+func (db *DB) CommentsOnURL(id ids.ObjectID) []*Comment {
+	cs, _ := db.commentsByURL.get(id)
+	return cs
+}
+
+// CommentByID resolves a comment-id.
+func (db *DB) CommentByID(id ids.ObjectID) *Comment {
+	c, _ := db.commentByID.get(id)
+	return c
+}
+
+// CommentsByAuthor returns all comments by one Dissenter author in
+// creation order. The slice is a stable snapshot; callers must not
+// modify it.
+func (db *DB) CommentsByAuthor(id ids.ObjectID) []*Comment {
+	cs, _ := db.commentsByAuthor.get(id)
+	return cs
+}
+
+// URLsCommentedBy returns the distinct URLs the author commented on, in
+// first-comment order — the listing a Dissenter home page exposes.
+func (db *DB) URLsCommentedBy(id ids.ObjectID) []*CommentURL {
+	seen := map[ids.ObjectID]bool{}
+	var out []*CommentURL
+	for _, c := range db.CommentsByAuthor(id) {
+		if !seen[c.URLID] {
+			seen[c.URLID] = true
+			if cu := db.URLByID(c.URLID); cu != nil {
+				out = append(out, cu)
+			}
+		}
+	}
+	return out
+}
+
+// Following returns the Gab users id follows. The slice is a stable
+// snapshot; callers must not modify it.
+func (db *DB) Following(id ids.GabID) []ids.GabID {
+	db.mu.RLock()
+	out := db.follows[id]
+	db.mu.RUnlock()
+	return out
+}
+
+// Followers returns the Gab users following id in ascending order,
+// served from the incrementally maintained reverse index. The slice is a
+// stable snapshot; callers must not modify it.
+func (db *DB) Followers(id ids.GabID) []ids.GabID {
+	out, _ := db.followersOf.get(id)
+	return out
+}
+
+// --- snapshot accessors -------------------------------------------------
+
+// Users returns all users in insertion order. The slice is a stable
+// snapshot; callers must not modify it.
+func (db *DB) Users() []*User {
+	db.mu.RLock()
+	out := db.users
+	db.mu.RUnlock()
+	return out
+}
+
+// URLs returns all comment-page URLs in insertion order. The slice is a
+// stable snapshot; callers must not modify it.
+func (db *DB) URLs() []*CommentURL {
+	db.mu.RLock()
+	out := db.urls
+	db.mu.RUnlock()
+	return out
+}
+
+// Comments returns all comments in insertion order. The slice is a
+// stable snapshot; callers must not modify it.
+func (db *DB) Comments() []*Comment {
+	db.mu.RLock()
+	out := db.comments
+	db.mu.RUnlock()
+	return out
+}
+
+// Follows returns a copy of the follow-edge map. The edge slices are
+// shared snapshots; callers must not modify them.
+func (db *DB) Follows() map[ids.GabID][]ids.GabID {
+	db.mu.RLock()
+	out := make(map[ids.GabID][]ids.GabID, len(db.follows))
+	for from, tos := range db.follows {
+		out[from] = tos
+	}
+	db.mu.RUnlock()
+	return out
+}
+
+// DissenterUsers returns users with Dissenter accounts.
+func (db *DB) DissenterUsers() []*User {
+	var out []*User
+	for _, u := range db.Users() {
+		if u.HasDissenter {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// ActiveUsers returns Dissenter users with at least one comment or reply.
+func (db *DB) ActiveUsers() []*User {
+	var out []*User
+	for _, u := range db.Users() {
+		if u.HasDissenter && len(db.CommentsByAuthor(u.AuthorID)) > 0 {
+			out = append(out, u)
+		}
+	}
+	return out
+}

@@ -1,0 +1,274 @@
+// Package respcache is a small sharded LRU + TTL cache for rendered
+// responses. The HTTP simulators put it in front of their hot endpoints
+// — comment listings, user profiles, trends — so that heavy concurrent
+// crawler traffic hits a cached rendering instead of re-walking the
+// platform store on every request.
+//
+// Keys are strings with a "<endpoint>|<subject>|<view>" layout by
+// convention; a mutation invalidates every view of one subject with
+// exact Invalidate calls over the enumerable view suffixes. Writers
+// that render outside the lock use the Epoch/PutAt pair: snapshot the
+// key's epoch before reading the backing store, and the insert is
+// discarded if the key was invalidated in between — a render that raced
+// a write is never cached stale. Entries expire TTL after insertion
+// regardless of use (no read-refresh): explicit invalidation is the
+// primary mechanism and the TTL is only a backstop against writes that
+// bypass it.
+//
+// Like the platform store it fronts, the cache is split across
+// independently locked shards by key hash, so concurrent hits on
+// different pages do not contend.
+package respcache
+
+import (
+	"sync"
+	"time"
+
+	"dissenter/internal/hashkit"
+)
+
+const cacheShards = 16
+
+// Cache is a fixed-capacity sharded LRU with per-entry expiry. The zero
+// value is not usable; construct with New. A nil *Cache is a valid
+// no-op cache, which is how callers disable caching.
+type Cache[V any] struct {
+	shards [cacheShards]lruShard[V]
+}
+
+// lruShard is one independently locked segment: an intrusive
+// doubly-linked LRU list over a map, with per-key invalidation
+// tombstones. Capacity and eviction are per shard, so the cache-wide
+// capacity is approximate under skewed key hashing.
+type lruShard[V any] struct {
+	mu      sync.Mutex
+	maxSize int
+	ttl     time.Duration
+	now     func() time.Time
+	items   map[string]*entry[V]
+	// head is most recent.
+	head, tail *entry[V]
+	// epoch increments on every invalidation in this shard. tomb
+	// records, per exact key, the epoch of its latest invalidation, so
+	// PutAt can discard a render that began before that key was
+	// invalidated without penalizing other keys. tombFloor discards all
+	// older in-flight puts; it only advances when tomb overflows.
+	epoch     uint64
+	tomb      map[string]uint64
+	tombFloor uint64
+
+	hits, misses uint64
+}
+
+type entry[V any] struct {
+	key        string
+	val        V
+	expires    time.Time
+	prev, next *entry[V]
+}
+
+// New builds a cache holding roughly maxSize entries, each valid for
+// ttl. maxSize <= 0 or ttl <= 0 returns nil: a disabled cache on which
+// every method is a safe no-op.
+func New[V any](maxSize int, ttl time.Duration) *Cache[V] {
+	if maxSize <= 0 || ttl <= 0 {
+		return nil
+	}
+	perShard := (maxSize + cacheShards - 1) / cacheShards
+	c := &Cache[V]{}
+	for i := range c.shards {
+		c.shards[i].init(perShard, ttl)
+	}
+	return c
+}
+
+func (s *lruShard[V]) init(maxSize int, ttl time.Duration) {
+	s.maxSize = maxSize
+	s.ttl = ttl
+	s.now = time.Now
+	s.items = make(map[string]*entry[V], maxSize)
+	s.tomb = make(map[string]uint64)
+}
+
+func (c *Cache[V]) shard(key string) *lruShard[V] {
+	return &c.shards[hashkit.FNV1a(key)%cacheShards]
+}
+
+// Get returns the cached value for key if present and unexpired, and
+// marks it most recently used.
+func (c *Cache[V]) Get(key string) (V, bool) {
+	var zero V
+	if c == nil {
+		return zero, false
+	}
+	return c.shard(key).get(key)
+}
+
+// Put inserts or replaces the value for key, restarting its TTL and
+// evicting the least recently used entry if the key's shard is full.
+func (c *Cache[V]) Put(key string, val V) {
+	if c == nil {
+		return
+	}
+	s := c.shard(key)
+	s.mu.Lock()
+	s.put(key, val)
+	s.mu.Unlock()
+}
+
+// Epoch returns the key's current invalidation epoch. Snapshot it
+// before rendering and pass it to PutAt so a render that raced with an
+// invalidation of the key is never cached stale.
+func (c *Cache[V]) Epoch(key string) uint64 {
+	if c == nil {
+		return 0
+	}
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch
+}
+
+// PutAt is Put, but discarded if key was invalidated since the epoch
+// snapshot was taken. Invalidations of other keys in the same shard do
+// not discard the put.
+func (c *Cache[V]) PutAt(key string, val V, epoch uint64) {
+	if c == nil {
+		return
+	}
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if epoch < s.tombFloor || s.tomb[key] > epoch {
+		return
+	}
+	s.put(key, val)
+}
+
+// Invalidate drops the entry for key, if any, and tombstones the key so
+// an in-flight PutAt for it (snapshotted earlier) is discarded.
+func (c *Cache[V]) Invalidate(key string) {
+	if c == nil {
+		return
+	}
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.epoch++
+	s.tomb[key] = s.epoch
+	// Bound the tombstone map: on overflow, fall back to discarding all
+	// of this shard's in-flight puts once and start over.
+	if len(s.tomb) > s.maxSize {
+		s.tomb = make(map[string]uint64)
+		s.tombFloor = s.epoch
+	}
+	if e, ok := s.items[key]; ok {
+		s.remove(e)
+	}
+}
+
+// Len returns the number of live entries (including any not yet
+// observed to be expired).
+func (c *Cache[V]) Len() int {
+	if c == nil {
+		return 0
+	}
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.items)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Stats reports cumulative hit/miss counts.
+func (c *Cache[V]) Stats() (hits, misses uint64) {
+	if c == nil {
+		return 0, 0
+	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		hits += s.hits
+		misses += s.misses
+		s.mu.Unlock()
+	}
+	return hits, misses
+}
+
+// --- shard internals (callers hold s.mu unless noted) -------------------
+
+func (s *lruShard[V]) get(key string) (V, bool) {
+	var zero V
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.items[key]
+	if !ok {
+		s.misses++
+		return zero, false
+	}
+	if s.now().After(e.expires) {
+		s.remove(e)
+		s.misses++
+		return zero, false
+	}
+	s.moveToFront(e)
+	s.hits++
+	return e.val, true
+}
+
+func (s *lruShard[V]) put(key string, val V) {
+	if e, ok := s.items[key]; ok {
+		e.val = val
+		e.expires = s.now().Add(s.ttl)
+		s.moveToFront(e)
+		return
+	}
+	e := &entry[V]{key: key, val: val, expires: s.now().Add(s.ttl)}
+	s.items[key] = e
+	s.pushFront(e)
+	if len(s.items) > s.maxSize {
+		s.remove(s.tail)
+	}
+}
+
+func (s *lruShard[V]) pushFront(e *entry[V]) {
+	e.prev = nil
+	e.next = s.head
+	if s.head != nil {
+		s.head.prev = e
+	}
+	s.head = e
+	if s.tail == nil {
+		s.tail = e
+	}
+}
+
+func (s *lruShard[V]) unlink(e *entry[V]) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		s.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		s.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (s *lruShard[V]) moveToFront(e *entry[V]) {
+	if s.head == e {
+		return
+	}
+	s.unlink(e)
+	s.pushFront(e)
+}
+
+func (s *lruShard[V]) remove(e *entry[V]) {
+	s.unlink(e)
+	delete(s.items, e.key)
+}

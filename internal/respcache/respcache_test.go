@@ -1,0 +1,209 @@
+package respcache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fixedNow installs a controllable clock on every shard and returns the
+// advance knob.
+func fixedNow[V any](c *Cache[V]) func(time.Duration) {
+	now := time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)
+	clock := func() time.Time { return now }
+	for i := range c.shards {
+		c.shards[i].now = clock
+	}
+	return func(d time.Duration) { now = now.Add(d) }
+}
+
+func TestGetPut(t *testing.T) {
+	c := New[string](32, time.Minute)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put("a", "1")
+	if v, ok := c.Get("a"); !ok || v != "1" {
+		t.Fatalf("Get(a) = %q, %v", v, ok)
+	}
+	c.Put("a", "2")
+	if v, _ := c.Get("a"); v != "2" {
+		t.Fatalf("overwrite: got %q", v)
+	}
+	hits, misses := c.Stats()
+	if hits != 2 || misses != 1 {
+		t.Fatalf("stats = %d/%d, want 2/1", hits, misses)
+	}
+}
+
+// TestLRUEviction exercises one shard directly: eviction order within a
+// shard is exact LRU (cache-wide capacity is approximate by design).
+func TestLRUEviction(t *testing.T) {
+	var s lruShard[int]
+	s.init(3, time.Minute)
+	put := func(k string, v int) { s.mu.Lock(); s.put(k, v); s.mu.Unlock() }
+	get := func(k string) bool { _, ok := s.get(k); return ok }
+	put("a", 1)
+	put("b", 2)
+	put("c", 3)
+	get("a") // refresh a: b becomes least recent
+	put("d", 4)
+	if get("b") {
+		t.Error("b should have been evicted")
+	}
+	for _, k := range []string{"a", "c", "d"} {
+		if !get(k) {
+			t.Errorf("%s evicted, want kept", k)
+		}
+	}
+	if len(s.items) != 3 {
+		t.Errorf("shard holds %d entries, want 3", len(s.items))
+	}
+}
+
+func TestTTLExpiry(t *testing.T) {
+	c := New[string](32, time.Minute)
+	advance := fixedNow(c)
+	c.Put("a", "1")
+	advance(30 * time.Second)
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("expired too early")
+	}
+	advance(31 * time.Second)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("entry outlived its TTL")
+	}
+	if c.Len() != 0 {
+		t.Errorf("expired entry still counted: Len = %d", c.Len())
+	}
+	// A fresh Put restarts the TTL.
+	c.Put("a", "2")
+	advance(59 * time.Second)
+	if v, ok := c.Get("a"); !ok || v != "2" {
+		t.Fatal("re-put entry should be live")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := New[string](32, time.Minute)
+	c.Put("disc|https://x.test/|00", "a")
+	c.Put("disc|https://x.test/|10", "b")
+	c.Put("trends|00", "d")
+
+	c.Invalidate("trends|00")
+	if _, ok := c.Get("trends|00"); ok {
+		t.Error("Invalidate left the entry")
+	}
+	// Invalidating one view of a subject leaves the others.
+	c.Invalidate("disc|https://x.test/|00")
+	if _, ok := c.Get("disc|https://x.test/|00"); ok {
+		t.Error("invalidated view survived")
+	}
+	if _, ok := c.Get("disc|https://x.test/|10"); !ok {
+		t.Error("sibling view dropped")
+	}
+}
+
+func TestPutAtDiscardsStaleRender(t *testing.T) {
+	c := New[string](32, time.Minute)
+	// A render that started before an invalidation of its key must not
+	// be cached: it may predate the write that triggered the
+	// invalidation.
+	epoch := c.Epoch("disc|u|00")
+	c.Invalidate("disc|u|00") // the concurrent write path fires
+	c.PutAt("disc|u|00", "stale", epoch)
+	if _, ok := c.Get("disc|u|00"); ok {
+		t.Fatal("stale render survived a concurrent invalidation")
+	}
+	// Without an intervening invalidation the put lands.
+	epoch = c.Epoch("disc|u|00")
+	c.PutAt("disc|u|00", "fresh", epoch)
+	if v, ok := c.Get("disc|u|00"); !ok || v != "fresh" {
+		t.Fatalf("fresh render not cached: %q %v", v, ok)
+	}
+	// Invalidating a DIFFERENT key must not discard this key's put —
+	// otherwise steady writes anywhere would starve the whole cache.
+	epoch = c.Epoch("disc|u|01")
+	c.Invalidate("disc|other|00")
+	c.PutAt("disc|u|01", "unrelated", epoch)
+	if _, ok := c.Get("disc|u|01"); !ok {
+		t.Fatal("unrelated invalidation discarded an in-flight put")
+	}
+}
+
+func TestTombOverflowFloorsInFlightPuts(t *testing.T) {
+	c := New[string](16, time.Minute) // 1 entry per shard
+	// Overflow one shard's tombstone map; the epoch snapshotted before
+	// the overflow must then be rejected (conservative fallback).
+	key := "victim"
+	s := c.shard(key)
+	epoch := c.Epoch(key)
+	for i := 0; len(s.tomb) > 0 || i == 0; i++ {
+		c.Invalidate(sameShardKey(c, s, i))
+	}
+	c.PutAt(key, "stale", epoch)
+	if _, ok := c.Get(key); ok {
+		t.Fatal("pre-overflow snapshot accepted after tomb reset")
+	}
+	c.PutAt(key, "fresh", c.Epoch(key))
+	if _, ok := c.Get(key); !ok {
+		t.Fatal("fresh snapshot rejected after tomb reset")
+	}
+}
+
+// sameShardKey generates the i-th probe key landing in shard s.
+func sameShardKey[V any](c *Cache[V], s *lruShard[V], i int) string {
+	for j := i * 1000; ; j++ {
+		k := fmt.Sprintf("probe%d", j)
+		if c.shard(k) == s {
+			return k
+		}
+	}
+}
+
+func TestNilCacheIsDisabled(t *testing.T) {
+	var c *Cache[string]
+	if got := New[string](0, time.Minute); got != nil {
+		t.Fatal("size 0 should disable the cache")
+	}
+	if got := New[string](10, 0); got != nil {
+		t.Fatal("ttl 0 should disable the cache")
+	}
+	// Every method must be a safe no-op on nil.
+	c.Put("a", "1")
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("nil cache returned a hit")
+	}
+	c.Invalidate("a")
+	c.PutAt("a", "1", c.Epoch("a"))
+	if c.Len() != 0 {
+		t.Fatal("nil cache has entries")
+	}
+	if h, m := c.Stats(); h != 0 || m != 0 {
+		t.Fatal("nil cache has stats")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New[int](64, time.Minute)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := fmt.Sprintf("key%d", (g*500+i)%100)
+				c.PutAt(k, i, c.Epoch(k))
+				c.Get(k)
+				if i%50 == 0 {
+					c.Invalidate(k)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 64 {
+		t.Errorf("Len = %d exceeds capacity", c.Len())
+	}
+}

@@ -44,14 +44,7 @@ func Generate(cfg Config) *Output {
 	g.makeSocialGraph()
 	g.finishYouTube()
 
-	db := &platform.DB{
-		Users:    g.users,
-		URLs:     g.urls,
-		Comments: g.comments,
-		Follows:  g.follows,
-	}
-	db.Reindex()
-	g.out.DB = db
+	g.out.DB = platform.New(g.users, g.urls, g.comments, g.follows)
 	return g.out
 }
 
