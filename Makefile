@@ -4,7 +4,8 @@
 GO ?= go
 
 RACE_PKGS = ./internal/platform/... ./internal/respcache/... \
-            ./internal/gabapi/... ./internal/dissenterweb/...
+            ./internal/gabapi/... ./internal/dissenterweb/... \
+            ./internal/crawlkit/... ./internal/dissentercrawl/...
 
 .PHONY: build test race bench lint fmt ci
 

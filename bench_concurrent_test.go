@@ -14,6 +14,9 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"net/url"
+	"regexp"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -164,6 +167,98 @@ func BenchmarkWebDiscussionConcurrentCached(b *testing.B) {
 
 func BenchmarkWebDiscussionConcurrentUncached(b *testing.B) {
 	benchmarkDiscussionLoad(b, dissenterweb.WithResponseCache(0, 0))
+}
+
+// BenchmarkWebMixedReadWriteConcurrent is the live-growth load shape:
+// a crawler fleet hammering discussion pages while comments stream in
+// through POST /discussion/comment (~3% writes). It reports the cache
+// hit rate and then asserts coherence: after the load stops, the very
+// next render of every hot page must agree with the store's comment
+// count — a dropped write-path invalidation fails the benchmark, not
+// just a test.
+func BenchmarkWebMixedReadWriteConcurrent(b *testing.B) {
+	// Private fixture: writes grow the store, and sharing loadFixture
+	// would order-couple the read-only benchmarks.
+	out := synth.Generate(synth.NewConfig(1.0/256, 7))
+	s := dissenterweb.NewServer(out.DB, dissenterweb.WithURLRateLimit(0, 0))
+	writer := out.DB.ActiveUsers()[0]
+	s.RegisterSession("bench-writer", dissenterweb.Session{Username: writer.Username})
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+	client := benchClient()
+	hot := out.DB.URLs()
+	if len(hot) > 64 {
+		hot = hot[:64]
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			i++
+			cu := hot[i%len(hot)]
+			if i%32 == 0 {
+				form := url.Values{
+					"url":  {cu.URL},
+					"text": {fmt.Sprintf("bench live comment %d", i)},
+				}
+				// b.Errorf, not Fatal: FailNow must stay off RunParallel
+				// worker goroutines.
+				req, err := http.NewRequest(http.MethodPost, srv.URL+"/discussion/comment",
+					strings.NewReader(form.Encode()))
+				if err != nil {
+					b.Errorf("build post: %v", err)
+					return
+				}
+				req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+				req.AddCookie(&http.Cookie{Name: "session", Value: "bench-writer"})
+				resp, err := client.Do(req)
+				if err != nil {
+					b.Errorf("post: %v", err)
+					return
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					b.Errorf("post status = %d", resp.StatusCode)
+					return
+				}
+				continue
+			}
+			benchGet(b, client, srv.URL+"/discussion?url="+url.QueryEscape(cu.URL))
+		}
+	})
+	b.StopTimer()
+	hits, misses := s.CacheStats()
+	if total := hits + misses; total > 0 {
+		b.ReportMetric(float64(hits)/float64(total)*100, "cache_hit_pct")
+	}
+	// Staleness assertion: every hot page's next render (cached or not)
+	// must carry the store's current visible-comment count.
+	countRe := regexp.MustCompile(`class="commentcount">(\d+)<`)
+	for _, cu := range hot {
+		resp, err := client.Get(srv.URL + "/discussion?url=" + url.QueryEscape(cu.URL))
+		if err != nil {
+			b.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		m := countRe.FindSubmatch(body)
+		if m == nil {
+			b.Fatalf("no commentcount on %s", cu.URL)
+		}
+		visible := 0
+		for _, c := range out.DB.CommentsOnURL(cu.ID) {
+			if !c.Hidden() {
+				visible++
+			}
+		}
+		if got, _ := strconv.Atoi(string(m[1])); got != visible {
+			b.Fatalf("stale render of %s: shows %d comments, store holds %d visible", cu.URL, got, visible)
+		}
+	}
 }
 
 func BenchmarkWebTrendsConcurrentCached(b *testing.B) {

@@ -14,13 +14,15 @@
 //	/user/... /discussion /comment/...   Dissenter web app
 //	/trends /discussion/begin            Gab Trends portal + URL submission
 //	/discussion/vote                     up/down voting on a comment page
+//	/discussion/comment                  live comment posting (POST, session-authenticated)
 //	/watch /channel/... /user-yt/...     YouTube simulator
 //	/v1/comments:analyze        Perspective-style scoring
 //	/reddit/... /api/user/...   Pushshift-style Reddit API
 //
-// Two sessions are pre-registered for the differential crawl:
-// "nsfw-probe" (NSFW view enabled) and "off-probe" (offensive view
-// enabled); send either as a "session" cookie.
+// Three sessions are pre-registered: "nsfw-probe" (NSFW view enabled)
+// and "off-probe" (offensive view enabled) for the differential crawl,
+// and "writer" (bound to an active Dissenter account) for posting
+// through POST /discussion/comment; send any as a "session" cookie.
 package main
 
 import (
@@ -68,6 +70,11 @@ func main() {
 	web := dissenterweb.NewServer(out.DB, webOpts...)
 	web.RegisterSession("nsfw-probe", dissenterweb.Session{ShowNSFW: true})
 	web.RegisterSession("off-probe", dissenterweb.Session{ShowOffensive: true})
+	sessionBanner := "sessions: nsfw-probe, off-probe"
+	if active := out.DB.ActiveUsers(); len(active) > 0 {
+		web.RegisterSession("writer", dissenterweb.Session{Username: active[0].Username})
+		sessionBanner += fmt.Sprintf(", writer (posts as @%s)", active[0].Username)
+	}
 
 	var names []string
 	for _, u := range out.DB.DissenterUsers() {
@@ -82,6 +89,7 @@ func main() {
 	mux.Handle("/discussion", web)
 	mux.Handle("/discussion/begin", web)
 	mux.Handle("/discussion/vote", web)
+	mux.Handle("/discussion/comment", web)
 	mux.Handle("/trends", web)
 	mux.Handle("/trends/", web)
 	mux.Handle("/comment/", web)
@@ -97,7 +105,7 @@ func main() {
 		}
 		fmt.Fprintf(w, "dissenter-platform: %d Gab users, %d Dissenter users, %d comments\n",
 			census.GabUsers, census.DissenterUsers, census.Comments)
-		fmt.Fprintf(w, "max Gab ID: %d\nsessions: nsfw-probe, off-probe\n", out.DB.MaxGabID())
+		fmt.Fprintf(w, "max Gab ID: %d\n%s\n", out.DB.MaxGabID(), sessionBanner)
 	})
 
 	log.Printf("serving on %s (max Gab ID %d)", *addr, out.DB.MaxGabID())

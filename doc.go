@@ -31,8 +31,13 @@
 // inserted; slice-valued index entries are replaced copy-on-write, so
 // any slice handed to a reader is a stable snapshot. The mutable
 // surfaces are Gab Trends URL submission (DB.SubmitURL, idempotent per
-// address) and voting (DB.Vote), which the web simulator exposes at
-// /discussion/begin and /discussion/vote.
+// address), voting (DB.Vote), and live comment posting (DB.AddComment),
+// which the web simulator exposes at /discussion/begin,
+// /discussion/vote, and POST /discussion/comment. All URL-keyed
+// endpoints normalize the address with urlkit.Normalize first, so
+// trivially different encodings of one address (scheme/host case,
+// default ports, fragments) share one record, one vote tally, one
+// cache subject, and one rate-limit bucket.
 //
 // The HTTP simulators front their hot endpoints — comment listings,
 // user profiles, trends — with a small LRU+TTL response cache
@@ -40,11 +45,23 @@
 // shadow-overlay opt-ins never share cached pages with anonymous
 // sessions. Invalidation rules: a vote invalidates every session view
 // of that address's discussion renderings (exact keys, no cache scan),
-// and a render that raced with an invalidation of its own key is
-// discarded at insert via per-key tombstones; everything else expires
-// by TTL, the backstop for out-of-band store writes. URL submissions
-// need no invalidation — unknown-URL invitation pages are never cached
-// (their keys are visitor-chosen, so caching them would let a URL scan
-// evict the hot set) and the store fully indexes a submission before it
-// becomes findable.
+// and a posted comment invalidates exactly three subjects — the URL's
+// discussion page, the posting author's home page (its commented-URL
+// listing changed), and the trends ranking (comment counts order it) —
+// again by exact key across the enumerable session views. A render that
+// raced with an invalidation of its own key is discarded at insert via
+// per-key tombstones; everything else expires by TTL, the backstop for
+// out-of-band store writes. URL submissions need no invalidation —
+// unknown-URL invitation pages are never cached (their keys are
+// visitor-chosen, so caching them would let a URL scan evict the hot
+// set) and the store fully indexes a submission before it becomes
+// findable.
+//
+// The live write path is what makes the measurement side honest:
+// internal/dissentercrawl's Poster writes comments while a Campaign
+// crawls (the paper's §3.2 moving-target condition), the differential
+// labeler re-verifies candidate shadow comments with a post-observation
+// anonymous revisit so mid-crawl plain comments are never mislabeled,
+// and Campaign.Stabilize re-spiders until the mirror reaches a fixpoint
+// (see examples/live-crawl).
 package dissenter

@@ -3,6 +3,13 @@
 // so you can read the whole flow top to bottom. Also demonstrates the
 // politeness machinery: the Gab API runs WITH a rate limit here, and the
 // crawler paces itself off the X-RateLimit headers.
+//
+// This example also reproduces the paper's moving-target condition
+// (§3.2): a background poster writes comments through the live
+// POST /discussion/comment write path while the campaign crawls, and
+// the crawl stabilizes with revisit rounds until the mirror reaches a
+// fixpoint — the platform grows under the measurement, exactly as the
+// real one did.
 package main
 
 import (
@@ -33,10 +40,34 @@ func main() {
 	web := dissenterweb.NewServer(out.DB, dissenterweb.WithURLRateLimit(0, 0))
 	web.RegisterSession("nsfw", dissenterweb.Session{ShowNSFW: true})
 	web.RegisterSession("off", dissenterweb.Session{ShowOffensive: true})
+	writer := out.DB.ActiveUsers()[0]
+	web.RegisterSession("writer", dissenterweb.Session{Username: writer.Username})
 	webAddr := listen(web)
 	fmt.Printf("serving gab api on %s, dissenter app on %s\n", gabAddr, webAddr)
 
-	// 3. Run the measurement campaign across the wire.
+	// 3. Start the background poster: live comments through
+	// POST /discussion/comment while the crawl is underway, including a
+	// thread minted mid-crawl on a never-before-seen URL.
+	var targets []string
+	for _, cu := range out.DB.URLs()[:5] {
+		targets = append(targets, cu.URL)
+	}
+	poster := &dissentercrawl.Poster{
+		Web:         dissentercrawl.New("http://"+webAddr, nil, dissentercrawl.WithSession("writer")),
+		URLs:        targets,
+		FreshURLs:   []string{"https://live.example/breaking/mid-crawl-story"},
+		N:           40,
+		Interval:    2 * time.Millisecond,
+		HiddenEvery: 8,
+	}
+	posterErr := make(chan error, 1)
+	go func() { posterErr <- poster.Run(context.Background()) }()
+
+	// 4. Run the measurement campaign across the wire while the poster
+	// writes, then — once the poster is done — stabilize: revisit rounds
+	// continue until the mirror reaches a fixpoint. Waiting for the
+	// poster first makes the fixpoint meaningful; stabilizing under an
+	// active writer can only ever converge by luck.
 	campaign := &dissentercrawl.Campaign{
 		Gab:          gabcrawl.New("http://"+gabAddr, nil),
 		MaxGabID:     out.DB.MaxGabID(),
@@ -50,11 +81,22 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("crawl finished in %s\n", time.Since(start).Round(time.Millisecond))
+	if err := <-posterErr; err != nil {
+		log.Fatal(err)
+	}
+	stable, err := campaign.Stabilize(context.Background(), ds, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("crawl finished in %s (stable=%v, %d live comments posted mid-crawl)\n",
+		time.Since(start).Round(time.Millisecond), stable, len(poster.Posted()))
 
-	// 4. Compare the mirror against ground truth.
-	fmt.Printf("mirror:   %d users / %d truth\n", len(ds.Users), census.DissenterUsers)
-	fmt.Printf("          %d comments / %d truth\n", len(ds.Comments), census.Comments)
+	// 5. Compare the mirror against ground truth — recounted, because
+	// the poster grew the platform while the campaign measured it.
+	final := out.DB.Census()
+	fmt.Printf("mirror:   %d users / %d truth\n", len(ds.Users), final.DissenterUsers)
+	fmt.Printf("          %d comments / %d truth (%d posted live)\n",
+		len(ds.Comments), final.Comments, final.Comments-census.Comments)
 	nsfw, off := 0, 0
 	for _, c := range ds.Comments {
 		if c.NSFW {
@@ -65,7 +107,7 @@ func main() {
 		}
 	}
 	fmt.Printf("          %d NSFW / %d truth, %d offensive / %d truth (inferred differentially)\n",
-		nsfw, census.NSFWComments, off, census.OffensiveComments)
+		nsfw, final.NSFWComments, off, final.OffensiveComments)
 }
 
 // listen starts an HTTP server on a loopback port and returns its addr.

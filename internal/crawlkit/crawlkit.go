@@ -12,7 +12,9 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	neturl "net/url"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 )
@@ -85,6 +87,18 @@ var ErrGaveUp = errors.New("crawlkit: retries exhausted")
 // Retry-After). 4xx responses other than 429 are returned, not retried —
 // a 404 is an answer, not a failure.
 func (f *Fetcher) Get(ctx context.Context, url string) (Result, error) {
+	return f.do(ctx, http.MethodGet, url, "")
+}
+
+// PostForm submits a form-encoded POST with Get's retry policy. Note
+// the policy retries transport failures, so a write that succeeded
+// server-side but lost its response may be resubmitted; callers that
+// need exactly-once writes must deduplicate on the server.
+func (f *Fetcher) PostForm(ctx context.Context, url string, form neturl.Values) (Result, error) {
+	return f.do(ctx, http.MethodPost, url, form.Encode())
+}
+
+func (f *Fetcher) do(ctx context.Context, method, url, payload string) (Result, error) {
 	var lastErr error
 	for attempt := 0; attempt <= f.maxRetries; attempt++ {
 		if attempt > 0 {
@@ -98,7 +112,7 @@ func (f *Fetcher) Get(ctx context.Context, url string) (Result, error) {
 			case <-time.After(wait):
 			}
 		}
-		res, err := f.fetchOnce(ctx, url)
+		res, err := f.fetchOnce(ctx, method, url, payload)
 		if err == nil {
 			return res, nil
 		}
@@ -129,10 +143,17 @@ func retryAfter(err error) (time.Duration, bool) {
 	return 0, false
 }
 
-func (f *Fetcher) fetchOnce(ctx context.Context, url string) (Result, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+func (f *Fetcher) fetchOnce(ctx context.Context, method, url, payload string) (Result, error) {
+	var rd io.Reader
+	if payload != "" {
+		rd = strings.NewReader(payload)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url, rd)
 	if err != nil {
 		return Result{}, fmt.Errorf("crawlkit: build request: %w", err)
+	}
+	if method == http.MethodPost {
+		req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
 	}
 	req.Header.Set("User-Agent", f.userAgent)
 	for _, c := range f.cookies {

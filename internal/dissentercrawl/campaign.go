@@ -38,8 +38,16 @@ type Campaign struct {
 	Workers int
 
 	mu               sync.Mutex
-	seenURLIDs       map[string]bool
+	seenURLIDs       map[string]string // commenturl-id -> raw URL as first observed
 	harvestedMissing map[string]bool
+
+	// Crawl state Run leaves behind so Stabilize (livegrowth.go) can
+	// keep re-spidering a platform that grew mid-crawl: the known URL
+	// universe, the merged comment mirror keyed by comment-id, and the
+	// Gab account directory from enumeration.
+	urlSet        map[string]bool
+	base          map[string]corpus.Comment
+	gabByUsername map[string]gabcrawl.Account
 }
 
 // Run executes the campaign and returns the mirrored dataset.
@@ -57,6 +65,7 @@ func (c *Campaign) Run(ctx context.Context) (*corpus.Dataset, error) {
 		gabByUsername[a.Username] = a
 		usernames = append(usernames, a.Username)
 	}
+	c.gabByUsername = gabByUsername
 
 	dissenterNames, err := c.probe(ctx, usernames)
 	if err != nil {
@@ -64,39 +73,27 @@ func (c *Campaign) Run(ctx context.Context) (*corpus.Dataset, error) {
 	}
 
 	ds := &corpus.Dataset{Graph: map[string][]string{}}
-	c.seenURLIDs = map[string]bool{}
-	urlSet := map[string]bool{}
-	if err := c.harvestUsers(ctx, ds, dissenterNames, gabByUsername, urlSet); err != nil {
+	c.seenURLIDs = map[string]string{}
+	c.urlSet = map[string]bool{}
+	if err := c.harvestUsers(ctx, ds, dissenterNames, gabByUsername, c.urlSet); err != nil {
 		return nil, fmt.Errorf("campaign: %w", err)
 	}
 
-	baseComments, err := c.mirrorComments(ctx, ds, urlSet, c.Web)
+	baseComments, err := c.mirrorComments(ctx, ds, c.urlSet, c.Web)
 	if err != nil {
 		return nil, fmt.Errorf("campaign: %w", err)
 	}
+	c.base = baseComments
 	for _, rec := range baseComments {
 		ds.Comments = append(ds.Comments, rec)
 	}
 
-	if err := c.differential(ctx, ds, dissenterNames, urlSet, baseComments); err != nil {
+	if err := c.differential(ctx, ds, dissenterNames, c.urlSet, baseComments); err != nil {
 		return nil, fmt.Errorf("campaign: %w", err)
 	}
 
-	// Hidden-metadata mining surfaces commenters missing from the Gab
-	// enumeration (deleted Gab accounts, §4.1.1). Their Dissenter home
-	// pages still exist and may list otherwise-undiscovered URLs, so
-	// iterate mine -> harvest to a fixpoint.
-	for round := 0; round < 4; round++ {
-		if err := c.mineHiddenMeta(ctx, ds, gabByUsername); err != nil {
-			return nil, fmt.Errorf("campaign: %w", err)
-		}
-		grew, err := c.harvestMissingUserPages(ctx, ds, urlSet, baseComments)
-		if err != nil {
-			return nil, fmt.Errorf("campaign: %w", err)
-		}
-		if !grew {
-			break
-		}
+	if err := c.mineAndHarvestFixpoint(ctx, ds); err != nil {
+		return nil, fmt.Errorf("campaign: %w", err)
 	}
 
 	if err := c.socialCrawl(ctx, ds, gabByUsername); err != nil {
@@ -105,6 +102,28 @@ func (c *Campaign) Run(ctx context.Context) (*corpus.Dataset, error) {
 
 	ds.Reindex()
 	return ds, nil
+}
+
+// mineAndHarvestFixpoint iterates hidden-metadata mining against
+// missing-user-page harvesting until neither discovers anything new.
+// Mining surfaces commenters missing from the Gab enumeration (deleted
+// Gab accounts, §4.1.1); their Dissenter home pages still exist and may
+// list otherwise-undiscovered URLs, which in turn may carry comments by
+// further unknown authors.
+func (c *Campaign) mineAndHarvestFixpoint(ctx context.Context, ds *corpus.Dataset) error {
+	for round := 0; round < 4; round++ {
+		if err := c.mineHiddenMeta(ctx, ds, c.gabByUsername); err != nil {
+			return err
+		}
+		grew, err := c.harvestMissingUserPages(ctx, ds, c.urlSet, c.base)
+		if err != nil {
+			return err
+		}
+		if !grew {
+			break
+		}
+	}
+	return nil
 }
 
 // probe finds the usernames with Dissenter accounts (size side channel).
@@ -179,8 +198,8 @@ func (c *Campaign) mirrorComments(ctx context.Context, ds *corpus.Dataset, urlSe
 		}
 		c.mu.Lock()
 		defer c.mu.Unlock()
-		if !c.seenURLIDs[d.URLID] {
-			c.seenURLIDs[d.URLID] = true
+		if _, ok := c.seenURLIDs[d.URLID]; !ok {
+			c.seenURLIDs[d.URLID] = raw
 			ds.URLs = append(ds.URLs, corpus.URL{
 				ID: d.URLID, URL: raw,
 				Title: d.Title, Description: d.Description,
@@ -265,16 +284,71 @@ func (c *Campaign) differential(ctx context.Context, ds *corpus.Dataset, names [
 		if err != nil {
 			return err
 		}
-		for id, rec := range found {
-			if _, ok := base[id]; ok {
-				continue
-			}
-			pass.label(&rec)
-			ds.Comments = append(ds.Comments, rec)
-			base[id] = rec // NSFW+offensive double-labels resolve first-wins
+		if _, err := c.mergeAuthedFindings(ctx, ds, base, found, pass.label); err != nil {
+			return err
 		}
 	}
 	return nil
+}
+
+// mergeAuthedFindings folds an authenticated pass's observations into
+// the mirror. A comment seen by the authenticated session but absent
+// from the baseline is only labeled hidden after a fresh anonymous
+// revisit of its page — performed AFTER the authenticated observation —
+// still lacks it. On a frozen corpus the revisit changes nothing; on a
+// live platform it is what keeps the differential sound: a plain
+// comment posted between the original baseline and the authenticated
+// pass shows up in the revisit (comments are append-only) and is merged
+// unlabeled instead of being mislabeled as shadow content. It returns
+// how many comments the merge added.
+func (c *Campaign) mergeAuthedFindings(ctx context.Context, ds *corpus.Dataset, base map[string]corpus.Comment, found map[string]corpus.Comment, label func(*corpus.Comment)) (int, error) {
+	candidates := map[string]corpus.Comment{}
+	revisit := map[string]bool{}
+	for id, rec := range found {
+		if _, ok := base[id]; ok {
+			continue
+		}
+		candidates[id] = rec
+		if raw, ok := c.rawURLOf(rec.URLID); ok {
+			revisit[raw] = true
+		}
+	}
+	if len(candidates) == 0 {
+		return 0, nil
+	}
+	anonSeen, err := c.mirrorComments(ctx, ds, revisit, c.Web)
+	if err != nil {
+		return 0, err
+	}
+	added := 0
+	// Anything the anonymous revisit can see is plain; merge it first so
+	// the labeling loop below skips it.
+	for id, rec := range anonSeen {
+		if _, ok := base[id]; !ok {
+			ds.Comments = append(ds.Comments, rec)
+			base[id] = rec
+			added++
+		}
+	}
+	for id, rec := range candidates {
+		if _, ok := base[id]; ok {
+			continue // revisit proved it plain (or another pass won)
+		}
+		label(&rec)
+		ds.Comments = append(ds.Comments, rec)
+		base[id] = rec // NSFW+offensive double-labels resolve first-wins
+		added++
+	}
+	return added, nil
+}
+
+// rawURLOf resolves a mirrored commenturl-id back to the raw URL it was
+// first observed under.
+func (c *Campaign) rawURLOf(urlID string) (string, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	raw, ok := c.seenURLIDs[urlID]
+	return raw, ok
 }
 
 // mineHiddenMeta fetches one comment page per distinct author to recover
@@ -406,12 +480,23 @@ func (c *Campaign) harvestMissingUserPages(ctx context.Context, ds *corpus.Datas
 		return false, nil
 	}
 	// Mirror the fresh URLs with every session, labeling shadow content
-	// exactly as the main differential pass does.
+	// exactly as the main differential pass does: the anonymous pass
+	// merges unlabeled, and the authenticated passes label only what a
+	// post-observation anonymous revisit still cannot see.
+	anonFound, err := c.mirrorComments(ctx, ds, newSet, c.Web)
+	if err != nil {
+		return false, err
+	}
+	for id, rec := range anonFound {
+		if _, ok := base[id]; !ok {
+			ds.Comments = append(ds.Comments, rec)
+			base[id] = rec
+		}
+	}
 	webs := []struct {
 		web   *Crawler
 		label func(*corpus.Comment)
 	}{
-		{c.Web, func(*corpus.Comment) {}},
 		{c.NSFWWeb, func(cm *corpus.Comment) { cm.NSFW = true }},
 		{c.OffensiveWeb, func(cm *corpus.Comment) { cm.Offensive = true }},
 	}
@@ -423,13 +508,8 @@ func (c *Campaign) harvestMissingUserPages(ctx context.Context, ds *corpus.Datas
 		if err != nil {
 			return false, err
 		}
-		for id, rec := range found {
-			if _, ok := base[id]; ok {
-				continue
-			}
-			pass.label(&rec)
-			ds.Comments = append(ds.Comments, rec)
-			base[id] = rec
+		if _, err := c.mergeAuthedFindings(ctx, ds, base, found, pass.label); err != nil {
+			return false, err
 		}
 	}
 	return true, nil

@@ -204,6 +204,39 @@ func ParseDiscussion(page string) (Discussion, error) {
 	return d, nil
 }
 
+// PostComment submits a comment through the live write path
+// (POST /discussion/comment) and returns the minted comment-id. The
+// crawler must carry a posting session (WithSession for a token whose
+// username resolves to a Dissenter account). parentID may be empty for
+// a top-level comment; nsfw and offensive set the shadow labels. This
+// is what the live-growth scenario's background poster uses to recreate
+// the paper's moving-target condition (§3.2): comments appearing while
+// the measurement campaign is mid-crawl.
+func (c *Crawler) PostComment(ctx context.Context, rawurl, text, parentID string, nsfw, offensive bool) (string, error) {
+	form := url.Values{"url": {rawurl}, "text": {text}}
+	if parentID != "" {
+		form.Set("parent", parentID)
+	}
+	if nsfw {
+		form.Set("nsfw", "1")
+	}
+	if offensive {
+		form.Set("offensive", "1")
+	}
+	res, err := c.fetcher.PostForm(ctx, c.base+"/discussion/comment", form)
+	if err != nil {
+		return "", err
+	}
+	if res.Status != http.StatusOK {
+		return "", fmt.Errorf("dissentercrawl: post comment on %q: HTTP %d: %s", rawurl, res.Status, strings.TrimSpace(string(res.Body)))
+	}
+	id, ok := htmlx.Attr(string(res.Body), "data-comment-id")
+	if !ok {
+		return "", fmt.Errorf("dissentercrawl: post comment on %q: response lacks comment-id", rawurl)
+	}
+	return id, nil
+}
+
 // HiddenMeta is the commentAuthor payload mined from a single-comment
 // page (§3.2): per-user metadata unavailable anywhere else.
 type HiddenMeta struct {

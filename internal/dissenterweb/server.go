@@ -10,10 +10,16 @@
 // its hot endpoints — comment listings, user profiles, trends — with an
 // LRU+TTL response cache keyed by endpoint, subject, and session view
 // (so shadow-overlay opt-ins never leak into another session's cached
-// page). The mutable surfaces (URL submission, voting) invalidate every
-// session view of the affected page by exact key, and an epoch check
+// page). The mutable surfaces (URL submission, voting, and the live
+// comment write path at POST /discussion/comment) invalidate every
+// session view of the affected subjects by exact key — a posted comment
+// drops its discussion page, the author's home page, and the trends
+// ranking (see comment.go for the contract) — and an epoch check
 // discards renders that raced with an invalidation; the TTL is the
-// backstop for out-of-band store writes.
+// backstop for out-of-band store writes. URL-keyed surfaces normalize
+// the address with urlkit.Normalize first, so trivially different
+// encodings of one address share a record, a cache subject, and a
+// rate-limit bucket.
 package dissenterweb
 
 import (
@@ -30,6 +36,7 @@ import (
 	"dissenter/internal/ids"
 	"dissenter/internal/platform"
 	"dissenter/internal/respcache"
+	"dissenter/internal/urlkit"
 )
 
 // Session is the view configuration of an authenticated account, the
@@ -57,6 +64,10 @@ type Server struct {
 	mu       sync.Mutex
 	sessions map[string]Session
 	hits     map[string]*hitWindow
+	// lastSweep is when expired rate-limit windows were last evicted;
+	// rateLimit sweeps opportunistically so hits stays bounded by the
+	// distinct URLs seen in roughly two windows, not the whole crawl.
+	lastSweep time.Time
 }
 
 type hitWindow struct {
@@ -185,6 +196,14 @@ func (s *Server) invalidateSubject(prefix string) {
 // caching is disabled); the load benchmarks report them.
 func (s *Server) CacheStats() (hits, misses uint64) { return s.cache.Stats() }
 
+// rateLimitEntries reports the number of live rate-limit windows; the
+// eviction tests pin that it stays bounded.
+func (s *Server) rateLimitEntries() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.hits)
+}
+
 func writeHTML(w http.ResponseWriter, body string) {
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
 	fmt.Fprint(w, body)
@@ -205,6 +224,8 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		s.handleBegin(w, r)
 	case r.URL.Path == "/discussion/vote":
 		s.handleVote(w, r)
+	case r.URL.Path == "/discussion/comment":
+		s.handlePostComment(w, r)
 	default:
 		http.NotFound(w, r)
 	}
@@ -221,6 +242,18 @@ func (s *Server) rateLimit(w http.ResponseWriter, key string) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	now := time.Now()
+	// Opportunistic eviction: once per window, drop every entry whose
+	// window has lapsed. Without this a crawler sweeping distinct URLs
+	// grows the map forever; with it the map holds only URLs requested
+	// within the last window or two.
+	if now.Sub(s.lastSweep) >= s.urlWindow {
+		for k, win := range s.hits {
+			if now.Sub(win.start) >= s.urlWindow {
+				delete(s.hits, k)
+			}
+		}
+		s.lastSweep = now
+	}
 	hw := s.hits[key]
 	if hw == nil || now.Sub(hw.start) >= s.urlWindow {
 		hw = &hitWindow{start: now}
@@ -288,7 +321,7 @@ func (s *Server) anyVisibleBy(author, urlID ids.ObjectID, sess Session) bool {
 
 // handleDiscussion renders the comment page for ?url=.
 func (s *Server) handleDiscussion(w http.ResponseWriter, r *http.Request) {
-	raw := r.URL.Query().Get("url")
+	raw := urlkit.Normalize(r.URL.Query().Get("url"))
 	if raw == "" {
 		http.Error(w, "missing url", http.StatusBadRequest)
 		return

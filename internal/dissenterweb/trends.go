@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"dissenter/internal/platform"
+	"dissenter/internal/urlkit"
 )
 
 // Gab Trends (§2.1): the news-aggregation portal Gab deployed in October
@@ -23,7 +24,10 @@ import (
 // the sharded platform store, which is also what makes the §6
 // covert-channel observation live — any string becomes an addressable
 // comment thread. Voting (/discussion/vote) is the second mutable
-// surface; tallies accumulate in the store's sharded vote index.
+// surface; tallies accumulate in the store's sharded vote index. The
+// third is the live comment write path (POST /discussion/comment,
+// comment.go), whose inserts reorder this page's ranking and therefore
+// invalidate every cached trends view.
 
 // handleTrends renders the Gab Trends homepage: the most-commented URLs
 // with their titles and comment counts, newest first among ties.
@@ -55,6 +59,11 @@ func (s *Server) handleTrends(w http.ResponseWriter, r *http.Request) {
 		if entries[i].count != entries[j].count {
 			return entries[i].count > entries[j].count
 		}
+		// Newest first among ties; equal first-seen times (same synth
+		// batch) fall back to the URL string for determinism.
+		if !entries[i].cu.FirstSeen.Equal(entries[j].cu.FirstSeen) {
+			return entries[i].cu.FirstSeen.After(entries[j].cu.FirstSeen)
+		}
 		return entries[i].cu.URL < entries[j].cu.URL
 	})
 	if len(entries) > 50 {
@@ -84,7 +93,7 @@ func (s *Server) handleTrends(w http.ResponseWriter, r *http.Request) {
 // page, minting a commenturl-id and inserting the record into the
 // platform store when the URL is new to the system.
 func (s *Server) handleBegin(w http.ResponseWriter, r *http.Request) {
-	raw := r.URL.Query().Get("url")
+	raw := urlkit.Normalize(r.URL.Query().Get("url"))
 	if raw == "" {
 		http.Error(w, "missing url", http.StatusBadRequest)
 		return
@@ -106,7 +115,7 @@ func (s *Server) handleBegin(w http.ResponseWriter, r *http.Request) {
 // handleVote records an up/down vote for a URL's comment page and
 // invalidates its cached rendering.
 func (s *Server) handleVote(w http.ResponseWriter, r *http.Request) {
-	raw := r.URL.Query().Get("url")
+	raw := urlkit.Normalize(r.URL.Query().Get("url"))
 	if raw == "" {
 		http.Error(w, "missing url", http.StatusBadRequest)
 		return

@@ -138,6 +138,50 @@ func CanonicalKey(rawurl string) string {
 	return scheme + "://" + strings.ToLower(u.Host) + path + query
 }
 
+// Normalize reduces trivially different encodings of one address to a
+// single form: the scheme and host are lowercased, a default port
+// (:80 for http, :443 for https) is dropped, and the fragment — never
+// sent to a server — is removed. Unlike CanonicalKey it preserves every
+// distinction Dissenter itself preserved (scheme, trailing slash, full
+// query string), so the §4.2.1 over-counting surface survives; it only
+// collapses spellings that denote the same request. The simulators
+// apply it at the HTTP boundary so store records, cache subjects, and
+// rate-limit buckets key one record per address. Unparseable, opaque,
+// hostless, and userinfo-bearing URLs are returned unchanged, which
+// keeps arbitrary covert-channel anchors (§6) addressable verbatim.
+func Normalize(rawurl string) string {
+	u, err := url.Parse(rawurl)
+	if err != nil || u.Scheme == "" || u.Opaque != "" || u.Host == "" || u.User != nil {
+		return rawurl
+	}
+	scheme := strings.ToLower(u.Scheme)
+	host := strings.ToLower(u.Hostname())
+	if strings.Contains(host, ":") {
+		// Hostname strips the brackets from an IPv6 literal; restore
+		// them or the rebuilt URL is invalid and ambiguous.
+		host = "[" + host + "]"
+	}
+	if p := u.Port(); p != "" && !defaultPort(scheme, p) {
+		host += ":" + p
+	}
+	// Keep everything after the authority byte-for-byte (minus the
+	// fragment): path and query encodings are content-bearing here.
+	rest := rawurl[strings.Index(rawurl, "://")+3:]
+	if i := strings.IndexAny(rest, "/?#"); i >= 0 {
+		rest = rest[i:]
+	} else {
+		rest = ""
+	}
+	if i := strings.IndexByte(rest, '#'); i >= 0 {
+		rest = rest[:i]
+	}
+	return scheme + "://" + host + rest
+}
+
+func defaultPort(scheme, port string) bool {
+	return (scheme == "http" && port == "80") || (scheme == "https" && port == "443")
+}
+
 // OverCount reports how a URL set over-counts unique content.
 type OverCount struct {
 	Total          int // URLs examined

@@ -199,3 +199,47 @@ func BenchmarkDomain(b *testing.B) {
 		Domain("https://news.bbc.co.uk/article/12345")
 	}
 }
+
+func TestNormalize(t *testing.T) {
+	cases := []struct{ in, want string }{
+		// Trivially different encodings collapse.
+		{"HTTPS://WWW.Example.ORG/2019/04/story", "https://www.example.org/2019/04/story"},
+		{"https://example.org:443/x", "https://example.org/x"},
+		{"http://example.org:80/x", "http://example.org/x"},
+		{"https://example.org/x#section-2", "https://example.org/x"},
+		{"https://example.org#top", "https://example.org"},
+		// Distinctions Dissenter preserved stay distinct (identity).
+		{"http://www.daily-disclosure.com/dup/001/a-b-c", "http://www.daily-disclosure.com/dup/001/a-b-c"},
+		{"https://www.frontier-forum.com/slash/001/a/", "https://www.frontier-forum.com/slash/001/a/"},
+		{"https://www.a.com/p?id=1&utm_source=x&ref=y", "https://www.a.com/p?id=1&utm_source=x&ref=y"},
+		{"https://www.youtube.com/watch?v=AbC123xyZ99", "https://www.youtube.com/watch?v=AbC123xyZ99"},
+		{"https://example.org:8443/x", "https://example.org:8443/x"},
+		{"https://example.org/a%20b", "https://example.org/a%20b"},
+		// IPv6 literals keep their brackets.
+		{"https://[2001:DB8::1]/x", "https://[2001:db8::1]/x"},
+		{"https://[::1]:8443/x", "https://[::1]:8443/x"},
+		{"https://[::1]:443/x", "https://[::1]/x"},
+		// Opaque, hostless, and unparseable inputs pass through verbatim:
+		// covert-channel anchors must stay addressable as submitted (§6).
+		{"about:blank", "about:blank"},
+		{"file:///C:/leaked/report-1.docx", "file:///C:/leaked/report-1.docx"},
+		{"dissenter://secret/meeting-point-7", "dissenter://secret/meeting-point-7"},
+		{"not a url at all", "not a url at all"},
+		{"https://user:pw@example.org/x", "https://user:pw@example.org/x"},
+	}
+	for _, c := range cases {
+		if got := Normalize(c.in); got != c.want {
+			t.Errorf("Normalize(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestQuickNormalizeIdempotent(t *testing.T) {
+	f := func(s string) bool {
+		once := Normalize(s)
+		return Normalize(once) == once
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
