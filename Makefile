@@ -4,10 +4,15 @@
 GO ?= go
 
 RACE_PKGS = ./internal/platform/... ./internal/respcache/... \
+            ./internal/rankheap/... \
             ./internal/gabapi/... ./internal/dissenterweb/... \
             ./internal/crawlkit/... ./internal/dissentercrawl/...
 
-.PHONY: build test race bench lint fmt ci
+# Allocation budget for one cache-miss trends render (measured ~15;
+# headroom for noise). A regression past this fails bench-budget.
+TRENDS_ALLOC_BUDGET = 64
+
+.PHONY: build test race bench bench-budget lint fmt ci
 
 build:
 	$(GO) build ./...
@@ -19,9 +24,19 @@ race:
 	$(GO) test -race $(RACE_PKGS)
 
 # Smoke-run every benchmark once so bench code can never rot; use
-# `go test -bench=Concurrent -cpu 1,2,4,8 .` for real numbers.
+# `go test -bench=Concurrent -cpu 1,2,4,8 .` for real numbers. The
+# serving-path benchmarks also emit a machine-readable baseline
+# (BENCH_serve.json: ns/op, allocs/op, cache hit rate).
 bench:
-	$(GO) test -run 'ProbablyNoSuchTest' -bench=. -benchtime=1x ./...
+	BENCH_SERVE_JSON=$(CURDIR)/BENCH_serve.json \
+		$(GO) test -run 'ProbablyNoSuchTest' -bench=. -benchtime=1x ./...
+
+# Budget assertion on the hot read path: a cache-miss trends render
+# must stay under TRENDS_ALLOC_BUDGET allocations regardless of store
+# size (it is served from the write-maintained index, O(TrendLimit)).
+bench-budget:
+	BENCH_TRENDS_MAX_ALLOCS=$(TRENDS_ALLOC_BUDGET) \
+		$(GO) test -run 'ProbablyNoSuchTest' -bench BenchmarkTrendsRenderMiss -benchtime=200x .
 
 lint:
 	$(GO) vet ./...
@@ -33,4 +48,4 @@ lint:
 fmt:
 	gofmt -w .
 
-ci: build lint test race bench
+ci: build lint test race bench bench-budget

@@ -9,12 +9,15 @@
 package dissenter_test
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"net/url"
+	"os"
 	"regexp"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
@@ -258,6 +261,250 @@ func BenchmarkWebMixedReadWriteConcurrent(b *testing.B) {
 		if got, _ := strconv.Atoi(string(m[1])); got != visible {
 			b.Fatalf("stale render of %s: shows %d comments, store holds %d visible", cu.URL, got, visible)
 		}
+	}
+}
+
+// --- trends scaling benchmarks ------------------------------------------
+//
+// The trends ranking is write-maintained (platform trend index), so a
+// cache-miss render must cost O(TrendLimit) regardless of store size.
+// BenchmarkTrendsRenderMiss pins the render cost itself at two store
+// sizes two orders of magnitude apart — ns/op and allocs/op must stay
+// within the same ballpark, where the old full-scan ranking scaled
+// ~linearly with the URL table. BenchmarkTrendsUnderWriteLoad is the
+// adversarial §3.2 load shape: concurrent posters invalidating every
+// cached trends view while readers hammer the portal.
+//
+// With BENCH_SERVE_JSON=<path> set, the serving-path metrics are
+// written as a machine-readable baseline (make bench emits
+// BENCH_serve.json). With BENCH_TRENDS_MAX_ALLOCS=<n> set,
+// BenchmarkTrendsRenderMiss fails if a render allocates more than n
+// objects — the CI bench-smoke budget that catches allocation
+// regressions on the hot path.
+
+// trendsScale is one benchmark store size.
+type trendsScale struct {
+	name            string
+	urls, per       int // per = comments per URL
+	authors         int
+	nsfwMod, offMod int // every n-th comment carries the flag
+}
+
+var trendsScales = []trendsScale{
+	{name: "urls=1k_comments=10k", urls: 1_000, per: 10, authors: 64, nsfwMod: 13, offMod: 17},
+	{name: "urls=100k_comments=1M", urls: 100_000, per: 10, authors: 64, nsfwMod: 13, offMod: 17},
+}
+
+type trendsFixture struct {
+	db     *platform.DB
+	writer *platform.User
+	hot    []*platform.CommentURL
+}
+
+var (
+	trendsFixMu  sync.Mutex
+	trendsFixSet = map[string]*trendsFixture{}
+)
+
+// trendsBenchFixture returns the process-cached read-only store for a
+// size; write benchmarks must use buildTrendsFixture directly so they
+// never mutate the fixture other sub-benchmarks measure.
+func trendsBenchFixture(b *testing.B, sc trendsScale) *trendsFixture {
+	b.Helper()
+	trendsFixMu.Lock()
+	defer trendsFixMu.Unlock()
+	if f, ok := trendsFixSet[sc.name]; ok {
+		return f
+	}
+	f := buildTrendsFixture(sc)
+	trendsFixSet[sc.name] = f
+	return f
+}
+
+// buildTrendsFixture constructs a store with sc.urls URL records and
+// sc.urls*sc.per comments, built directly — synth's realistic corpus
+// would take far too long at 1M comments, and the ranking only cares
+// about counts and flags.
+func buildTrendsFixture(sc trendsScale) *trendsFixture {
+	gen := ids.NewGenerator(0x7E4D5)
+	base := time.Date(2020, 2, 1, 0, 0, 0, 0, time.UTC)
+	users := make([]*platform.User, sc.authors)
+	for i := range users {
+		users[i] = &platform.User{
+			GabID:        ids.GabID(i + 1),
+			Username:     fmt.Sprintf("bench-author-%03d", i),
+			HasDissenter: true,
+			AuthorID:     gen.NewAt(base),
+		}
+	}
+	urls := make([]*platform.CommentURL, sc.urls)
+	for i := range urls {
+		urls[i] = &platform.CommentURL{
+			ID:        gen.NewAt(base.Add(time.Duration(i%4096) * time.Second)),
+			URL:       fmt.Sprintf("https://bench.trends/story/%07d", i),
+			Title:     fmt.Sprintf("Bench story #%d", i),
+			FirstSeen: base.Add(time.Duration(i%4096) * time.Second),
+		}
+	}
+	comments := make([]*platform.Comment, sc.urls*sc.per)
+	at := base.Add(2 * time.Hour)
+	for i := range comments {
+		comments[i] = &platform.Comment{
+			ID:        gen.NewAt(at),
+			URLID:     urls[i%sc.urls].ID,
+			AuthorID:  users[i%sc.authors].AuthorID,
+			Text:      "bench trends comment",
+			CreatedAt: at,
+			NSFW:      i%sc.nsfwMod == 0,
+			Offensive: i%sc.offMod == 0,
+		}
+	}
+	return &trendsFixture{
+		db:     platform.New(users, urls, comments, nil),
+		writer: users[0],
+		hot:    urls[:64],
+	}
+}
+
+// BenchmarkTrendsUnderWriteLoad is the moving-target regime: a
+// concurrent mix where every 4th request posts a comment through
+// POST /discussion/comment (invalidating all four cached trends views)
+// and the rest read /trends. With the write-maintained index, ns/op
+// must be independent of store size — compare the urls=1k and
+// urls=100k sub-benchmarks, which differ 100x in store size.
+func BenchmarkTrendsUnderWriteLoad(b *testing.B) {
+	for _, sc := range trendsScales {
+		b.Run(sc.name, func(b *testing.B) {
+			// Private fixture: this benchmark grows the store, and the
+			// cached one must stay pristine for the render benchmarks.
+			f := buildTrendsFixture(sc)
+			s := dissenterweb.NewServer(f.db, dissenterweb.WithURLRateLimit(0, 0))
+			s.RegisterSession("bench-writer", dissenterweb.Session{Username: f.writer.Username})
+			srv := httptest.NewServer(s)
+			defer srv.Close()
+			client := benchClient()
+			var seq atomic.Int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					i++
+					if i%4 == 0 {
+						n := seq.Add(1)
+						cu := f.hot[int(n)%len(f.hot)]
+						form := url.Values{
+							"url":  {cu.URL},
+							"text": {"trends write load"},
+						}
+						req, err := http.NewRequest(http.MethodPost, srv.URL+"/discussion/comment",
+							strings.NewReader(form.Encode()))
+						if err != nil {
+							b.Errorf("build post: %v", err)
+							return
+						}
+						req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+						req.AddCookie(&http.Cookie{Name: "session", Value: "bench-writer"})
+						resp, err := client.Do(req)
+						if err != nil {
+							b.Errorf("post: %v", err)
+							return
+						}
+						_, _ = io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
+						if resp.StatusCode != http.StatusOK {
+							b.Errorf("post status = %d", resp.StatusCode)
+							return
+						}
+						continue
+					}
+					benchGet(b, client, srv.URL+"/trends")
+				}
+			})
+			b.StopTimer()
+			hits, misses := s.CacheStats()
+			m := map[string]float64{"ns_per_op": float64(b.Elapsed().Nanoseconds()) / float64(b.N)}
+			if total := hits + misses; total > 0 {
+				pct := float64(hits) / float64(total) * 100
+				b.ReportMetric(pct, "cache_hit_pct")
+				m["cache_hit_pct"] = pct
+			}
+			recordServeMetrics("TrendsUnderWriteLoad/"+sc.name, m)
+		})
+	}
+}
+
+// BenchmarkTrendsRenderMiss measures a single trends render with
+// caching disabled — the pure cache-miss cost the acceptance budget
+// governs. Single-goroutine so the MemStats delta is the render's own
+// allocation count.
+func BenchmarkTrendsRenderMiss(b *testing.B) {
+	for _, sc := range trendsScales {
+		b.Run(sc.name, func(b *testing.B) {
+			f := trendsBenchFixture(b, sc)
+			s := dissenterweb.NewServer(f.db,
+				dissenterweb.WithURLRateLimit(0, 0),
+				dissenterweb.WithResponseCache(0, 0))
+			req := httptest.NewRequest(http.MethodGet, "/trends", nil)
+			// Warm the immutable row-fragment memo so the measured ops
+			// see the steady state, then measure.
+			s.ServeHTTP(httptest.NewRecorder(), req)
+			b.ReportAllocs()
+			var ms0, ms1 runtime.MemStats
+			runtime.GC()
+			runtime.ReadMemStats(&ms0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rec := httptest.NewRecorder()
+				s.ServeHTTP(rec, req)
+				if rec.Code != http.StatusOK {
+					b.Fatalf("trends status = %d", rec.Code)
+				}
+			}
+			b.StopTimer()
+			runtime.ReadMemStats(&ms1)
+			allocsPerOp := float64(ms1.Mallocs-ms0.Mallocs) / float64(b.N)
+			nsPerOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+			recordServeMetrics("TrendsRenderMiss/"+sc.name, map[string]float64{
+				"ns_per_op":     nsPerOp,
+				"allocs_per_op": allocsPerOp,
+			})
+			if budget := os.Getenv("BENCH_TRENDS_MAX_ALLOCS"); budget != "" {
+				max, err := strconv.ParseFloat(budget, 64)
+				if err != nil {
+					b.Fatalf("bad BENCH_TRENDS_MAX_ALLOCS %q: %v", budget, err)
+				}
+				if allocsPerOp > max {
+					b.Fatalf("trends render allocates %.1f objects/op, budget %v — the hot path regressed",
+						allocsPerOp, budget)
+				}
+			}
+		})
+	}
+}
+
+// --- machine-readable baseline ------------------------------------------
+
+var (
+	serveMetricsMu sync.Mutex
+	serveMetrics   = map[string]map[string]float64{}
+)
+
+// recordServeMetrics accumulates serving-path benchmark results and,
+// when BENCH_SERVE_JSON names a file, rewrites it after every record —
+// `make bench` emits BENCH_serve.json this way, so the trajectory of
+// the serving layer is diffable run over run.
+func recordServeMetrics(name string, m map[string]float64) {
+	path := os.Getenv("BENCH_SERVE_JSON")
+	if path == "" {
+		return
+	}
+	serveMetricsMu.Lock()
+	defer serveMetricsMu.Unlock()
+	serveMetrics[name] = m
+	blob, err := json.MarshalIndent(serveMetrics, "", "  ")
+	if err == nil {
+		_ = os.WriteFile(path, append(blob, '\n'), 0o644)
 	}
 }
 

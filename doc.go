@@ -39,6 +39,20 @@
 // default ports, fragments) share one record, one vote tally, one
 // cache subject, and one rate-limit bucket.
 //
+// The hot read path never scans the store. The Gab Trends ranking is
+// write-maintained: AddComment bumps per-URL visibility-class counters
+// and re-offers the URL to a bounded top-50 structure per session view
+// (internal/rankheap under a short per-view mutex, ordered by comment
+// count desc, FirstSeen desc, URL asc), so a cache-miss trends render
+// is O(50) whether the store holds a thousand URLs or a hundred
+// thousand — the oracle equivalence test in internal/platform pins
+// exact agreement with the full-scan ranking for all four view keys
+// under concurrent writes. Bulk readers (Validate, Census, analyses)
+// iterate through the zero-copy RangeUsers/RangeURLs/RangeComments
+// accessors, which pin the append-only insertion log under a brief
+// read lock and walk it in place; no HTTP handler materializes a
+// whole-store slice snapshot.
+//
 // The HTTP simulators front their hot endpoints — comment listings,
 // user profiles, trends — with a small LRU+TTL response cache
 // (internal/respcache) keyed by endpoint, subject, and session view, so

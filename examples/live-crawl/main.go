@@ -24,6 +24,7 @@ import (
 	"dissenter/internal/dissenterweb"
 	"dissenter/internal/gabapi"
 	"dissenter/internal/gabcrawl"
+	"dissenter/internal/platform"
 	"dissenter/internal/synth"
 )
 
@@ -49,9 +50,10 @@ func main() {
 	// POST /discussion/comment while the crawl is underway, including a
 	// thread minted mid-crawl on a never-before-seen URL.
 	var targets []string
-	for _, cu := range out.DB.URLs()[:5] {
+	out.DB.RangeURLs(func(cu *platform.CommentURL) bool {
 		targets = append(targets, cu.URL)
-	}
+		return len(targets) < 5
+	})
 	poster := &dissentercrawl.Poster{
 		Web:         dissentercrawl.New("http://"+webAddr, nil, dissentercrawl.WithSession("writer")),
 		URLs:        targets,

@@ -3,6 +3,7 @@ package analysis
 import (
 	"sort"
 
+	"dissenter/internal/corpus"
 	"dissenter/internal/urlkit"
 )
 
@@ -57,8 +58,7 @@ type CovertChannels struct {
 // signal from flooding the list with ordinary dead links.
 func (s *Study) CovertChannels() CovertChannels {
 	out := CovertChannels{BySignal: map[CovertSignal]int{}}
-	for i := range s.DS.URLs {
-		u := &s.DS.URLs[i]
+	s.DS.RangeURLs(func(u *corpus.URL) bool {
 		var signals []CovertSignal
 		switch urlkit.ClassifyScheme(u.URL) {
 		case urlkit.SchemeFile:
@@ -71,7 +71,7 @@ func (s *Study) CovertChannels() CovertChannels {
 			}
 		}
 		if len(signals) == 0 {
-			continue
+			return true
 		}
 		idxs := s.DS.CommentsOnURL(u.ID)
 		authors := map[string]bool{}
@@ -87,7 +87,7 @@ func (s *Study) CovertChannels() CovertChannels {
 		weakOnly := len(signals) == 1 && signals[0] == SignalNoTitle
 		isConversation := cand.Participants >= 2 && cand.Comments >= 2
 		if weakOnly && !isConversation {
-			continue
+			return true
 		}
 		for _, sig := range signals {
 			out.BySignal[sig]++
@@ -96,7 +96,8 @@ func (s *Study) CovertChannels() CovertChannels {
 			out.Conversations++
 		}
 		out.Candidates = append(out.Candidates, cand)
-	}
+		return true
+	})
 	sort.Slice(out.Candidates, func(i, j int) bool {
 		if out.Candidates[i].Comments != out.Candidates[j].Comments {
 			return out.Candidates[i].Comments > out.Candidates[j].Comments

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"dissenter/internal/allsides"
+	"dissenter/internal/corpus"
 	"dissenter/internal/ids"
 	"dissenter/internal/perspective"
 	"dissenter/internal/stats"
@@ -45,8 +46,7 @@ func (s *Study) Headline() Headline {
 	h.URLs = len(s.DS.URLs)
 	cutoff := DissenterLaunch.Add(37 * 24 * time.Hour)
 	firstMonth, withBio := 0, 0
-	for i := range s.DS.Users {
-		u := &s.DS.Users[i]
+	s.DS.RangeUsers(func(u *corpus.User) bool {
 		if u.MissingFromGab {
 			h.DeletedGabUsers++
 		}
@@ -56,7 +56,8 @@ func (s *Study) Headline() Headline {
 		if containsCensorship(u.Bio) {
 			withBio++
 		}
-	}
+		return true
+	})
 	if h.Users > 0 {
 		h.FirstMonthJoins = float64(firstMonth) / float64(h.Users)
 		h.CensorshipBios = float64(withBio) / float64(h.Users)
@@ -66,14 +67,15 @@ func (s *Study) Headline() Headline {
 		h.ActiveFraction = float64(h.ActiveUsers) / float64(h.Users)
 	}
 	h.Comments = len(s.DS.Comments)
-	for i := range s.DS.Comments {
-		if s.DS.Comments[i].IsReply() {
+	s.DS.RangeComments(func(c *corpus.Comment) bool {
+		if c.IsReply() {
 			h.Replies++
 		}
-		if n := len(s.DS.Comments[i].Text); n > h.LongestComment {
+		if n := len(c.Text); n > h.LongestComment {
 			h.LongestComment = n
 		}
-	}
+		return true
+	})
 	return h
 }
 
@@ -444,14 +446,15 @@ type ShadowOverlay struct {
 // ShadowOverlay computes S4.
 func (s *Study) ShadowOverlay() ShadowOverlay {
 	out := ShadowOverlay{Total: len(s.DS.Comments)}
-	for i := range s.DS.Comments {
-		if s.DS.Comments[i].NSFW {
+	s.DS.RangeComments(func(c *corpus.Comment) bool {
+		if c.NSFW {
 			out.NSFW++
 		}
-		if s.DS.Comments[i].Offensive {
+		if c.Offensive {
 			out.Offensive++
 		}
-	}
+		return true
+	})
 	if out.Total > 0 {
 		out.NSFWRate = float64(out.NSFW) / float64(out.Total)
 		out.OffRate = float64(out.Offensive) / float64(out.Total)

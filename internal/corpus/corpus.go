@@ -113,6 +113,39 @@ func (d *Dataset) CommentsByAuthor(id string) []int { return d.commentsBy[id] }
 // CommentsOnURL returns the indices of a page's comments.
 func (d *Dataset) CommentsOnURL(id string) []int { return d.onURL[id] }
 
+// The Range accessors iterate the corpus in place, handing out
+// pointers into the backing slices — the full-corpus analysis loops
+// walk millions of comments this way without materializing per-pass
+// copies. The pointers are invalidated by slice mutation + Reindex,
+// like every other accessor's.
+
+// RangeUsers calls f for each user until f returns false.
+func (d *Dataset) RangeUsers(f func(*User) bool) {
+	for i := range d.Users {
+		if !f(&d.Users[i]) {
+			return
+		}
+	}
+}
+
+// RangeURLs calls f for each URL until f returns false.
+func (d *Dataset) RangeURLs(f func(*URL) bool) {
+	for i := range d.URLs {
+		if !f(&d.URLs[i]) {
+			return
+		}
+	}
+}
+
+// RangeComments calls f for each comment until f returns false.
+func (d *Dataset) RangeComments(f func(*Comment) bool) {
+	for i := range d.Comments {
+		if !f(&d.Comments[i]) {
+			return
+		}
+	}
+}
+
 // ActiveUsers returns users with at least one observed comment.
 func (d *Dataset) ActiveUsers() []*User {
 	var out []*User

@@ -23,11 +23,14 @@
 package dissenterweb
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"html"
+	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -61,13 +64,32 @@ type Server struct {
 	urlLimit  int // requests per URL per window (10/min observed)
 	urlWindow time.Duration
 
-	mu       sync.Mutex
+	// Every request consults the session table and (on rate-limited
+	// endpoints) the per-URL hit counters; they used to share one mutex,
+	// which made an unrelated write — a RegisterSession, a rate-limit
+	// sweep — stall every concurrent reader. They are now independent:
+	// sessions is a read-mostly table under its own RWMutex, and the hit
+	// counters have their own mutex whose O(n) expiry sweep runs on a
+	// background goroutine (see rateLimit), never on a request's
+	// critical path.
+	sessMu   sync.RWMutex
 	sessions map[string]Session
-	hits     map[string]*hitWindow
-	// lastSweep is when expired rate-limit windows were last evicted;
-	// rateLimit sweeps opportunistically so hits stays bounded by the
-	// distinct URLs seen in roughly two windows, not the whole crawl.
-	lastSweep time.Time
+
+	rlMu sync.Mutex
+	hits map[string]*hitWindow
+	// lastSweep (unix nanos) is when expired rate-limit windows were
+	// last evicted; sweeps keep hits bounded by the distinct URLs seen
+	// in roughly two windows, not the whole crawl. sweeping guards
+	// against piling up more than one sweep goroutine.
+	lastSweep atomic.Int64
+	sweeping  atomic.Bool
+
+	// trendFrags caches the pre-escaped, immutable row fragment of each
+	// URL that enters a trends rendering (trends.go); trendFragCount
+	// triggers a wholesale reset if churn ever grows it past the hot
+	// set's size.
+	trendFrags     sync.Map // ids.ObjectID -> string
+	trendFragCount atomic.Int64
 }
 
 type hitWindow struct {
@@ -131,8 +153,8 @@ func NewServer(db *platform.DB, opts ...Option) *Server {
 // the simulator-side analogue of creating an account and flipping its
 // settings (§3.2). The token is sent as a "session" cookie.
 func (s *Server) RegisterSession(token string, sess Session) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.sessMu.Lock()
+	defer s.sessMu.Unlock()
 	s.sessions[token] = sess
 }
 
@@ -141,12 +163,19 @@ func (s *Server) session(r *http.Request) Session {
 	if err != nil {
 		return Session{}
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.sessMu.RLock()
+	defer s.sessMu.RUnlock()
 	return s.sessions[c.Value]
 }
 
 // visible reports whether a comment is rendered for the session.
+//
+// INVARIANT: this predicate must stay exactly expressible as
+// platform's visibility-class mask (trendindex.go: viewMask /
+// visibleCount) — handleTrends serves counts computed by that mask,
+// and any rule added here that the mask cannot express (say,
+// authors always seeing their own flagged comments) would silently
+// diverge trends counts from discussion pages.
 func visible(c *platform.Comment, sess Session) bool {
 	if c.NSFW && !sess.ShowNSFW {
 		return false
@@ -199,14 +228,41 @@ func (s *Server) CacheStats() (hits, misses uint64) { return s.cache.Stats() }
 // rateLimitEntries reports the number of live rate-limit windows; the
 // eviction tests pin that it stays bounded.
 func (s *Server) rateLimitEntries() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.rlMu.Lock()
+	defer s.rlMu.Unlock()
 	return len(s.hits)
 }
 
+// writeHTML sends a finished rendering. io.WriteString reaches the
+// ResponseWriter's WriteString fast path without copying body through
+// fmt's reflection machinery.
 func writeHTML(w http.ResponseWriter, body string) {
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
-	fmt.Fprint(w, body)
+	io.WriteString(w, body)
+}
+
+// bufPool recycles render buffers across requests: a page is built
+// into a pooled bytes.Buffer whose backing array survives the request,
+// so steady-state renders do zero growth reallocations. Buffers that
+// ballooned (a giant page) are dropped rather than pinned forever.
+var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+func getBuf() *bytes.Buffer {
+	b := bufPool.Get().(*bytes.Buffer)
+	b.Reset()
+	return b
+}
+
+func putBuf(b *bytes.Buffer) {
+	if b.Cap() <= 1<<20 {
+		bufPool.Put(b)
+	}
+}
+
+// writeInt appends n to the page without the strconv.Itoa allocation.
+func writeInt(b *bytes.Buffer, n int) {
+	var scratch [20]byte
+	b.Write(strconv.AppendInt(scratch[:0], int64(n), 10))
 }
 
 // ServeHTTP routes the app's pages.
@@ -235,37 +291,74 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // the *target* URL, so a crawler that never revisits a page never trips
 // it — exactly the loophole §3.2 reports. Cached responses still count:
 // the real platform throttled by request, not by render cost.
+//
+// The request path only touches its own key under the limiter mutex;
+// the O(n) expiry sweep that keeps the map bounded is amortized onto a
+// background goroutine at most once per window, so no request ever
+// pays for it.
 func (s *Server) rateLimit(w http.ResponseWriter, key string) bool {
 	if s.urlLimit <= 0 {
 		return true
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	now := time.Now()
-	// Opportunistic eviction: once per window, drop every entry whose
-	// window has lapsed. Without this a crawler sweeping distinct URLs
-	// grows the map forever; with it the map holds only URLs requested
-	// within the last window or two.
-	if now.Sub(s.lastSweep) >= s.urlWindow {
-		for k, win := range s.hits {
-			if now.Sub(win.start) >= s.urlWindow {
-				delete(s.hits, k)
-			}
-		}
-		s.lastSweep = now
+	if now.UnixNano()-s.lastSweep.Load() >= int64(s.urlWindow) {
+		s.sweepRateLimits(now)
 	}
+	s.rlMu.Lock()
 	hw := s.hits[key]
 	if hw == nil || now.Sub(hw.start) >= s.urlWindow {
 		hw = &hitWindow{start: now}
 		s.hits[key] = hw
 	}
 	hw.n++
-	if hw.n > s.urlLimit {
+	n := hw.n
+	s.rlMu.Unlock()
+	if n > s.urlLimit {
 		w.Header().Set("Retry-After", "60")
 		http.Error(w, "rate limited", http.StatusTooManyRequests)
 		return false
 	}
 	return true
+}
+
+// sweepRateLimits drops every rate-limit window that has lapsed, off
+// the request critical path. Without the sweep a crawler visiting
+// distinct URLs grows the map forever; with it the map holds only URLs
+// requested within the last window or two. At most one sweep goroutine
+// runs at a time, at most once per window.
+//
+// The sweep never holds the limiter lock for the O(n) scan: it swaps
+// in a fresh map in O(1), filters the old map unlocked, and re-inserts
+// the still-live windows in O(live). A request that lands between the
+// swap and the merge starts a fresh window for its key; the merge
+// keeps whichever window counted more hits, so the budget stays
+// approximately enforced through the handover instead of requests
+// stalling behind a million-entry scan.
+func (s *Server) sweepRateLimits(now time.Time) {
+	if !s.sweeping.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer s.sweeping.Store(false)
+		s.rlMu.Lock()
+		old := s.hits
+		s.hits = make(map[string]*hitWindow, len(old)/2+1)
+		s.rlMu.Unlock()
+		live := make(map[string]*hitWindow)
+		for k, win := range old {
+			if now.Sub(win.start) < s.urlWindow {
+				live[k] = win
+			}
+		}
+		s.rlMu.Lock()
+		for k, win := range live {
+			if cur, ok := s.hits[k]; !ok || cur.n < win.n {
+				s.hits[k] = win
+			}
+		}
+		s.rlMu.Unlock()
+		s.lastSweep.Store(now.UnixNano())
+	}()
 }
 
 // handleHome renders a Dissenter user home page. Missing accounts get a
@@ -286,19 +379,27 @@ func (s *Server) handleHome(w http.ResponseWriter, r *http.Request, username str
 		return
 	}
 	epoch := s.cache.Epoch(key)
-	var b strings.Builder
+	b := getBuf()
+	defer putBuf(b)
 	b.WriteString("<!DOCTYPE html><html><head><title>Dissenter</title></head><body>\n")
-	fmt.Fprintf(&b, `<div class="profile" data-author-id="%s">`+"\n", u.AuthorID)
-	fmt.Fprintf(&b, `<h1 class="username">@%s</h1>`+"\n", html.EscapeString(u.Username))
-	fmt.Fprintf(&b, `<h2 class="displayname">%s</h2>`+"\n", html.EscapeString(u.DisplayName))
-	fmt.Fprintf(&b, `<p class="bio">%s</p>`+"\n", html.EscapeString(u.Bio))
-	b.WriteString("</div>\n<ul class=\"history\">\n")
+	b.WriteString(`<div class="profile" data-author-id="`)
+	b.WriteString(u.AuthorID.String())
+	b.WriteString("\">\n<h1 class=\"username\">@")
+	b.WriteString(html.EscapeString(u.Username))
+	b.WriteString("</h1>\n<h2 class=\"displayname\">")
+	b.WriteString(html.EscapeString(u.DisplayName))
+	b.WriteString("</h2>\n<p class=\"bio\">")
+	b.WriteString(html.EscapeString(u.Bio))
+	b.WriteString("</p>\n</div>\n<ul class=\"history\">\n")
 	for _, cu := range s.db.URLsCommentedBy(u.AuthorID) {
 		if !s.anyVisibleBy(u.AuthorID, cu.ID, sess) {
 			continue
 		}
-		fmt.Fprintf(&b, `<li class="commented-url"><a href="/discussion?url=%s">%s</a></li>`+"\n",
-			url.QueryEscape(cu.URL), html.EscapeString(cu.URL))
+		b.WriteString(`<li class="commented-url"><a href="/discussion?url=`)
+		b.WriteString(url.QueryEscape(cu.URL))
+		b.WriteString(`">`)
+		b.WriteString(html.EscapeString(cu.URL))
+		b.WriteString("</a></li>\n")
 	}
 	b.WriteString("</ul>\n")
 	b.WriteString(appBundle)
@@ -310,13 +411,18 @@ func (s *Server) handleHome(w http.ResponseWriter, r *http.Request, username str
 
 // anyVisibleBy reports whether the author has at least one comment on the
 // URL that the session may see (hidden-only URLs stay off the profile).
+// Iterates the page's comment list in place and stops at the first
+// visible hit — no per-request slice materialization.
 func (s *Server) anyVisibleBy(author, urlID ids.ObjectID, sess Session) bool {
-	for _, c := range s.db.CommentsOnURL(urlID) {
+	found := false
+	s.db.RangeCommentsOnURL(urlID, func(c *platform.Comment) bool {
 		if c.AuthorID == author && visible(c, sess) {
-			return true
+			found = true
+			return false
 		}
-	}
-	return false
+		return true
+	})
+	return found
 }
 
 // handleDiscussion renders the comment page for ?url=.
@@ -337,22 +443,27 @@ func (s *Server) handleDiscussion(w http.ResponseWriter, r *http.Request) {
 	}
 	epoch := s.cache.Epoch(key)
 	cu := s.db.URLByString(raw)
-	var b strings.Builder
-	b.WriteString("<!DOCTYPE html><html><head><title>Dissenter Discussion</title></head><body>\n")
 	if cu == nil {
 		// A URL nobody has entered yet: an empty comment page inviting
 		// the first comment (§2.1). Never cached — the key is
 		// visitor-controlled, so a scan of novel URLs would evict the
 		// whole hot set with copies of this constant page, and the
 		// render is cheaper than the lookup that missed.
-		b.WriteString(`<div class="discussion new"><p>No comments yet. Be the first to dissent!</p></div>` + "\n")
-		b.WriteString("</body></html>\n")
-		writeHTML(w, b.String())
+		writeHTML(w, "<!DOCTYPE html><html><head><title>Dissenter Discussion</title></head><body>\n"+
+			`<div class="discussion new"><p>No comments yet. Be the first to dissent!</p></div>`+"\n"+
+			"</body></html>\n")
 		return
 	}
-	fmt.Fprintf(&b, `<div class="discussion" data-commenturl-id="%s">`+"\n", cu.ID)
-	fmt.Fprintf(&b, `<h1 class="pagetitle">%s</h1>`+"\n", html.EscapeString(cu.Title))
-	fmt.Fprintf(&b, `<p class="pagedescription">%s</p>`+"\n", html.EscapeString(cu.Description))
+	b := getBuf()
+	defer putBuf(b)
+	b.WriteString("<!DOCTYPE html><html><head><title>Dissenter Discussion</title></head><body>\n")
+	b.WriteString(`<div class="discussion" data-commenturl-id="`)
+	b.WriteString(cu.ID.String())
+	b.WriteString("\">\n<h1 class=\"pagetitle\">")
+	b.WriteString(html.EscapeString(cu.Title))
+	b.WriteString("</h1>\n<p class=\"pagedescription\">")
+	b.WriteString(html.EscapeString(cu.Description))
+	b.WriteString("</p>\n")
 	comments := s.db.CommentsOnURL(cu.ID)
 	shown := 0
 	for _, c := range comments {
@@ -361,24 +472,43 @@ func (s *Server) handleDiscussion(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	ups, downs := s.db.Votes(cu.ID)
-	fmt.Fprintf(&b, `<span class="votes" data-up="%d" data-down="%d"></span>`+"\n", ups, downs)
-	fmt.Fprintf(&b, `<span class="commentcount">%d</span>`+"\n", shown)
-	b.WriteString("</div>\n")
+	b.WriteString(`<span class="votes" data-up="`)
+	writeInt(b, ups)
+	b.WriteString(`" data-down="`)
+	writeInt(b, downs)
+	b.WriteString("\"></span>\n<span class=\"commentcount\">")
+	writeInt(b, shown)
+	b.WriteString("</span>\n</div>\n")
 	for _, c := range comments {
 		if !visible(c, sess) {
 			continue
 		}
 		// Note: no flag in the body distinguishes NSFW/offensive content —
 		// the crawler must infer labels differentially (§3.2).
-		fmt.Fprintf(&b, `<div class="comment" data-comment-id="%s" data-author-id="%s" data-parent-id="%s">`+"\n",
-			c.ID, c.AuthorID, parentAttr(c))
-		fmt.Fprintf(&b, `<p class="comment-text">%s</p>`+"\n", html.EscapeString(c.Text))
-		b.WriteString("</div>\n")
+		writeCommentDiv(b, "comment", c, true)
 	}
 	b.WriteString("</body></html>\n")
 	body := b.String()
 	s.cache.PutAt(key, body, epoch)
 	writeHTML(w, body)
+}
+
+// writeCommentDiv renders one comment row — the hot inner loop of the
+// discussion and single-comment pages.
+func writeCommentDiv(b *bytes.Buffer, class string, c *platform.Comment, withParent bool) {
+	b.WriteString(`<div class="`)
+	b.WriteString(class)
+	b.WriteString(`" data-comment-id="`)
+	b.WriteString(c.ID.String())
+	b.WriteString(`" data-author-id="`)
+	b.WriteString(c.AuthorID.String())
+	if withParent {
+		b.WriteString(`" data-parent-id="`)
+		b.WriteString(parentAttr(c))
+	}
+	b.WriteString("\">\n<p class=\"comment-text\">")
+	b.WriteString(html.EscapeString(c.Text))
+	b.WriteString("</p>\n</div>\n")
 }
 
 func parentAttr(c *platform.Comment) string {
@@ -404,19 +534,16 @@ func (s *Server) handleComment(w http.ResponseWriter, r *http.Request, cidStr st
 		return
 	}
 	author := s.db.UserByAuthorID(c.AuthorID)
-	var b strings.Builder
+	b := getBuf()
+	defer putBuf(b)
 	b.WriteString("<!DOCTYPE html><html><head><title>Dissenter Comment</title></head><body>\n")
-	fmt.Fprintf(&b, `<div class="comment" data-comment-id="%s" data-author-id="%s" data-parent-id="%s">`+"\n",
-		c.ID, c.AuthorID, parentAttr(c))
-	fmt.Fprintf(&b, `<p class="comment-text">%s</p>`+"\n", html.EscapeString(c.Text))
-	b.WriteString("</div>\n")
-	for _, reply := range s.db.CommentsOnURL(c.URLID) {
+	writeCommentDiv(b, "comment", c, true)
+	s.db.RangeCommentsOnURL(c.URLID, func(reply *platform.Comment) bool {
 		if reply.ParentID == c.ID && visible(reply, sess) {
-			fmt.Fprintf(&b, `<div class="reply" data-comment-id="%s" data-author-id="%s">`+"\n", reply.ID, reply.AuthorID)
-			fmt.Fprintf(&b, `<p class="comment-text">%s</p>`+"\n", html.EscapeString(reply.Text))
-			b.WriteString("</div>\n")
+			writeCommentDiv(b, "reply", reply, false)
 		}
-	}
+		return true
+	})
 	if author != nil {
 		meta := hiddenMeta{
 			Username:    author.Username,
@@ -429,14 +556,15 @@ func (s *Server) handleComment(w http.ResponseWriter, r *http.Request, cidStr st
 			b.WriteString("<script>\n")
 			// The assignment is commented out — dead code shipped to every
 			// visitor, invisible in the DOM, and full of metadata.
-			fmt.Fprintf(&b, "// var commentAuthor = %s;\n", blob)
-			b.WriteString("var commentView = {\"ready\": true};\n")
+			b.WriteString("// var commentAuthor = ")
+			b.Write(blob)
+			b.WriteString(";\nvar commentView = {\"ready\": true};\n")
 			b.WriteString("</script>\n")
 		}
 	}
 	b.WriteString("</body></html>\n")
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
-	fmt.Fprint(w, b.String())
+	w.Write(b.Bytes())
 }
 
 // hiddenMeta is the commentAuthor payload.

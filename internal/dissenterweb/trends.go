@@ -1,12 +1,9 @@
 package dissenterweb
 
 import (
-	"fmt"
 	"html"
 	"net/http"
 	"net/url"
-	"sort"
-	"strings"
 	"time"
 
 	"dissenter/internal/platform"
@@ -31,6 +28,14 @@ import (
 
 // handleTrends renders the Gab Trends homepage: the most-commented URLs
 // with their titles and comment counts, newest first among ties.
+//
+// The ranking is served from the store's write-maintained trend index
+// (platform.DB.TopTrends): every AddComment already folded itself into
+// the per-view top-50 in O(1), so a cache-miss render here is
+// O(TrendLimit) — it never scans the URL table or counts a comment
+// page, no matter how large the store has grown. That is what keeps
+// the portal cheap under the §3.2 moving-target regime, where every
+// posted comment invalidates every cached trends view.
 func (s *Server) handleTrends(w http.ResponseWriter, r *http.Request) {
 	sess := s.session(r)
 	key := trendsKey(sess)
@@ -39,54 +44,47 @@ func (s *Server) handleTrends(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	epoch := s.cache.Epoch(key)
-	type entry struct {
-		cu    *platform.CommentURL
-		count int
-	}
-	var entries []entry
-	for _, cu := range s.db.URLs() {
-		count := 0
-		for _, c := range s.db.CommentsOnURL(cu.ID) {
-			if visible(c, sess) {
-				count++
-			}
-		}
-		if count > 0 {
-			entries = append(entries, entry{cu, count})
-		}
-	}
-	sort.Slice(entries, func(i, j int) bool {
-		if entries[i].count != entries[j].count {
-			return entries[i].count > entries[j].count
-		}
-		// Newest first among ties; equal first-seen times (same synth
-		// batch) fall back to the URL string for determinism.
-		if !entries[i].cu.FirstSeen.Equal(entries[j].cu.FirstSeen) {
-			return entries[i].cu.FirstSeen.After(entries[j].cu.FirstSeen)
-		}
-		return entries[i].cu.URL < entries[j].cu.URL
-	})
-	if len(entries) > 50 {
-		entries = entries[:50]
-	}
-	var b strings.Builder
+	entries := s.db.TopTrends(sess.ShowNSFW, sess.ShowOffensive)
+	b := getBuf()
+	defer putBuf(b)
 	b.WriteString("<!DOCTYPE html><html><head><title>Gab Trends</title></head><body>\n")
 	b.WriteString("<h1>Trending on Dissenter</h1>\n")
 	b.WriteString(`<form action="/discussion/begin" method="get">` +
 		`<input name="url" placeholder="Submit any URL"/><input type="submit" value="Dissent"/></form>` + "\n")
 	b.WriteString("<ol class=\"trends\">\n")
 	for _, e := range entries {
-		title := e.cu.Title
-		if title == "" {
-			title = e.cu.URL
-		}
-		fmt.Fprintf(&b, `<li class="trend" data-comments="%d"><a href="/discussion?url=%s">%s</a></li>`+"\n",
-			e.count, url.QueryEscape(e.cu.URL), html.EscapeString(title))
+		b.WriteString(`<li class="trend" data-comments="`)
+		writeInt(b, e.Count)
+		b.WriteString(s.trendRowFrag(e.URL))
 	}
 	b.WriteString("</ol>\n</body></html>\n")
 	body := b.String()
 	s.cache.PutAt(key, body, epoch)
 	writeHTML(w, body)
+}
+
+// trendRowFrag returns the per-URL remainder of a trends row — the
+// query-escaped link and HTML-escaped title after the comment count.
+// CommentURL records are immutable, so the fragment is computed once
+// per URL that ever trends and memoized; only the count is rendered
+// per request. The memo is reset wholesale if ranking churn ever grows
+// it far past the hot set, so it cannot become a slow leak.
+func (s *Server) trendRowFrag(cu *platform.CommentURL) string {
+	if v, ok := s.trendFrags.Load(cu.ID); ok {
+		return v.(string)
+	}
+	title := cu.Title
+	if title == "" {
+		title = cu.URL
+	}
+	frag := `"><a href="/discussion?url=` + url.QueryEscape(cu.URL) + `">` +
+		html.EscapeString(title) + "</a></li>\n"
+	if s.trendFragCount.Add(1) > 64*platform.TrendLimit {
+		s.trendFrags.Clear()
+		s.trendFragCount.Store(1)
+	}
+	s.trendFrags.Store(cu.ID, frag)
+	return frag
 }
 
 // handleBegin accepts a URL submission and redirects to its comment

@@ -117,62 +117,74 @@ func (db *DB) Validate() error {
 	}
 	seenGab := map[ids.GabID]bool{}
 	seenName := map[string]bool{}
-	for _, u := range db.Users() {
-		if !u.GabID.Valid() {
-			return fmt.Errorf("platform: user %q has invalid Gab ID %d", u.Username, u.GabID)
-		}
-		if seenGab[u.GabID] {
-			return fmt.Errorf("platform: duplicate Gab ID %d", u.GabID)
+	var err error
+	db.RangeUsers(func(u *User) bool {
+		switch {
+		case !u.GabID.Valid():
+			err = fmt.Errorf("platform: user %q has invalid Gab ID %d", u.Username, u.GabID)
+		case seenGab[u.GabID]:
+			err = fmt.Errorf("platform: duplicate Gab ID %d", u.GabID)
+		case u.Username == "":
+			err = fmt.Errorf("platform: user with Gab ID %d has empty username", u.GabID)
+		case seenName[u.Username]:
+			err = fmt.Errorf("platform: duplicate username %q", u.Username)
+		case u.HasDissenter && u.AuthorID.IsZero():
+			err = fmt.Errorf("platform: dissenter user %q lacks author-id", u.Username)
+		case !u.HasDissenter && !u.AuthorID.IsZero():
+			err = fmt.Errorf("platform: non-dissenter user %q has author-id", u.Username)
+		case u.GabDeleted && !u.HasDissenter:
+			err = fmt.Errorf("platform: deleted Gab user %q without Dissenter account is unobservable", u.Username)
 		}
 		seenGab[u.GabID] = true
-		if u.Username == "" {
-			return fmt.Errorf("platform: user with Gab ID %d has empty username", u.GabID)
-		}
-		if seenName[u.Username] {
-			return fmt.Errorf("platform: duplicate username %q", u.Username)
-		}
 		seenName[u.Username] = true
-		if u.HasDissenter && u.AuthorID.IsZero() {
-			return fmt.Errorf("platform: dissenter user %q lacks author-id", u.Username)
-		}
-		if !u.HasDissenter && !u.AuthorID.IsZero() {
-			return fmt.Errorf("platform: non-dissenter user %q has author-id", u.Username)
-		}
-		if u.GabDeleted && !u.HasDissenter {
-			return fmt.Errorf("platform: deleted Gab user %q without Dissenter account is unobservable", u.Username)
-		}
+		return err == nil
+	})
+	if err != nil {
+		return err
 	}
-	for _, cu := range db.URLs() {
-		if cu.ID.IsZero() {
-			return fmt.Errorf("platform: URL %q has zero id", cu.URL)
+	db.RangeURLs(func(cu *CommentURL) bool {
+		switch {
+		case cu.ID.IsZero():
+			err = fmt.Errorf("platform: URL %q has zero id", cu.URL)
+		case cu.URL == "":
+			err = fmt.Errorf("platform: URL %s has empty address", cu.ID)
+		case cu.Ups < 0 || cu.Downs < 0:
+			err = fmt.Errorf("platform: URL %q has negative votes", cu.URL)
 		}
-		if cu.URL == "" {
-			return fmt.Errorf("platform: URL %s has empty address", cu.ID)
-		}
-		if cu.Ups < 0 || cu.Downs < 0 {
-			return fmt.Errorf("platform: URL %q has negative votes", cu.URL)
-		}
+		return err == nil
+	})
+	if err != nil {
+		return err
 	}
-	for _, c := range db.Comments() {
+	db.RangeComments(func(c *Comment) bool {
 		cu := db.URLByID(c.URLID)
 		if cu == nil {
-			return fmt.Errorf("platform: comment %s references unknown URL %s", c.ID, c.URLID)
+			err = fmt.Errorf("platform: comment %s references unknown URL %s", c.ID, c.URLID)
+			return false
 		}
 		if db.UserByAuthorID(c.AuthorID) == nil {
-			return fmt.Errorf("platform: comment %s references unknown author %s", c.ID, c.AuthorID)
+			err = fmt.Errorf("platform: comment %s references unknown author %s", c.ID, c.AuthorID)
+			return false
 		}
 		if !c.ParentID.IsZero() {
 			parent := db.CommentByID(c.ParentID)
 			if parent == nil {
-				return fmt.Errorf("platform: reply %s references unknown parent %s", c.ID, c.ParentID)
+				err = fmt.Errorf("platform: reply %s references unknown parent %s", c.ID, c.ParentID)
+				return false
 			}
 			if parent.URLID != c.URLID {
-				return fmt.Errorf("platform: reply %s crosses comment pages", c.ID)
+				err = fmt.Errorf("platform: reply %s crosses comment pages", c.ID)
+				return false
 			}
 		}
 		if c.ID.Time().Before(cu.FirstSeen) {
-			return fmt.Errorf("platform: comment %s predates its URL's first-seen time", c.ID)
+			err = fmt.Errorf("platform: comment %s predates its URL's first-seen time", c.ID)
+			return false
 		}
+		return true
+	})
+	if err != nil {
+		return err
 	}
 	for follower, following := range db.Follows() {
 		if _, ok := db.byGabID.get(follower); !ok {
@@ -206,9 +218,8 @@ type Stats struct {
 // Census counts the headline quantities.
 func (db *DB) Census() Stats {
 	var s Stats
-	users := db.Users()
-	s.GabUsers = len(users)
-	for _, u := range users {
+	db.RangeUsers(func(u *User) bool {
+		s.GabUsers++
 		if u.HasDissenter {
 			s.DissenterUsers++
 			if len(db.CommentsByAuthor(u.AuthorID)) > 0 {
@@ -218,9 +229,13 @@ func (db *DB) Census() Stats {
 		if u.GabDeleted {
 			s.DeletedGabUsers++
 		}
-	}
-	s.URLs = len(db.URLs())
-	for _, c := range db.Comments() {
+		return true
+	})
+	db.RangeURLs(func(*CommentURL) bool {
+		s.URLs++
+		return true
+	})
+	db.RangeComments(func(c *Comment) bool {
 		s.Comments++
 		if c.IsReply() {
 			s.Replies++
@@ -231,6 +246,7 @@ func (db *DB) Census() Stats {
 		if c.Offensive {
 			s.OffensiveComments++
 		}
-	}
+		return true
+	})
 	return s
 }

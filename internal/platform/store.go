@@ -39,6 +39,12 @@ type DB struct {
 	followersOf      *shardedMap[ids.GabID, []ids.GabID]
 	votes            *shardedMap[ids.ObjectID, voteDelta]
 
+	// trends is the write-maintained Gab Trends ranking (trendindex.go):
+	// per-URL visibility-class counters plus a bounded top-TrendLimit
+	// order structure per session view, updated in O(1) by AddComment so
+	// TopTrends never scans the store.
+	trends *trendIndex
+
 	maxGabID atomic.Int64
 }
 
@@ -70,6 +76,7 @@ func New(users []*User, urls []*CommentURL, comments []*Comment, follows map[ids
 		commentsByAuthor: newShardedMap[ids.ObjectID, []*Comment](hashObjectID),
 		followersOf:      newShardedMap[ids.GabID, []ids.GabID](hashGabID),
 		votes:            newShardedMap[ids.ObjectID, voteDelta](hashObjectID),
+		trends:           newTrendIndex(),
 	}
 	for _, u := range users {
 		db.indexUser(u)
@@ -104,6 +111,7 @@ func New(users []*User, urls []*CommentURL, comments []*Comment, follows map[ids
 		sort.Slice(list, func(i, j int) bool { return list[i] < list[j] })
 		db.followersOf.set(id, list)
 	}
+	db.trends.bulkBuild(db, comments)
 	return db
 }
 
@@ -143,17 +151,27 @@ func (db *DB) AddUser(u *User) {
 // the winner's record is fully indexed before it becomes visible via
 // URLByString. The loser's minted ID is discarded.
 func (db *DB) SubmitURL(cu *CommentURL) (canonical *CommentURL, inserted bool) {
-	return db.urlByURL.getOrCreate(cu.URL, func() *CommentURL {
+	canonical, inserted = db.urlByURL.getOrCreate(cu.URL, func() *CommentURL {
 		db.urlByID.set(cu.ID, cu)
 		db.mu.Lock()
 		db.urls = append(db.urls, cu)
 		db.mu.Unlock()
 		return cu
 	})
+	if inserted {
+		// Backfill the trends rankings in case comments referencing this
+		// URL were added before it was registered (the store API does
+		// not force a registration-first order).
+		db.trends.registerURL(canonical)
+	}
+	return canonical, inserted
 }
 
 // AddComment indexes a comment. The per-URL listing is written last, so
-// a comment visible on its page always resolves via CommentByID.
+// a comment visible on its page always resolves via CommentByID. The
+// trends ranking is updated before AddComment returns, so a caller
+// that invalidates cached trends renderings afterwards never lets a
+// reader re-render the pre-insert ranking.
 func (db *DB) AddComment(c *Comment) {
 	db.commentByID.set(c.ID, c)
 	db.commentsByAuthor.update(c.AuthorID, func(old []*Comment) []*Comment {
@@ -165,6 +183,7 @@ func (db *DB) AddComment(c *Comment) {
 	db.commentsByURL.update(c.URLID, func(old []*Comment) []*Comment {
 		return insertSorted(old, c)
 	})
+	db.trends.addComment(db, c)
 }
 
 // insertSorted returns a new slice with c inserted in ID (creation)
@@ -308,6 +327,68 @@ func (db *DB) Followers(id ids.GabID) []ids.GabID {
 	return out
 }
 
+// --- zero-copy iteration ------------------------------------------------
+
+// The Range accessors walk the store without materializing anything:
+// they pin the append-only insertion log's current length under a
+// brief read lock, then iterate outside any lock — records are
+// immutable once inserted and the log is never shifted, so the walk is
+// safe against concurrent writers and sees a consistent prefix of the
+// store. Handlers and full-corpus analyses should iterate this way;
+// the slice-returning snapshot accessors below remain for callers that
+// genuinely need an indexable snapshot (tests, bulk export).
+
+// RangeUsers calls f for each user in insertion order until f returns
+// false. Users inserted after the call starts are not visited.
+func (db *DB) RangeUsers(f func(*User) bool) {
+	db.mu.RLock()
+	users := db.users
+	db.mu.RUnlock()
+	for _, u := range users {
+		if !f(u) {
+			return
+		}
+	}
+}
+
+// RangeURLs calls f for each comment-page URL in insertion order until
+// f returns false.
+func (db *DB) RangeURLs(f func(*CommentURL) bool) {
+	db.mu.RLock()
+	urls := db.urls
+	db.mu.RUnlock()
+	for _, cu := range urls {
+		if !f(cu) {
+			return
+		}
+	}
+}
+
+// RangeComments calls f for each comment in insertion order until f
+// returns false.
+func (db *DB) RangeComments(f func(*Comment) bool) {
+	db.mu.RLock()
+	comments := db.comments
+	db.mu.RUnlock()
+	for _, c := range comments {
+		if !f(c) {
+			return
+		}
+	}
+}
+
+// RangeCommentsOnURL calls f for each comment on one page in creation
+// order until f returns false — the iteration form of CommentsOnURL
+// for render paths that stop early (visibility probes).
+func (db *DB) RangeCommentsOnURL(id ids.ObjectID, f func(*Comment) bool) {
+	cs, _ := db.commentsByURL.get(id)
+	for _, c := range cs {
+		if !f(c) {
+			return
+		}
+	}
+}
+
 // --- snapshot accessors -------------------------------------------------
 
 // Users returns all users in insertion order. The slice is a stable
@@ -352,21 +433,23 @@ func (db *DB) Follows() map[ids.GabID][]ids.GabID {
 // DissenterUsers returns users with Dissenter accounts.
 func (db *DB) DissenterUsers() []*User {
 	var out []*User
-	for _, u := range db.Users() {
+	db.RangeUsers(func(u *User) bool {
 		if u.HasDissenter {
 			out = append(out, u)
 		}
-	}
+		return true
+	})
 	return out
 }
 
 // ActiveUsers returns Dissenter users with at least one comment or reply.
 func (db *DB) ActiveUsers() []*User {
 	var out []*User
-	for _, u := range db.Users() {
+	db.RangeUsers(func(u *User) bool {
 		if u.HasDissenter && len(db.CommentsByAuthor(u.AuthorID)) > 0 {
 			out = append(out, u)
 		}
-	}
+		return true
+	})
 	return out
 }

@@ -1,0 +1,290 @@
+package platform
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"dissenter/internal/ids"
+)
+
+// oracleTrends is the old full-scan-and-sort computation: walk every
+// URL, count its comments visible to the view, sort by count desc /
+// FirstSeen desc / URL asc, truncate to TrendLimit. The incremental
+// index must match it exactly once writes quiesce.
+func oracleTrends(db *DB, showNSFW, showOffensive bool) []TrendEntry {
+	var entries []TrendEntry
+	db.RangeURLs(func(cu *CommentURL) bool {
+		count := 0
+		for _, c := range db.CommentsOnURL(cu.ID) {
+			if c.NSFW && !showNSFW {
+				continue
+			}
+			if c.Offensive && !showOffensive {
+				continue
+			}
+			count++
+		}
+		if count > 0 {
+			entries = append(entries, TrendEntry{URL: cu, Count: count})
+		}
+		return true
+	})
+	sort.Slice(entries, func(i, j int) bool { return betterTrend(entries[i], entries[j]) })
+	if len(entries) > TrendLimit {
+		entries = entries[:TrendLimit]
+	}
+	return entries
+}
+
+// checkTrendsEquivalence asserts index == oracle for all four views.
+func checkTrendsEquivalence(t *testing.T, db *DB) {
+	t.Helper()
+	for _, view := range []struct{ nsfw, off bool }{
+		{false, false}, {true, false}, {false, true}, {true, true},
+	} {
+		want := oracleTrends(db, view.nsfw, view.off)
+		got := db.TopTrends(view.nsfw, view.off)
+		if len(got) != len(want) {
+			t.Fatalf("view nsfw=%v off=%v: index lists %d URLs, oracle %d",
+				view.nsfw, view.off, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].URL != want[i].URL || got[i].Count != want[i].Count {
+				t.Fatalf("view nsfw=%v off=%v rank %d:\n  index: %q count=%d\n  oracle: %q count=%d",
+					view.nsfw, view.off, i,
+					got[i].URL.URL, got[i].Count, want[i].URL.URL, want[i].Count)
+			}
+		}
+	}
+}
+
+// trendsTestDB builds a store with one posting author and no initial
+// URLs or comments.
+func trendsTestDB() (*DB, *User) {
+	gen := ids.NewGenerator(0x7E4D)
+	author := &User{
+		GabID: 1, Username: "poster", HasDissenter: true,
+		AuthorID: gen.NewAt(time.Unix(1_500_000_000, 0)),
+	}
+	return New([]*User{author}, nil, nil, nil), author
+}
+
+// TestTrendIndexOracleEquivalence drives randomized concurrent posts
+// and URL submissions — more distinct URLs than TrendLimit, all four
+// comment classes, contended hot URLs — with concurrent TopTrends
+// readers, then verifies the incremental top-50 of every view key
+// exactly matches the full-scan oracle. Run under -race in CI.
+func TestTrendIndexOracleEquivalence(t *testing.T) {
+	db, author := trendsTestDB()
+
+	const (
+		writers      = 8
+		opsPerWriter = 1500
+		distinctURLs = 400 // > TrendLimit so eviction paths are exercised
+	)
+	base := time.Unix(1_600_000_000, 0)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			gen := ids.NewGenerator(uint64(seed) * 0x9E37)
+			for i := 0; i < opsPerWriter; i++ {
+				// Zipf-ish skew: low-numbered URLs are hot, so the same
+				// URL climbs the ranking from many goroutines at once.
+				n := rng.Intn(distinctURLs)
+				if rng.Intn(3) > 0 {
+					n = rng.Intn(1 + distinctURLs/10)
+				}
+				addr := fmt.Sprintf("https://oracle.example/story/%03d", n)
+				cu := db.URLByString(addr)
+				if cu == nil {
+					cu, _ = db.SubmitURL(&CommentURL{
+						ID:  gen.NewAt(base.Add(time.Duration(n) * time.Second)),
+						URL: addr,
+						// Distinct first-seen times mostly, with some exact
+						// collisions so the URL-string tie-break matters too.
+						FirstSeen: base.Add(time.Duration(n%97) * time.Minute),
+					})
+				}
+				db.AddComment(&Comment{
+					ID:        gen.NewAt(base.Add(time.Hour)),
+					URLID:     cu.ID,
+					AuthorID:  author.AuthorID,
+					Text:      "oracle load",
+					CreatedAt: base.Add(time.Hour),
+					NSFW:      rng.Intn(4) == 0,
+					Offensive: rng.Intn(5) == 0,
+				})
+			}
+		}(int64(w + 1))
+	}
+	// Concurrent readers: the ranking must stay well-formed (sorted,
+	// bounded, positive counts) while writes are in flight.
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		readers.Add(1)
+		go func(nsfw bool) {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				top := db.TopTrends(nsfw, !nsfw)
+				if len(top) > TrendLimit {
+					t.Errorf("mid-write ranking has %d entries", len(top))
+					return
+				}
+				for i := range top {
+					if top[i].Count <= 0 {
+						t.Errorf("mid-write ranking holds zero-count URL %q", top[i].URL.URL)
+						return
+					}
+					if i > 0 && !betterTrend(top[i-1], top[i]) {
+						t.Errorf("mid-write ranking out of order at %d", i)
+						return
+					}
+				}
+			}
+		}(r == 0)
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+
+	checkTrendsEquivalence(t, db)
+}
+
+// TestTrendIndexLateURLRegistration pins the backfill path: comments
+// added before their URL is registered (legal through the store API,
+// though the HTTP paths always register first) must surface the URL in
+// trends the moment SubmitURL lands, not on its next comment.
+func TestTrendIndexLateURLRegistration(t *testing.T) {
+	db, author := trendsTestDB()
+	gen := ids.NewGenerator(0x1A7E)
+	base := time.Unix(1_610_000_000, 0)
+	cu := &CommentURL{
+		ID:        gen.NewAt(base),
+		URL:       "https://late.example/registered-after-comments",
+		FirstSeen: base,
+	}
+	for i := 0; i < 3; i++ {
+		db.AddComment(&Comment{
+			ID:        gen.NewAt(base.Add(time.Minute)),
+			URLID:     cu.ID,
+			AuthorID:  author.AuthorID,
+			Text:      "early comment",
+			CreatedAt: base.Add(time.Minute),
+			NSFW:      i == 2, // one hidden comment so views differ
+		})
+	}
+	if top := db.TopTrends(false, false); len(top) != 0 {
+		t.Fatalf("unregistered URL already trends: %d entries", len(top))
+	}
+	db.SubmitURL(cu)
+	checkTrendsEquivalence(t, db)
+	top := db.TopTrends(false, false)
+	if len(top) != 1 || top[0].URL != cu || top[0].Count != 2 {
+		t.Fatalf("after late registration: %+v, want the URL with 2 visible comments", top)
+	}
+	if top := db.TopTrends(true, false); len(top) != 1 || top[0].Count != 3 {
+		t.Fatalf("NSFW view after late registration: %+v, want count 3", top)
+	}
+}
+
+// TestTrendIndexBulkBuildEquivalence pins that a store constructed
+// with New (the bulk path) ranks identically to the oracle, including
+// the all-hidden and zero-comment URLs the ranking must omit.
+func TestTrendIndexBulkBuildEquivalence(t *testing.T) {
+	gen := ids.NewGenerator(0xB01D)
+	base := time.Unix(1_550_000_000, 0)
+	author := &User{
+		GabID: 1, Username: "builder", HasDissenter: true, AuthorID: gen.NewAt(base),
+	}
+	rng := rand.New(rand.NewSource(99))
+	var urls []*CommentURL
+	var comments []*Comment
+	for n := 0; n < 120; n++ {
+		cu := &CommentURL{
+			ID:        gen.NewAt(base.Add(time.Duration(n) * time.Second)),
+			URL:       fmt.Sprintf("https://bulk.example/%03d", n),
+			FirstSeen: base.Add(time.Duration(n%13) * time.Minute),
+		}
+		urls = append(urls, cu)
+		for k := rng.Intn(6); k > 0; k-- { // some URLs get zero comments
+			comments = append(comments, &Comment{
+				ID:        gen.NewAt(base.Add(time.Hour)),
+				URLID:     cu.ID,
+				AuthorID:  author.AuthorID,
+				Text:      "bulk",
+				CreatedAt: base.Add(time.Hour),
+				NSFW:      rng.Intn(3) == 0,
+				Offensive: rng.Intn(3) == 0,
+			})
+		}
+	}
+	db := New([]*User{author}, urls, comments, nil)
+	checkTrendsEquivalence(t, db)
+}
+
+// TestTrendIndexLiveMatchesBulk pins that inserting comment-by-comment
+// through AddComment reaches the same ranking as constructing the
+// finished store with New.
+func TestTrendIndexLiveMatchesBulk(t *testing.T) {
+	gen := ids.NewGenerator(0x11FE)
+	base := time.Unix(1_560_000_000, 0)
+	author := &User{
+		GabID: 1, Username: "live", HasDissenter: true, AuthorID: gen.NewAt(base),
+	}
+	rng := rand.New(rand.NewSource(7))
+	var urls []*CommentURL
+	var comments []*Comment
+	for n := 0; n < 80; n++ {
+		cu := &CommentURL{
+			ID:        gen.NewAt(base.Add(time.Duration(n) * time.Second)),
+			URL:       fmt.Sprintf("https://live.example/%03d", n),
+			FirstSeen: base.Add(time.Duration(n%7) * time.Minute),
+		}
+		urls = append(urls, cu)
+		for k := rng.Intn(8); k > 0; k-- {
+			comments = append(comments, &Comment{
+				ID:        gen.NewAt(base.Add(time.Hour)),
+				URLID:     cu.ID,
+				AuthorID:  author.AuthorID,
+				Text:      "live",
+				CreatedAt: base.Add(time.Hour),
+				NSFW:      rng.Intn(4) == 0,
+				Offensive: rng.Intn(4) == 0,
+			})
+		}
+	}
+	bulk := New([]*User{author}, urls, comments, nil)
+	live := New([]*User{author}, urls, nil, nil)
+	for _, c := range comments {
+		live.AddComment(c)
+	}
+	for _, view := range []struct{ nsfw, off bool }{
+		{false, false}, {true, false}, {false, true}, {true, true},
+	} {
+		want := bulk.TopTrends(view.nsfw, view.off)
+		got := live.TopTrends(view.nsfw, view.off)
+		if len(got) != len(want) {
+			t.Fatalf("live lists %d, bulk %d", len(got), len(want))
+		}
+		for i := range want {
+			if got[i].URL.URL != want[i].URL.URL || got[i].Count != want[i].Count {
+				t.Fatalf("rank %d: live %q/%d, bulk %q/%d", i,
+					got[i].URL.URL, got[i].Count, want[i].URL.URL, want[i].Count)
+			}
+		}
+	}
+	checkTrendsEquivalence(t, live)
+}

@@ -1,0 +1,141 @@
+// Package rankheap implements a bounded top-K ordered set: a binary
+// min-heap (worst member at the root) paired with a key→slot position
+// map, so membership checks, in-place rank updates, and
+// evict-the-worst insertions are all O(log K) with K small and fixed.
+//
+// It is the building block for write-maintained "top N" materialized
+// views over monotone scores — the Gab Trends ranking keeps one per
+// session view, updated on every comment insert. The monotonicity
+// matters for bounded correctness: when a member is evicted, exactly K
+// strictly-better members remain, and if their scores only ever
+// improve, the evicted key can re-enter the true top K only by
+// improving its own score — which is exactly the moment the caller
+// calls Update again. Callers with non-monotone scores would need an
+// unbounded structure.
+//
+// A TopK is not safe for concurrent use; callers wrap it in a short
+// lock (the trend index holds one mutex per session view).
+package rankheap
+
+// TopK keeps the best (according to better) K values ever offered,
+// keyed by K-type keys. The zero value is not usable; construct with
+// New.
+type TopK[K comparable, V any] struct {
+	limit  int
+	better func(a, b V) bool
+	heap   []member[K, V] // min-heap: heap[0] is the worst member
+	pos    map[K]int      // key -> index in heap
+}
+
+type member[K comparable, V any] struct {
+	key K
+	val V
+}
+
+// New builds a TopK holding at most limit values, ordered by better
+// (which must be a strict total order over the values that will be
+// offered; ties make membership nondeterministic).
+func New[K comparable, V any](limit int, better func(a, b V) bool) *TopK[K, V] {
+	if limit <= 0 {
+		panic("rankheap: limit must be positive")
+	}
+	return &TopK[K, V]{
+		limit:  limit,
+		better: better,
+		heap:   make([]member[K, V], 0, limit),
+		pos:    make(map[K]int, limit),
+	}
+}
+
+// Len returns the current number of members.
+func (t *TopK[K, V]) Len() int { return len(t.heap) }
+
+// Get returns the value stored for key, if it is a member.
+func (t *TopK[K, V]) Get(key K) (V, bool) {
+	if i, ok := t.pos[key]; ok {
+		return t.heap[i].val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Update offers (key, val) to the set. An existing member's value is
+// replaced and its rank fixed in place; a new key is admitted if the
+// set is under its limit or val beats the current worst member, which
+// is then evicted. It reports whether key is a member afterwards.
+func (t *TopK[K, V]) Update(key K, val V) bool {
+	if i, ok := t.pos[key]; ok {
+		t.heap[i].val = val
+		t.fix(i)
+		return true
+	}
+	if len(t.heap) < t.limit {
+		t.heap = append(t.heap, member[K, V]{key, val})
+		t.pos[key] = len(t.heap) - 1
+		t.siftUp(len(t.heap) - 1)
+		return true
+	}
+	if !t.better(val, t.heap[0].val) {
+		return false
+	}
+	delete(t.pos, t.heap[0].key)
+	t.heap[0] = member[K, V]{key, val}
+	t.pos[key] = 0
+	t.siftDown(0)
+	return true
+}
+
+// AppendTo appends every member's value to dst (in heap order, NOT
+// rank order) and returns the extended slice; callers sort.
+func (t *TopK[K, V]) AppendTo(dst []V) []V {
+	for i := range t.heap {
+		dst = append(dst, t.heap[i].val)
+	}
+	return dst
+}
+
+// --- heap internals -----------------------------------------------------
+
+// worse is the heap ordering: the root is the member every other
+// member beats.
+func (t *TopK[K, V]) worse(i, j int) bool { return t.better(t.heap[j].val, t.heap[i].val) }
+
+func (t *TopK[K, V]) swap(i, j int) {
+	t.heap[i], t.heap[j] = t.heap[j], t.heap[i]
+	t.pos[t.heap[i].key] = i
+	t.pos[t.heap[j].key] = j
+}
+
+func (t *TopK[K, V]) fix(i int) {
+	t.siftDown(i)
+	t.siftUp(i)
+}
+
+func (t *TopK[K, V]) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !t.worse(i, parent) {
+			break
+		}
+		t.swap(i, parent)
+		i = parent
+	}
+}
+
+func (t *TopK[K, V]) siftDown(i int) {
+	n := len(t.heap)
+	for {
+		worst := i
+		if l := 2*i + 1; l < n && t.worse(l, worst) {
+			worst = l
+		}
+		if r := 2*i + 2; r < n && t.worse(r, worst) {
+			worst = r
+		}
+		if worst == i {
+			return
+		}
+		t.swap(i, worst)
+		i = worst
+	}
+}

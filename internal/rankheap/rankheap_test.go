@@ -1,0 +1,138 @@
+package rankheap
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+type scored struct {
+	id    int
+	score int
+}
+
+func betterScored(a, b scored) bool {
+	if a.score != b.score {
+		return a.score > b.score
+	}
+	return a.id < b.id // unique tie-break, like the trends URL tie-break
+}
+
+// oracleTop computes the true top-k from a full score table.
+func oracleTop(scores map[int]int, k int) []scored {
+	all := make([]scored, 0, len(scores))
+	for id, sc := range scores {
+		all = append(all, scored{id, sc})
+	}
+	sort.Slice(all, func(i, j int) bool { return betterScored(all[i], all[j]) })
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}
+
+func ranked(t *TopK[int, scored]) []scored {
+	out := t.AppendTo(nil)
+	sort.Slice(out, func(i, j int) bool { return betterScored(out[i], out[j]) })
+	return out
+}
+
+// TestMonotoneOracle drives a TopK with monotonically increasing
+// scores — the trend index's regime — and checks exact agreement with
+// a full-sort oracle after every update.
+func TestMonotoneOracle(t *testing.T) {
+	const k = 8
+	rng := rand.New(rand.NewSource(42))
+	top := New[int, scored](k, betterScored)
+	scores := map[int]int{}
+	for step := 0; step < 5000; step++ {
+		id := rng.Intn(200)
+		scores[id]++
+		top.Update(id, scored{id, scores[id]})
+		if step%97 != 0 {
+			continue
+		}
+		want := oracleTop(scores, k)
+		got := ranked(top)
+		if len(got) != len(want) {
+			t.Fatalf("step %d: %d members, want %d", step, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("step %d rank %d: got %+v, want %+v\ngot:  %+v\nwant: %+v",
+					step, i, got[i], want[i], got, want)
+			}
+		}
+	}
+}
+
+func TestUnderLimitKeepsEverything(t *testing.T) {
+	top := New[int, scored](50, betterScored)
+	for id := 0; id < 20; id++ {
+		top.Update(id, scored{id, id})
+	}
+	if top.Len() != 20 {
+		t.Fatalf("Len = %d, want 20", top.Len())
+	}
+	for id := 0; id < 20; id++ {
+		v, ok := top.Get(id)
+		if !ok || v.score != id {
+			t.Fatalf("Get(%d) = %+v, %v", id, v, ok)
+		}
+	}
+}
+
+func TestEvictedWorstNotMember(t *testing.T) {
+	top := New[int, scored](2, betterScored)
+	top.Update(1, scored{1, 10})
+	top.Update(2, scored{2, 20})
+	if !top.Update(3, scored{3, 30}) {
+		t.Fatal("better value not admitted at capacity")
+	}
+	if _, ok := top.Get(1); ok {
+		t.Fatal("worst member not evicted")
+	}
+	if top.Update(4, scored{4, 5}) {
+		t.Fatal("worse-than-worst value admitted at capacity")
+	}
+	if top.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", top.Len())
+	}
+}
+
+// TestConcurrentUnderLock exercises the intended concurrency pattern —
+// many writers sharing one short lock — so the race detector sees the
+// structure as it is used in production.
+func TestConcurrentUnderLock(t *testing.T) {
+	const k = 16
+	var mu sync.Mutex
+	top := New[int, scored](k, betterScored)
+	scores := map[int]int{}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 2000; i++ {
+				id := rng.Intn(100)
+				mu.Lock()
+				scores[id]++
+				top.Update(id, scored{id, scores[id]})
+				if i%64 == 0 {
+					top.AppendTo(nil) // concurrent reader under the lock
+				}
+				mu.Unlock()
+			}
+		}(int64(w + 1))
+	}
+	wg.Wait()
+	want := oracleTop(scores, k)
+	got := ranked(top)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("rank %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
