@@ -3,14 +3,19 @@
 
 GO ?= go
 
+# platform covers the event pipeline and every materialized view
+# (events.go, trendindex, voteindex, followindex); rankheap covers both
+# the bounded TopK and the non-monotone Exact structure.
 RACE_PKGS = ./internal/platform/... ./internal/respcache/... \
             ./internal/rankheap/... \
             ./internal/gabapi/... ./internal/dissenterweb/... \
             ./internal/crawlkit/... ./internal/dissentercrawl/...
 
-# Allocation budget for one cache-miss trends render (measured ~15;
-# headroom for noise). A regression past this fails bench-budget.
+# Allocation budgets for one cache-miss render of the write-maintained
+# rankings (both measured ~15; headroom for noise). A regression past
+# these fails bench-budget.
 TRENDS_ALLOC_BUDGET = 64
+LEADER_ALLOC_BUDGET = 64
 
 .PHONY: build test race bench bench-budget lint fmt ci
 
@@ -31,12 +36,15 @@ bench:
 	BENCH_SERVE_JSON=$(CURDIR)/BENCH_serve.json \
 		$(GO) test -run 'ProbablyNoSuchTest' -bench=. -benchtime=1x ./...
 
-# Budget assertion on the hot read path: a cache-miss trends render
-# must stay under TRENDS_ALLOC_BUDGET allocations regardless of store
-# size (it is served from the write-maintained index, O(TrendLimit)).
+# Budget assertions on the hot read paths: a cache-miss trends or
+# leaderboard render must stay under its allocation budget regardless
+# of store size (both are served from write-maintained indexes,
+# O(TrendLimit) / O(LeaderLimit)).
 bench-budget:
 	BENCH_TRENDS_MAX_ALLOCS=$(TRENDS_ALLOC_BUDGET) \
 		$(GO) test -run 'ProbablyNoSuchTest' -bench BenchmarkTrendsRenderMiss -benchtime=200x .
+	BENCH_LEADER_MAX_ALLOCS=$(LEADER_ALLOC_BUDGET) \
+		$(GO) test -run 'ProbablyNoSuchTest' -bench BenchmarkLeaderboardRenderMiss -benchtime=200x .
 
 lint:
 	$(GO) vet ./...

@@ -340,9 +340,13 @@ func buildTrendsFixture(sc trendsScale) *trendsFixture {
 	urls := make([]*platform.CommentURL, sc.urls)
 	for i := range urls {
 		urls[i] = &platform.CommentURL{
-			ID:        gen.NewAt(base.Add(time.Duration(i%4096) * time.Second)),
-			URL:       fmt.Sprintf("https://bench.trends/story/%07d", i),
-			Title:     fmt.Sprintf("Bench story #%d", i),
+			ID:    gen.NewAt(base.Add(time.Duration(i%4096) * time.Second)),
+			URL:   fmt.Sprintf("https://bench.trends/story/%07d", i),
+			Title: fmt.Sprintf("Bench story #%d", i),
+			// Baseline vote spread (positive and negative nets) so the
+			// leaderboard benchmarks rank a realistic score surface.
+			Ups:       (i * 7) % 23,
+			Downs:     (i * 5) % 19,
 			FirstSeen: base.Add(time.Duration(i%4096) * time.Second),
 		}
 	}
@@ -434,18 +438,20 @@ func BenchmarkTrendsUnderWriteLoad(b *testing.B) {
 	}
 }
 
-// BenchmarkTrendsRenderMiss measures a single trends render with
-// caching disabled — the pure cache-miss cost the acceptance budget
-// governs. Single-goroutine so the MemStats delta is the render's own
-// allocation count.
-func BenchmarkTrendsRenderMiss(b *testing.B) {
+// benchmarkRenderMiss measures a single render of one write-maintained
+// ranking page with caching disabled, at both store scales — the pure
+// cache-miss cost the acceptance budgets govern. Single-goroutine so
+// the MemStats delta is the render's own allocation count. With the
+// budgetEnv variable set, it fails past that allocation budget — the
+// CI bench-smoke assertion that catches hot-path regressions.
+func benchmarkRenderMiss(b *testing.B, path, metricPrefix, budgetEnv string) {
 	for _, sc := range trendsScales {
 		b.Run(sc.name, func(b *testing.B) {
 			f := trendsBenchFixture(b, sc)
 			s := dissenterweb.NewServer(f.db,
 				dissenterweb.WithURLRateLimit(0, 0),
 				dissenterweb.WithResponseCache(0, 0))
-			req := httptest.NewRequest(http.MethodGet, "/trends", nil)
+			req := httptest.NewRequest(http.MethodGet, path, nil)
 			// Warm the immutable row-fragment memo so the measured ops
 			// see the steady state, then measure.
 			s.ServeHTTP(httptest.NewRecorder(), req)
@@ -458,27 +464,117 @@ func BenchmarkTrendsRenderMiss(b *testing.B) {
 				rec := httptest.NewRecorder()
 				s.ServeHTTP(rec, req)
 				if rec.Code != http.StatusOK {
-					b.Fatalf("trends status = %d", rec.Code)
+					b.Fatalf("%s status = %d", path, rec.Code)
 				}
 			}
 			b.StopTimer()
 			runtime.ReadMemStats(&ms1)
 			allocsPerOp := float64(ms1.Mallocs-ms0.Mallocs) / float64(b.N)
 			nsPerOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
-			recordServeMetrics("TrendsRenderMiss/"+sc.name, map[string]float64{
+			recordServeMetrics(metricPrefix+"/"+sc.name, map[string]float64{
 				"ns_per_op":     nsPerOp,
 				"allocs_per_op": allocsPerOp,
 			})
-			if budget := os.Getenv("BENCH_TRENDS_MAX_ALLOCS"); budget != "" {
+			if budget := os.Getenv(budgetEnv); budget != "" {
 				max, err := strconv.ParseFloat(budget, 64)
 				if err != nil {
-					b.Fatalf("bad BENCH_TRENDS_MAX_ALLOCS %q: %v", budget, err)
+					b.Fatalf("bad %s %q: %v", budgetEnv, budget, err)
 				}
 				if allocsPerOp > max {
-					b.Fatalf("trends render allocates %.1f objects/op, budget %v — the hot path regressed",
-						allocsPerOp, budget)
+					b.Fatalf("%s render allocates %.1f objects/op, budget %v — the hot path regressed",
+						path, allocsPerOp, budget)
 				}
 			}
+		})
+	}
+}
+
+// BenchmarkTrendsRenderMiss pins the cache-miss trends render cost.
+func BenchmarkTrendsRenderMiss(b *testing.B) {
+	benchmarkRenderMiss(b, "/trends", "TrendsRenderMiss", "BENCH_TRENDS_MAX_ALLOCS")
+}
+
+// --- leaderboard scaling benchmarks --------------------------------------
+//
+// The net-vote leaderboard is write-maintained like trends, but over
+// NON-monotone scores (platform vote index, rankheap.Exact): a
+// cache-miss GET /leaderboard render must cost O(LeaderLimit)
+// regardless of store size. BenchmarkLeaderboardRenderMiss pins the
+// render cost at the same two store sizes as the trends benchmarks —
+// ns/op and allocs/op must stay flat from 1k to 100k URLs, where a
+// full-scan ranking would scale linearly. With
+// BENCH_LEADER_MAX_ALLOCS=<n> set it fails past the allocation budget,
+// mirroring the trends budget in CI. BenchmarkLeaderboardUnderVoteLoad
+// is the adversarial shape: concurrent voters invalidating the cached
+// leaderboard while readers hammer it.
+
+// BenchmarkLeaderboardRenderMiss pins the cache-miss leaderboard
+// render cost — same harness as the trends budget, different ranking.
+func BenchmarkLeaderboardRenderMiss(b *testing.B) {
+	benchmarkRenderMiss(b, "/leaderboard", "LeaderboardRenderMiss", "BENCH_LEADER_MAX_ALLOCS")
+}
+
+// BenchmarkLeaderboardUnderVoteLoad is the moving-target regime for
+// votes: a concurrent mix where every 4th request casts a vote through
+// /discussion/vote (invalidating the cached leaderboard by exact key)
+// and the rest read /leaderboard. ns/op must be independent of store
+// size — compare the urls=1k and urls=100k sub-benchmarks.
+func BenchmarkLeaderboardUnderVoteLoad(b *testing.B) {
+	for _, sc := range trendsScales {
+		b.Run(sc.name, func(b *testing.B) {
+			// Private fixture: this benchmark moves the tallies, and the
+			// cached one must stay pristine for the render benchmarks.
+			f := buildTrendsFixture(sc)
+			s := dissenterweb.NewServer(f.db, dissenterweb.WithURLRateLimit(0, 0))
+			srv := httptest.NewServer(s)
+			defer srv.Close()
+			client := benchClient()
+			// Votes answer with a redirect to the discussion page; stop
+			// there so the bench measures the vote+leaderboard path, not
+			// a discussion render.
+			client.CheckRedirect = func(*http.Request, []*http.Request) error {
+				return http.ErrUseLastResponse
+			}
+			var seq atomic.Int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					i++
+					if i%4 == 0 {
+						n := seq.Add(1)
+						cu := f.hot[int(n)%len(f.hot)]
+						dir := "up"
+						if n%3 == 0 {
+							dir = "down"
+						}
+						resp, err := client.Get(srv.URL + "/discussion/vote?dir=" + dir +
+							"&url=" + url.QueryEscape(cu.URL))
+						if err != nil {
+							b.Errorf("vote: %v", err)
+							return
+						}
+						_, _ = io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
+						if resp.StatusCode != http.StatusFound {
+							b.Errorf("vote status = %d", resp.StatusCode)
+							return
+						}
+						continue
+					}
+					benchGet(b, client, srv.URL+"/leaderboard")
+				}
+			})
+			b.StopTimer()
+			hits, misses := s.CacheStats()
+			m := map[string]float64{"ns_per_op": float64(b.Elapsed().Nanoseconds()) / float64(b.N)}
+			if total := hits + misses; total > 0 {
+				pct := float64(hits) / float64(total) * 100
+				b.ReportMetric(pct, "cache_hit_pct")
+				m["cache_hit_pct"] = pct
+			}
+			recordServeMetrics("LeaderboardUnderVoteLoad/"+sc.name, m)
 		})
 	}
 }

@@ -15,6 +15,7 @@
 //	/trends /discussion/begin            Gab Trends portal + URL submission
 //	/discussion/vote                     up/down voting on a comment page
 //	/discussion/comment                  live comment posting (POST, session-authenticated)
+//	/leaderboard                         net-vote leaderboard (Figure 5's ordering)
 //	/watch /channel/... /user-yt/...     YouTube simulator
 //	/v1/comments:analyze        Perspective-style scoring
 //	/reddit/... /api/user/...   Pushshift-style Reddit API
@@ -92,6 +93,8 @@ func main() {
 	mux.Handle("/discussion/comment", web)
 	mux.Handle("/trends", web)
 	mux.Handle("/trends/", web)
+	mux.Handle("/leaderboard", web)
+	mux.Handle("/leaderboard/", web)
 	mux.Handle("/comment/", web)
 	mux.Handle("/watch", out.YouTube)
 	mux.Handle("/channel/", out.YouTube)

@@ -39,34 +39,55 @@
 // default ports, fragments) share one record, one vote tally, one
 // cache subject, and one rate-limit bucket.
 //
-// The hot read path never scans the store. The Gab Trends ranking is
-// write-maintained: AddComment bumps per-URL visibility-class counters
-// and re-offers the URL to a bounded top-50 structure per session view
-// (internal/rankheap under a short per-view mutex, ordered by comment
-// count desc, FirstSeen desc, URL asc), so a cache-miss trends render
-// is O(50) whether the store holds a thousand URLs or a hundred
-// thousand — the oracle equivalence test in internal/platform pins
-// exact agreement with the full-scan ranking for all four view keys
-// under concurrent writes. Bulk readers (Validate, Census, analyses)
-// iterate through the zero-copy RangeUsers/RangeURLs/RangeComments
-// accessors, which pin the append-only insertion log under a brief
-// read lock and walk it in place; no HTTP handler materializes a
-// whole-store slice snapshot.
+// Every mutation flows through one event-dispatch pipeline
+// (internal/platform/events.go): the write method updates the base
+// lookup indexes, appends a typed event (UserAdded, URLSubmitted,
+// CommentAdded, FollowAdded, VoteCast) to the store's append-only
+// event log, and fans it out to the registered materialized views —
+// no write path hand-wires a ranking update. The log is the
+// multi-backend seam: DB.ReplayInto re-applies the sequence into
+// another store through the same write paths, rebuilding its base
+// indexes and views; replaying one log into two fresh stores yields
+// identical view states (the determinism test pins this), so a
+// persistent or remote backend only has to consume events, never scan.
+//
+// The hot read path never scans the store; three rankings are
+// write-maintained views over that event stream. The Gab Trends
+// ranking bumps per-URL visibility-class counters on CommentAdded and
+// re-offers the URL to a bounded top-50 structure per session view
+// (rankheap.TopK under a short per-view mutex — exact under bounding
+// because comment counts are monotone), so a cache-miss trends render
+// is O(50) at any store size. The net-vote leaderboard (Figure 5's
+// ordering, served at GET /leaderboard) is NOT monotone — downvotes
+// sink a URL — so it uses rankheap.Exact, which remembers every URL
+// across an elite top-50 heap and an overflow heap and stays exact
+// under decrease-key at O(log #URLs) per vote, with per-URL sequence
+// stamps resolving out-of-order offers. The follower-count ranking
+// (DB.TopFollowed) counts are monotone again (no unfollow surface) and
+// reuses the bounded TopK shape. Oracle equivalence tests pin each
+// ranking's exact agreement with a full scan under concurrent writes.
+// Bulk readers (Validate, Census, analyses) iterate through the
+// zero-copy RangeUsers/RangeURLs/RangeComments accessors, which pin
+// the append-only insertion log under a brief read lock and walk it in
+// place; no HTTP handler materializes a whole-store slice snapshot.
 //
 // The HTTP simulators front their hot endpoints — comment listings,
 // user profiles, trends — with a small LRU+TTL response cache
 // (internal/respcache) keyed by endpoint, subject, and session view, so
 // shadow-overlay opt-ins never share cached pages with anonymous
-// sessions. Invalidation rules: a vote invalidates every session view
-// of that address's discussion renderings (exact keys, no cache scan),
-// and a posted comment invalidates exactly three subjects — the URL's
+// sessions (the leaderboard is view-independent — votes carry no
+// overlay — and caches under one key). Invalidation rules: a vote
+// invalidates every session view of that address's discussion
+// renderings plus the leaderboard (exact keys, no cache scan), and a
+// posted comment invalidates exactly three subjects — the URL's
 // discussion page, the posting author's home page (its commented-URL
 // listing changed), and the trends ranking (comment counts order it) —
 // again by exact key across the enumerable session views. A render that
 // raced with an invalidation of its own key is discarded at insert via
 // per-key tombstones; everything else expires by TTL, the backstop for
-// out-of-band store writes. URL submissions need no invalidation —
-// unknown-URL invitation pages are never cached (their keys are
+// out-of-band store writes. URL submissions invalidate only the
+// leaderboard (a newcomer enters the net-vote ranking at its baseline)
+// — unknown-URL invitation pages are never cached (their keys are
 // visitor-chosen, so caching them would let a URL scan evict the hot
 // set) and the store fully indexes a submission before it becomes
 // findable.

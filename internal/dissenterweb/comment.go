@@ -26,8 +26,12 @@ import (
 //	home|<author>| the posting author's profile (commented-URL listing)
 //	trends|        the Gab Trends ranking (comment counts order it)
 //
-// Nothing else is touched: other discussions, other profiles, and
-// single-comment pages (which are rendered uncached) keep their entries.
+// plus, only when the post registers a never-seen URL, the leaderboard
+// (`leader|`): a just-registered URL enters the net-vote ranking at
+// its baseline, which can reorder the tail. Nothing else is touched:
+// other discussions, other profiles, and single-comment pages (which
+// are rendered uncached) keep their entries — comments do not move
+// vote tallies, so an ordinary post never drops the leaderboard.
 // Invalidation runs after AddComment completes, so a reader that
 // rendered the pre-insert store has its stale PutAt discarded by the
 // key's tombstone, and any render that starts afterwards sees the
@@ -73,11 +77,15 @@ func (s *Server) handlePostComment(w http.ResponseWriter, r *http.Request) {
 	}
 	cu := s.db.URLByString(raw)
 	if cu == nil {
-		cu, _ = s.db.SubmitURL(&platform.CommentURL{
+		var inserted bool
+		cu, inserted = s.db.SubmitURL(&platform.CommentURL{
 			ID:        s.idgen.New(),
 			URL:       raw,
 			FirstSeen: time.Now().UTC().Truncate(time.Second),
 		})
+		if inserted {
+			s.cache.Invalidate(leaderKey)
+		}
 	}
 	var parentID ids.ObjectID
 	if p := r.PostFormValue("parent"); p != "" {

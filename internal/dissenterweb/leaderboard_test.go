@@ -1,0 +1,192 @@
+package dissenterweb
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"dissenter/internal/htmlx"
+	"dissenter/internal/ids"
+	"dissenter/internal/platform"
+)
+
+// leaderboardRow is one parsed rendering row.
+type leaderboardRow struct {
+	net  int
+	href string
+}
+
+// leaderboardRows parses the rendered rows into (net, target URL)
+// pairs. Rows are split on the row marker because the href lives past
+// the opening tag htmlx.FindTags would stop at.
+func leaderboardRows(t *testing.T, body string) []leaderboardRow {
+	t.Helper()
+	chunks := strings.Split(body, `<li class="leader"`)
+	var rows []leaderboardRow
+	for _, chunk := range chunks[1:] {
+		raw, ok := htmlx.Attr(chunk, "data-net")
+		if !ok {
+			t.Fatalf("leaderboard row lacks data-net: %q", chunk)
+		}
+		n, err := strconv.Atoi(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		esc, ok := htmlx.Between(chunk, `href="/discussion?url=`, `"`)
+		if !ok {
+			t.Fatalf("leaderboard row lacks discussion link: %q", chunk)
+		}
+		href, err := url.QueryUnescape(esc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows = append(rows, leaderboardRow{n, href})
+	}
+	return rows
+}
+
+// TestLeaderboardOrdering: the endpoint serves the store's Figure 5
+// ordering — net votes descending — and exactly matches the
+// full-store scan.
+func TestLeaderboardOrdering(t *testing.T) {
+	_, srv := newTestServer(t)
+	resp, body := fetch(t, srv.URL+"/leaderboard", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	rows := leaderboardRows(t, body)
+	if len(rows) == 0 {
+		t.Fatal("no leaderboard entries")
+	}
+	type urlNet struct {
+		addr string
+		net  int
+	}
+	var oracle []urlNet
+	out.DB.RangeURLs(func(cu *platform.CommentURL) bool {
+		ups, downs := out.DB.Votes(cu.ID)
+		oracle = append(oracle, urlNet{cu.URL, ups - downs})
+		return true
+	})
+	sort.Slice(oracle, func(i, j int) bool { return oracle[i].net > oracle[j].net })
+	if rows[0].net != oracle[0].net {
+		t.Errorf("top leader has net %d, ground-truth max %d", rows[0].net, oracle[0].net)
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].net > rows[i-1].net {
+			t.Fatalf("leaderboard not sorted at %d: %v", i, rows)
+		}
+	}
+	want := platform.LeaderLimit
+	if n := len(oracle); n < want {
+		want = n
+	}
+	if len(rows) != want {
+		t.Fatalf("leaderboard lists %d rows, want %d", len(rows), want)
+	}
+}
+
+// TestLeaderboardViewIndependence: net votes carry no shadow overlay,
+// so opted-in and anonymous sessions must receive byte-identical
+// renderings (and therefore share one cache entry).
+func TestLeaderboardViewIndependence(t *testing.T) {
+	s, srv := newTestServer(t)
+	s.RegisterSession("leader-opted", Session{Username: "x", ShowNSFW: true, ShowOffensive: true})
+	_, anon := fetch(t, srv.URL+"/leaderboard", "")
+	_, opted := fetch(t, srv.URL+"/leaderboard", "leader-opted")
+	if anon != opted {
+		t.Fatal("leaderboard rendering differs across session views")
+	}
+}
+
+// TestLeaderboardVoteInvalidation: a vote through /discussion/vote
+// must drop the cached leaderboard by exact key — the very next fetch
+// reflects the new tally, inside the TTL.
+func TestLeaderboardVoteInvalidation(t *testing.T) {
+	_, srv, priv := newIsolatedServer(t)
+	client := &http.Client{CheckRedirect: func(*http.Request, []*http.Request) error {
+		return http.ErrUseLastResponse
+	}}
+
+	_, before := fetch(t, srv.URL+"/leaderboard", "")
+	rows := leaderboardRows(t, before)
+	if len(rows) == 0 {
+		t.Fatal("no leaderboard entries")
+	}
+	top := rows[0]
+	cu := priv.DB.URLByString(top.href)
+	if cu == nil {
+		t.Fatalf("cannot resolve top leader %q", top.href)
+	}
+
+	// Upvote the current leader: its net strictly grows, so the first
+	// row must change. A cached pre-vote rendering would still show the
+	// old net.
+	for i := 0; i < 3; i++ {
+		resp, err := client.Get(srv.URL + "/discussion/vote?dir=up&url=" + url.QueryEscape(top.href))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusFound {
+			t.Fatalf("vote status = %d", resp.StatusCode)
+		}
+	}
+	_, after := fetch(t, srv.URL+"/leaderboard", "")
+	rowsAfter := leaderboardRows(t, after)
+	if rowsAfter[0].href != top.href || rowsAfter[0].net != top.net+3 {
+		t.Fatalf("after 3 upvotes, top row = %+v, want %q at net %d",
+			rowsAfter[0], top.href, top.net+3)
+	}
+}
+
+// TestLeaderboardSubmissionInvalidation: registering a never-seen URL
+// through /discussion/begin must drop the cached leaderboard. The
+// fixture's URLs all sit at negative nets, so the newcomer (net zero)
+// leads the re-rendered board — a stale cache entry would still show
+// the all-negative pre-registration board.
+func TestLeaderboardSubmissionInvalidation(t *testing.T) {
+	gen := ids.NewGenerator(0x1EAD)
+	base := time.Date(2020, 3, 1, 0, 0, 0, 0, time.UTC)
+	var urls []*platform.CommentURL
+	for i := 0; i < 5; i++ {
+		urls = append(urls, &platform.CommentURL{
+			ID:        gen.NewAt(base),
+			URL:       fmt.Sprintf("https://sunk.example/%d", i),
+			Downs:     i + 1,
+			FirstSeen: base,
+		})
+	}
+	db := platform.New(nil, urls, nil, nil)
+	s := NewServer(db, WithURLRateLimit(0, 0))
+	srv := httptest.NewServer(s)
+	t.Cleanup(srv.Close)
+	client := &http.Client{CheckRedirect: func(*http.Request, []*http.Request) error {
+		return http.ErrUseLastResponse
+	}}
+
+	_, before := fetch(t, srv.URL+"/leaderboard", "") // warm the cache
+	if rows := leaderboardRows(t, before); rows[0].net != -1 {
+		t.Fatalf("pre-registration top net = %d, want -1", rows[0].net)
+	}
+	novel := "https://example.org/leaderboard/novel-entry"
+	resp, err := client.Get(srv.URL + "/discussion/begin?url=" + url.QueryEscape(novel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusFound {
+		t.Fatalf("begin status = %d", resp.StatusCode)
+	}
+	_, after := fetch(t, srv.URL+"/leaderboard", "")
+	rows := leaderboardRows(t, after)
+	if rows[0].href != novel || rows[0].net != 0 {
+		t.Fatalf("after registration, top row = %+v, want %q at net 0", rows[0], novel)
+	}
+}

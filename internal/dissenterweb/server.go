@@ -276,6 +276,8 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		s.handleComment(w, r, strings.TrimPrefix(r.URL.Path, "/comment/"))
 	case r.URL.Path == "/trends" || r.URL.Path == "/trends/":
 		s.handleTrends(w, r)
+	case r.URL.Path == "/leaderboard" || r.URL.Path == "/leaderboard/":
+		s.handleLeaderboard(w, r)
 	case r.URL.Path == "/discussion/begin":
 		s.handleBegin(w, r)
 	case r.URL.Path == "/discussion/vote":

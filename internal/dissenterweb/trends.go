@@ -97,21 +97,28 @@ func (s *Server) handleBegin(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if s.db.URLByString(raw) == nil {
-		// No cache invalidation needed: invitation pages for unknown
-		// URLs are never cached, SubmitURL fully indexes the record
-		// before URLByString can return it, and a zero-comment URL
-		// cannot appear in trends listings.
-		s.db.SubmitURL(&platform.CommentURL{
+		// Invitation pages for unknown URLs are never cached, SubmitURL
+		// fully indexes the record before URLByString can return it, and
+		// a zero-comment URL cannot appear in trends listings — so the
+		// only cached rendering a registration can change is the
+		// leaderboard, which ranks every registered URL from the moment
+		// it exists (a newcomer at net zero can reorder the tail).
+		_, inserted := s.db.SubmitURL(&platform.CommentURL{
 			ID:        s.idgen.New(),
 			URL:       raw,
 			FirstSeen: time.Now().UTC().Truncate(time.Second),
 		})
+		if inserted {
+			s.cache.Invalidate(leaderKey)
+		}
 	}
 	http.Redirect(w, r, "/discussion?url="+url.QueryEscape(raw), http.StatusFound)
 }
 
 // handleVote records an up/down vote for a URL's comment page and
-// invalidates its cached rendering.
+// invalidates the two cached renderings the tally appears in: every
+// session view of the address's discussion page, and the leaderboard
+// (net votes order it), all by exact key.
 func (s *Server) handleVote(w http.ResponseWriter, r *http.Request) {
 	raw := urlkit.Normalize(r.URL.Query().Get("url"))
 	if raw == "" {
@@ -135,5 +142,6 @@ func (s *Server) handleVote(w http.ResponseWriter, r *http.Request) {
 	}
 	s.db.Vote(cu.ID, ups, downs)
 	s.invalidateSubject(discussionPrefix(raw))
+	s.cache.Invalidate(leaderKey)
 	http.Redirect(w, r, "/discussion?url="+url.QueryEscape(raw), http.StatusFound)
 }

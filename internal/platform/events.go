@@ -1,0 +1,134 @@
+package platform
+
+import (
+	"dissenter/internal/ids"
+)
+
+// The event-dispatch pipeline. Every runtime mutation of the store —
+// user insertion, URL submission, comment posting, follow edges, votes
+// — flows through one seam: the write method updates the base lookup
+// indexes, then calls dispatch, which appends a typed Event to the
+// store's append-only event log and fans it out to every registered
+// view maintainer. Materialized views (the trends ranking, the
+// net-vote leaderboard, the follower-count ranking) therefore never
+// hand-wire themselves into individual write methods; adding a view is
+// implementing viewMaintainer, registering it in New, and bulk-seeding
+// it from the construction-time entities.
+//
+// The log is also the store's replay seam, the first concrete step
+// toward a persistent / multi-backend layout: a backend does not need
+// fast scans, it needs to replay writes. ReplayInto re-applies the
+// sequence into another DB through the normal write paths, which
+// re-dispatches into THAT store's views — replaying the same log into
+// two fresh stores yields identical view states (pinned by the
+// determinism test), and the views of a replayed copy match the
+// original's once it quiesces.
+//
+// Ordering: the log records the interleaving the dispatchers won, not
+// a global serialization of the shard locks, so under write
+// concurrency an event can land in the log before a causally unrelated
+// one it raced with. The write paths are built so that every such
+// interleaving replays to the same end state: comment listings sort by
+// ID, vote deltas commute, and the views backfill registrations that
+// arrive after the writes referencing them (see trendIndex.apply and
+// voteIndex.apply).
+
+// Event is one runtime mutation of the store, as appended to the event
+// log and fanned out to the view maintainers.
+type Event interface {
+	// applyTo replays the mutation into dst through the normal write
+	// paths (re-indexing, re-dispatching). Replay skips Vote's
+	// unknown-URL validation: the source store only logged votes for
+	// URLs it had registered, but the log may order a VoteCast before
+	// the URLSubmitted it raced with.
+	applyTo(dst *DB)
+}
+
+// UserAdded records an AddUser.
+type UserAdded struct{ User *User }
+
+// URLSubmitted records the winning SubmitURL of a new address.
+type URLSubmitted struct{ URL *CommentURL }
+
+// CommentAdded records an AddComment.
+type CommentAdded struct{ Comment *Comment }
+
+// FollowAdded records an AddFollow edge.
+type FollowAdded struct{ From, To ids.GabID }
+
+// VoteCast records a validated Vote delta.
+type VoteCast struct {
+	URLID      ids.ObjectID
+	Ups, Downs int
+}
+
+func (e UserAdded) applyTo(dst *DB)    { dst.AddUser(e.User) }
+func (e URLSubmitted) applyTo(dst *DB) { dst.SubmitURL(e.URL) }
+func (e CommentAdded) applyTo(dst *DB) { dst.AddComment(e.Comment) }
+func (e FollowAdded) applyTo(dst *DB)  { dst.AddFollow(e.From, e.To) }
+func (e VoteCast) applyTo(dst *DB)     { dst.applyVote(e.URLID, e.Ups, e.Downs) }
+
+// viewMaintainer is a write-maintained materialized view hanging off a
+// DB: dispatch hands it every event, synchronously, after the base
+// indexes already reflect the mutation. apply must be safe for
+// concurrent use (views shard their counters and keep their order
+// structures under short mutexes) and must tolerate events arriving in
+// any order consistent with the per-entity shard serializations.
+type viewMaintainer interface {
+	apply(db *DB, ev Event)
+}
+
+// dispatch appends the event to the log and fans it out to every view.
+// It runs after the write method's base-index updates, so a caller
+// that invalidates cached renderings when the write returns never lets
+// a reader re-render pre-write view state.
+func (db *DB) dispatch(ev Event) {
+	db.eventMu.Lock()
+	db.events = append(db.events, ev)
+	db.eventMu.Unlock()
+	for _, v := range db.views {
+		v.apply(db, ev)
+	}
+}
+
+// Events returns the runtime mutation log in append order: a stable
+// snapshot of the events dispatched so far (construction-time bulk
+// data is not events — replay targets are built from the same seed
+// entities). Like the Range accessors, the snapshot pins the log's
+// current length; events appended afterwards are not included. The
+// capacity is clipped to the length, so a caller appending to the
+// snapshot reallocates instead of racing dispatch for the live log's
+// spare backing array.
+func (db *DB) Events() []Event {
+	db.eventMu.Lock()
+	out := db.events[:len(db.events):len(db.events)]
+	db.eventMu.Unlock()
+	return out
+}
+
+// EventCount reports how many events the log holds.
+func (db *DB) EventCount() int {
+	db.eventMu.Lock()
+	defer db.eventMu.Unlock()
+	return len(db.events)
+}
+
+// ReplayInto re-applies this store's event log, in order, into dst —
+// rebuilding dst's base indexes AND its materialized views through the
+// normal write paths. dst is typically a fresh store built with New
+// from the same construction-time entities (replaying into a store
+// that already saw some of the events double-applies the non-idempotent
+// ones: comments, votes, follows). The entity RECORDS may be shared —
+// they are immutable — but the seed SLICES handed to each New must
+// have private backing arrays: New retains and appends to them, and
+// two stores appending into one array's spare capacity overwrite each
+// other's entity logs. It returns the number of events replayed.
+// Replay is deterministic: the same log replayed into two fresh stores
+// produces identical view states.
+func (db *DB) ReplayInto(dst *DB) int {
+	events := db.Events()
+	for _, ev := range events {
+		ev.applyTo(dst)
+	}
+	return len(events)
+}

@@ -1,0 +1,131 @@
+package platform
+
+import (
+	"sort"
+	"sync"
+
+	"dissenter/internal/ids"
+	"dissenter/internal/rankheap"
+)
+
+// The follower-count ranking, write-maintained. The paper
+// characterizes Dissenter's user base by Gab follower counts (§4.5,
+// Figure 9: both degree distributions are power laws, and toxicity is
+// conditioned on follower count), which means "who are the
+// most-followed accounts" is a standing query. Answering it by
+// reversing the whole follow-edge map is O(graph); this view keeps
+// the ranking current on every AddFollow instead, so TopFollowed is
+// O(FollowRankLimit) at any graph size.
+//
+// Follow edges are append-only — there is no unfollow surface, on the
+// platform or in the store API — so follower counts are monotone and
+// the bounded rankheap.TopK is exact here by the same argument as the
+// trend index: an evicted user can only re-enter the true top K by
+// gaining a follower, and every gained follower re-offers them. The
+// view keeps no counters of its own: the store's followersOf reverse
+// index is committed before the FollowAdded event dispatches, so its
+// length IS the count; offers that arrive out of order under write
+// concurrency are resolved by keeping the maximum, which under
+// monotone counts is the current truth.
+//
+// Users are ranked by their record regardless of Gab deletion status:
+// a deleted account's Dissenter page persists (that asymmetry is §3.1's
+// point), and its follower history is part of the generated graph.
+
+// FollowRankLimit is how many users a follower ranking lists.
+const FollowRankLimit = 100
+
+// FollowerEntry is one ranked user with their follower count.
+type FollowerEntry struct {
+	User      *User
+	Followers int
+}
+
+// betterFollowed is the ranking order: follower count descending, then
+// Gab ID ascending (the enumeration order of §3.1) as the
+// deterministic tie-break. Gab IDs are unique, so this is a strict
+// total order.
+func betterFollowed(a, b FollowerEntry) bool {
+	if a.Followers != b.Followers {
+		return a.Followers > b.Followers
+	}
+	return a.User.GabID < b.User.GabID
+}
+
+// followIndex is the write-maintained ranking state hanging off a DB.
+type followIndex struct {
+	mu   sync.Mutex
+	rank *rankheap.TopK[ids.GabID, FollowerEntry]
+}
+
+func newFollowIndex() *followIndex {
+	return &followIndex{
+		rank: rankheap.New[ids.GabID, FollowerEntry](FollowRankLimit, betterFollowed),
+	}
+}
+
+// apply is the view-maintainer seam (events.go). AddFollow commits the
+// followersOf edge before dispatching, so the reverse index's length
+// here is at least this event's count. If the followed user's record
+// resolves nil, the account was not registered at a moment after the
+// edge landed, so the later UserAdded's backfill — whose length read
+// serializes against the edge insert on the followersOf shard lock —
+// is guaranteed to observe it. One of the two always offers the final
+// count, with no ordering required between AddFollow and AddUser (the
+// store API does not force a registration-first order, and neither
+// does a replayed log).
+func (ix *followIndex) apply(db *DB, ev Event) {
+	switch e := ev.(type) {
+	case FollowAdded:
+		n := len(db.Followers(e.To))
+		if u, ok := db.byGabID.get(e.To); ok {
+			ix.offer(FollowerEntry{User: u, Followers: n})
+		}
+	case UserAdded:
+		if n := len(db.Followers(e.User.GabID)); n > 0 {
+			ix.offer(FollowerEntry{User: e.User, Followers: n})
+		}
+	}
+}
+
+// offer publishes one user's count to the bounded ranking, keeping the
+// maximum across out-of-order offers (counts are monotone).
+func (ix *followIndex) offer(e FollowerEntry) {
+	ix.mu.Lock()
+	if cur, ok := ix.rank.Get(e.User.GabID); !ok || cur.Followers < e.Followers {
+		ix.rank.Update(e.User.GabID, e)
+	}
+	ix.mu.Unlock()
+}
+
+// top returns the ranking, best first.
+func (ix *followIndex) top() []FollowerEntry {
+	ix.mu.Lock()
+	out := ix.rank.AppendTo(make([]FollowerEntry, 0, FollowRankLimit))
+	ix.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return betterFollowed(out[i], out[j]) })
+	return out
+}
+
+// bulkBuild seeds the index from the construction-time reverse edge
+// map, before the DB is shared.
+func (ix *followIndex) bulkBuild(db *DB, followers map[ids.GabID][]ids.GabID) {
+	for to, froms := range followers {
+		if len(froms) == 0 {
+			continue
+		}
+		if u, ok := db.byGabID.get(to); ok {
+			ix.offer(FollowerEntry{User: u, Followers: len(froms)})
+		}
+	}
+}
+
+// TopFollowed returns the FollowRankLimit users with the most Gab
+// followers, best first: follower count descending, Gab ID ascending
+// among ties. Only users with at least one follower are listed. Served
+// from the write-maintained index in O(FollowRankLimit); the follow
+// graph is never scanned. The returned slice is freshly allocated; the
+// records it points at are the store's immutable entities.
+func (db *DB) TopFollowed() []FollowerEntry {
+	return db.followRank.top()
+}

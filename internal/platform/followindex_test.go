@@ -1,0 +1,192 @@
+package platform
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"dissenter/internal/ids"
+)
+
+// oracleTopFollowed is the full-scan computation: count every user's
+// followers from the reverse index, keep those with at least one, sort
+// by count desc / Gab ID asc, truncate to FollowRankLimit.
+func oracleTopFollowed(db *DB) []FollowerEntry {
+	var entries []FollowerEntry
+	db.RangeUsers(func(u *User) bool {
+		if n := len(db.Followers(u.GabID)); n > 0 {
+			entries = append(entries, FollowerEntry{User: u, Followers: n})
+		}
+		return true
+	})
+	sort.Slice(entries, func(i, j int) bool { return betterFollowed(entries[i], entries[j]) })
+	if len(entries) > FollowRankLimit {
+		entries = entries[:FollowRankLimit]
+	}
+	return entries
+}
+
+func checkTopFollowedEquivalence(t *testing.T, db *DB) {
+	t.Helper()
+	want := oracleTopFollowed(db)
+	got := db.TopFollowed()
+	if len(got) != len(want) {
+		t.Fatalf("TopFollowed lists %d users, oracle %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].User != want[i].User || got[i].Followers != want[i].Followers {
+			t.Fatalf("rank %d:\n  view:   %q followers=%d\n  oracle: %q followers=%d",
+				i, got[i].User.Username, got[i].Followers,
+				want[i].User.Username, want[i].Followers)
+		}
+	}
+}
+
+// TestFollowIndexOracleEquivalence drives randomized concurrent follow
+// edges and user insertions — including follows landing before the
+// followed account is registered — and verifies the bounded ranking
+// exactly matches the full-scan oracle once writes quiesce. Run under
+// -race in CI.
+func TestFollowIndexOracleEquivalence(t *testing.T) {
+	base := time.Unix(1_560_000_000, 0)
+	var seed []*User
+	for i := 1; i <= 200; i++ {
+		seed = append(seed, &User{
+			GabID:     ids.GabID(i),
+			Username:  usernameFor(i),
+			CreatedAt: base,
+		})
+	}
+	db := New(seed, nil, nil, nil)
+
+	const (
+		writers      = 8
+		opsPerWriter = 1200
+		lateUsers    = 100 // Gab IDs 201..300 registered concurrently
+	)
+	var wg sync.WaitGroup
+	var registered sync.Map
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < opsPerWriter; i++ {
+				// Skewed targets: low IDs pile up followers and contend.
+				to := 1 + rng.Intn(300)
+				if rng.Intn(3) > 0 {
+					to = 1 + rng.Intn(30)
+				}
+				from := 1 + rng.Intn(200)
+				if from == to {
+					continue
+				}
+				if to > 200 {
+					// A follow aimed at a not-yet-registered account; make
+					// sure the account eventually exists, possibly AFTER
+					// several follows already counted against it.
+					if _, loaded := registered.LoadOrStore(to, true); !loaded {
+						defer db.AddUser(&User{
+							GabID:     ids.GabID(to),
+							Username:  usernameFor(to),
+							CreatedAt: base,
+						})
+					}
+				}
+				db.AddFollow(ids.GabID(from), ids.GabID(to))
+			}
+		}(int64(w + 1))
+	}
+	// Concurrent readers: the ranking stays well-formed mid-write.
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			top := db.TopFollowed()
+			if len(top) > FollowRankLimit {
+				t.Errorf("mid-write ranking has %d entries", len(top))
+				return
+			}
+			for i := 1; i < len(top); i++ {
+				if !betterFollowed(top[i-1], top[i]) {
+					t.Errorf("mid-write ranking out of order at %d", i)
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+
+	// Every late-target account must exist before the oracle runs (the
+	// deferred AddUser calls completed with their writer goroutines).
+	checkTopFollowedEquivalence(t, db)
+}
+
+func usernameFor(i int) string {
+	return "follower-oracle-" + string(rune('a'+i%26)) + "-" + ids.GabID(i).String()
+}
+
+// TestFollowIndexLateUserRegistration pins the backfill path in
+// isolation: follows recorded before the followed account exists must
+// surface the account in the ranking the moment AddUser lands.
+func TestFollowIndexLateUserRegistration(t *testing.T) {
+	base := time.Unix(1_570_000_000, 0)
+	var seed []*User
+	for i := 1; i <= 3; i++ {
+		seed = append(seed, &User{GabID: ids.GabID(i), Username: usernameFor(i), CreatedAt: base})
+	}
+	db := New(seed, nil, nil, nil)
+	late := ids.GabID(77)
+	db.AddFollow(1, late)
+	db.AddFollow(2, late)
+	for _, e := range db.TopFollowed() {
+		if e.User.GabID == late {
+			t.Fatal("unregistered account already ranked")
+		}
+	}
+	db.AddUser(&User{GabID: late, Username: usernameFor(77), CreatedAt: base})
+	top := db.TopFollowed()
+	if len(top) == 0 || top[0].User.GabID != late || top[0].Followers != 2 {
+		t.Fatalf("after late registration: %+v, want account 77 leading with 2 followers", top)
+	}
+	checkTopFollowedEquivalence(t, db)
+}
+
+// TestFollowIndexBulkBuildEquivalence pins that a store built with New
+// ranks the construction-time graph identically to the oracle.
+func TestFollowIndexBulkBuildEquivalence(t *testing.T) {
+	base := time.Unix(1_540_000_000, 0)
+	var seed []*User
+	for i := 1; i <= 150; i++ {
+		seed = append(seed, &User{GabID: ids.GabID(i), Username: usernameFor(i), CreatedAt: base})
+	}
+	rng := rand.New(rand.NewSource(4))
+	follows := map[ids.GabID][]ids.GabID{}
+	for i := 1; i <= 150; i++ {
+		seen := map[int]bool{}
+		for k := rng.Intn(8); k > 0; k-- {
+			to := 1 + rng.Intn(150)
+			if to == i || seen[to] {
+				continue
+			}
+			seen[to] = true
+			follows[ids.GabID(i)] = append(follows[ids.GabID(i)], ids.GabID(to))
+		}
+	}
+	db := New(seed, nil, nil, follows)
+	checkTopFollowedEquivalence(t, db)
+	if err := db.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -10,7 +10,11 @@
 // hash-sharded across independently RWMutex-guarded segments and
 // maintained incrementally on insert, so simulators can serve many
 // crawler clients while Gab Trends submissions and votes stream in. See
-// store.go for the write paths and the snapshot discipline.
+// store.go for the write paths and the snapshot discipline, and
+// events.go for the event-dispatch pipeline every write ends in — the
+// seam that feeds the materialized views (trendindex.go, voteindex.go,
+// followindex.go) and makes the mutation history replayable
+// (DB.ReplayInto).
 package platform
 
 import (

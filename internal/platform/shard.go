@@ -68,6 +68,25 @@ func (s *shardedMap[K, V]) update(k K, f func(V) V) {
 	sh.mu.Unlock()
 }
 
+// forEach calls f for every entry until f returns false, read-locking
+// one shard at a time. f runs under the shard's read lock and must not
+// touch the same map. Because shards are visited in turn this is NOT a
+// point-in-time snapshot: entries written to an already-visited shard
+// during the walk are missed. Bulk readers on quiesced stores only.
+func (s *shardedMap[K, V]) forEach(f func(K, V) bool) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for k, v := range sh.m {
+			if !f(k, v) {
+				sh.mu.RUnlock()
+				return
+			}
+		}
+		sh.mu.RUnlock()
+	}
+}
+
 // getOrCreate returns the value under k, calling create to build and
 // publish it if absent. create runs under the shard's write lock, so at
 // most one caller creates per key; its side effects (inserts into other

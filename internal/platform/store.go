@@ -21,12 +21,17 @@ import (
 // serve time (vote tallies) lives in its own sharded index, and
 // slice-valued indexes are updated copy-on-write so snapshots handed to
 // readers are never written again.
+//
+// Every write method ends in the event-dispatch pipeline (events.go):
+// it appends a typed event to the store's log and fans it out to the
+// registered materialized views, which is both how the rankings below
+// stay write-maintained and how another backend would consume this
+// store's mutations (ReplayInto).
 type DB struct {
-	mu       sync.RWMutex // guards the slices and follows map below
+	mu       sync.RWMutex // guards the entity slices below
 	users    []*User
 	urls     []*CommentURL
 	comments []*Comment
-	follows  map[ids.GabID][]ids.GabID
 
 	byGabID          *shardedMap[ids.GabID, *User]
 	byUsername       *shardedMap[string, *User]
@@ -36,25 +41,46 @@ type DB struct {
 	commentByID      *shardedMap[ids.ObjectID, *Comment]
 	commentsByURL    *shardedMap[ids.ObjectID, []*Comment]
 	commentsByAuthor *shardedMap[ids.ObjectID, []*Comment]
+	following        *shardedMap[ids.GabID, []ids.GabID]
 	followersOf      *shardedMap[ids.GabID, []ids.GabID]
 	votes            *shardedMap[ids.ObjectID, voteDelta]
 
-	// trends is the write-maintained Gab Trends ranking (trendindex.go):
-	// per-URL visibility-class counters plus a bounded top-TrendLimit
-	// order structure per session view, updated in O(1) by AddComment so
-	// TopTrends never scans the store.
-	trends *trendIndex
+	// The event log and the registered view maintainers (events.go).
+	eventMu sync.Mutex
+	events  []Event
+	views   []viewMaintainer
+
+	// The write-maintained materialized views, all fed by dispatch:
+	// trends ranks URLs by visible comment count per session view
+	// (trendindex.go), leaders ranks URLs by net votes — Figure 5's
+	// ordering (voteindex.go) — and followRank ranks users by follower
+	// count (followindex.go). Each keeps sharded counters plus a
+	// rankheap order structure, so writes stay O(1)-ish and the ranked
+	// reads (TopTrends, Leaderboard, TopFollowed) are O(page).
+	trends     *trendIndex
+	leaders    *voteIndex
+	followRank *followIndex
 
 	maxGabID atomic.Int64
 }
 
 // voteDelta accumulates serve-time votes on top of a URL's generated
-// Ups/Downs baseline.
-type voteDelta struct{ ups, downs int }
+// Ups/Downs baseline. seq counts the updates applied to this tally —
+// the per-URL version the vote leaderboard uses to discard ranking
+// offers that lost a race (voteindex.go); it is handed out under the
+// tally's shard lock, so it totally orders one URL's tally states.
+type voteDelta struct {
+	ups, downs int
+	seq        uint64
+}
 
 // New builds an indexed store from raw entity slices. The slices are
-// retained; callers hand over ownership and must not mutate the records
-// afterwards. Any argument may be nil.
+// retained (and appended to by the write paths); callers hand over
+// ownership of the slice headers AND their backing arrays — two stores
+// must never be built from slices sharing one backing array, though
+// sharing the immutable records themselves is fine (ReplayInto targets
+// do) — and must not mutate the records afterwards. Any argument may
+// be nil.
 //
 // Construction happens before the store is shared, so it bulk-builds
 // the grouped indexes — append everything, sort each list once —
@@ -65,7 +91,6 @@ func New(users []*User, urls []*CommentURL, comments []*Comment, follows map[ids
 		users:            users,
 		urls:             urls,
 		comments:         comments,
-		follows:          make(map[ids.GabID][]ids.GabID, len(follows)),
 		byGabID:          newShardedMap[ids.GabID, *User](hashGabID),
 		byUsername:       newShardedMap[string, *User](hashString),
 		byAuthor:         newShardedMap[ids.ObjectID, *User](hashObjectID),
@@ -74,10 +99,14 @@ func New(users []*User, urls []*CommentURL, comments []*Comment, follows map[ids
 		commentByID:      newShardedMap[ids.ObjectID, *Comment](hashObjectID),
 		commentsByURL:    newShardedMap[ids.ObjectID, []*Comment](hashObjectID),
 		commentsByAuthor: newShardedMap[ids.ObjectID, []*Comment](hashObjectID),
+		following:        newShardedMap[ids.GabID, []ids.GabID](hashGabID),
 		followersOf:      newShardedMap[ids.GabID, []ids.GabID](hashGabID),
 		votes:            newShardedMap[ids.ObjectID, voteDelta](hashObjectID),
 		trends:           newTrendIndex(),
+		leaders:          newVoteIndex(),
+		followRank:       newFollowIndex(),
 	}
+	db.views = []viewMaintainer{db.trends, db.leaders, db.followRank}
 	for _, u := range users {
 		db.indexUser(u)
 	}
@@ -102,7 +131,7 @@ func New(users []*User, urls []*CommentURL, comments []*Comment, follows map[ids
 	}
 	followers := make(map[ids.GabID][]ids.GabID)
 	for from, tos := range follows {
-		db.follows[from] = tos
+		db.following.set(from, tos)
 		for _, to := range tos {
 			followers[to] = append(followers[to], from)
 		}
@@ -112,6 +141,8 @@ func New(users []*User, urls []*CommentURL, comments []*Comment, follows map[ids
 		db.followersOf.set(id, list)
 	}
 	db.trends.bulkBuild(db, comments)
+	db.leaders.bulkBuild(urls)
+	db.followRank.bulkBuild(db, followers)
 	return db
 }
 
@@ -137,12 +168,16 @@ func (db *DB) indexUser(u *User) {
 }
 
 // AddUser indexes a user. Inserting a duplicate Gab ID or username
-// overwrites the index entry; Validate reports the corruption.
+// overwrites the index entry; Validate reports the corruption. The
+// user is fully indexed before the event dispatches, so a view
+// backfilling state keyed to this user (follower counts recorded
+// before the account was registered) always resolves the record.
 func (db *DB) AddUser(u *User) {
 	db.indexUser(u)
 	db.mu.Lock()
 	db.users = append(db.users, u)
 	db.mu.Unlock()
+	db.dispatch(UserAdded{User: u})
 }
 
 // SubmitURL registers cu unless a URL with the same address already
@@ -159,19 +194,20 @@ func (db *DB) SubmitURL(cu *CommentURL) (canonical *CommentURL, inserted bool) {
 		return cu
 	})
 	if inserted {
-		// Backfill the trends rankings in case comments referencing this
-		// URL were added before it was registered (the store API does
-		// not force a registration-first order).
-		db.trends.registerURL(canonical)
+		// The views backfill any state recorded against this URL before
+		// it was registered (the store API does not force a
+		// registration-first order) — see trendIndex.apply.
+		db.dispatch(URLSubmitted{URL: canonical})
 	}
 	return canonical, inserted
 }
 
-// AddComment indexes a comment. The per-URL listing is written last, so
-// a comment visible on its page always resolves via CommentByID. The
-// trends ranking is updated before AddComment returns, so a caller
-// that invalidates cached trends renderings afterwards never lets a
-// reader re-render the pre-insert ranking.
+// AddComment indexes a comment. The per-URL listing is written last of
+// the base indexes, so a comment visible on its page always resolves
+// via CommentByID. The event (and with it the trends ranking) is
+// dispatched before AddComment returns, so a caller that invalidates
+// cached trends renderings afterwards never lets a reader re-render
+// the pre-insert ranking.
 func (db *DB) AddComment(c *Comment) {
 	db.commentByID.set(c.ID, c)
 	db.commentsByAuthor.update(c.AuthorID, func(old []*Comment) []*Comment {
@@ -183,7 +219,7 @@ func (db *DB) AddComment(c *Comment) {
 	db.commentsByURL.update(c.URLID, func(old []*Comment) []*Comment {
 		return insertSorted(old, c)
 	})
-	db.trends.addComment(db, c)
+	db.dispatch(CommentAdded{Comment: c})
 }
 
 // insertSorted returns a new slice with c inserted in ID (creation)
@@ -199,11 +235,17 @@ func insertSorted(old []*Comment, c *Comment) []*Comment {
 }
 
 // AddFollow records a follow edge and maintains the reverse (followers)
-// index incrementally — Followers is a lookup, not an edge scan.
+// index incrementally — Followers is a lookup, not an edge scan. Both
+// directions live on the sharded-map machinery (the forward index used
+// to hide under the store-wide mutex, stalling every entity-slice
+// reader on an unrelated edge insert); the forward list keeps arrival
+// order, the reverse list ascending-ID order, both copy-on-write.
 func (db *DB) AddFollow(from, to ids.GabID) {
-	db.mu.Lock()
-	db.follows[from] = append(db.follows[from], to)
-	db.mu.Unlock()
+	db.following.update(from, func(old []ids.GabID) []ids.GabID {
+		out := make([]ids.GabID, 0, len(old)+1)
+		out = append(out, old...)
+		return append(out, to)
+	})
 	db.followersOf.update(to, func(old []ids.GabID) []ids.GabID {
 		i := sort.Search(len(old), func(i int) bool { return old[i] >= from })
 		out := make([]ids.GabID, 0, len(old)+1)
@@ -212,15 +254,34 @@ func (db *DB) AddFollow(from, to ids.GabID) {
 		out = append(out, old[i:]...)
 		return out
 	})
+	db.dispatch(FollowAdded{From: from, To: to})
 }
 
-// Vote adds serve-time up/down votes to a URL's tally.
-func (db *DB) Vote(urlID ids.ObjectID, ups, downs int) {
+// Vote adds serve-time up/down votes to a URL's tally. The URL must be
+// registered: a tally for an unknown urlID would accumulate invisibly
+// (no read path can ever surface it — the discussion page resolves the
+// URL first), so the write is dropped and Vote reports false. The HTTP
+// vote path resolves the record before calling Vote, and records are
+// never removed, so a false return there is impossible.
+func (db *DB) Vote(urlID ids.ObjectID, ups, downs int) bool {
+	if _, ok := db.urlByID.get(urlID); !ok {
+		return false
+	}
+	db.applyVote(urlID, ups, downs)
+	return true
+}
+
+// applyVote is Vote past validation — also the replay entry point,
+// because a log may order a VoteCast before the URLSubmitted it raced
+// with (the vote index backfills the tally at registration).
+func (db *DB) applyVote(urlID ids.ObjectID, ups, downs int) {
 	db.votes.update(urlID, func(d voteDelta) voteDelta {
 		d.ups += ups
 		d.downs += downs
+		d.seq++
 		return d
 	})
+	db.dispatch(VoteCast{URLID: urlID, Ups: ups, Downs: downs})
 }
 
 // Votes returns the URL's current tally: the generated baseline plus any
@@ -310,12 +371,10 @@ func (db *DB) URLsCommentedBy(id ids.ObjectID) []*CommentURL {
 	return out
 }
 
-// Following returns the Gab users id follows. The slice is a stable
-// snapshot; callers must not modify it.
+// Following returns the Gab users id follows, in edge-arrival order.
+// The slice is a stable snapshot; callers must not modify it.
 func (db *DB) Following(id ids.GabID) []ids.GabID {
-	db.mu.RLock()
-	out := db.follows[id]
-	db.mu.RUnlock()
+	out, _ := db.following.get(id)
 	return out
 }
 
@@ -418,15 +477,17 @@ func (db *DB) Comments() []*Comment {
 	return out
 }
 
-// Follows returns a copy of the follow-edge map. The edge slices are
-// shared snapshots; callers must not modify them.
+// Follows returns a copy of the follow-edge map, assembled from the
+// sharded forward index. The edge slices are shared snapshots; callers
+// must not modify them. Shards are visited in turn, so edges inserted
+// mid-call on an already-visited shard are missed — a bulk accessor
+// for quiesced stores (Validate, graph export), not a consistent cut.
 func (db *DB) Follows() map[ids.GabID][]ids.GabID {
-	db.mu.RLock()
-	out := make(map[ids.GabID][]ids.GabID, len(db.follows))
-	for from, tos := range db.follows {
+	out := make(map[ids.GabID][]ids.GabID)
+	db.following.forEach(func(from ids.GabID, tos []ids.GabID) bool {
 		out[from] = tos
-	}
-	db.mu.RUnlock()
+		return true
+	})
 	return out
 }
 

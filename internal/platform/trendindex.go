@@ -37,10 +37,13 @@ import (
 // always lands, so the structure converges to the full-scan ranking
 // the moment writes quiesce (the oracle equivalence test pins this).
 //
-// This is the template for other write-maintained materialized views
-// over the store (vote leaderboards, follower counts): counters
-// sharded with the data, a bounded order structure per ranking, writes
-// O(1), reads O(page).
+// This was the template the other write-maintained views grew from —
+// the follower-count ranking (followindex.go) copies the bounded
+// shape (deriving counts from the followersOf index instead of its
+// own counters), and the net-vote leaderboard (voteindex.go) swaps
+// the bounded structure for rankheap.Exact because its scores are not
+// monotone. All three consume the same event stream (events.go): one
+// order structure per ranking, writes O(1)-ish, reads O(page).
 
 // TrendLimit is how many URLs a trends rendering lists.
 const TrendLimit = 50
@@ -134,6 +137,18 @@ func newTrendIndex() *trendIndex {
 		ix.views[v].top = rankheap.New[ids.ObjectID, TrendEntry](TrendLimit, betterTrend)
 	}
 	return ix
+}
+
+// apply is the view-maintainer seam (events.go): comment inserts bump
+// the ranking, URL registrations backfill it. Votes, follows, and user
+// inserts do not move a trends ranking.
+func (ix *trendIndex) apply(db *DB, ev Event) {
+	switch e := ev.(type) {
+	case CommentAdded:
+		ix.addComment(db, e.Comment)
+	case URLSubmitted:
+		ix.registerURL(e.URL)
+	}
 }
 
 // addComment folds one inserted comment into the counters and every
