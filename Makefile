@@ -12,12 +12,14 @@ RACE_PKGS = ./internal/platform/... ./internal/respcache/... \
             ./internal/crawlkit/... ./internal/dissentercrawl/...
 
 # Allocation budgets for one cache-miss render of the write-maintained
-# rankings (both measured ~15; headroom for noise). A regression past
-# these fails bench-budget.
+# rankings (both measured ~15) and of a discussion page served from the
+# fragment view (measured ~11, constant in comments-per-URL; headroom
+# for noise). A regression past these fails bench-budget.
 TRENDS_ALLOC_BUDGET = 64
 LEADER_ALLOC_BUDGET = 64
+DISC_ALLOC_BUDGET = 64
 
-.PHONY: build test race bench bench-budget lint fmt ci
+.PHONY: build test race bench bench-budget bench-compare lint fmt ci
 
 build:
 	$(GO) build ./...
@@ -45,6 +47,21 @@ bench-budget:
 		$(GO) test -run 'ProbablyNoSuchTest' -bench BenchmarkTrendsRenderMiss -benchtime=200x .
 	BENCH_LEADER_MAX_ALLOCS=$(LEADER_ALLOC_BUDGET) \
 		$(GO) test -run 'ProbablyNoSuchTest' -bench BenchmarkLeaderboardRenderMiss -benchtime=200x .
+	BENCH_DISC_MAX_ALLOCS=$(DISC_ALLOC_BUDGET) \
+		$(GO) test -run 'ProbablyNoSuchTest' -bench BenchmarkDiscussionRenderMiss -benchtime=200x .
+
+# Regression gate against the committed baseline: rerun the serving
+# benchmarks into a scratch file and diff it against BENCH_serve.json.
+# Thresholds are generous (order-of-magnitude guard, not percent drift)
+# because the smoke run is -benchtime=1x on an arbitrary machine; see
+# cmd/bench-compare for the knobs. After an INTENTIONAL improvement,
+# refresh the baseline with `make bench` and commit it.
+bench-compare:
+	BENCH_SERVE_JSON=$(CURDIR)/BENCH_serve.tmp.json \
+		$(GO) test -run 'ProbablyNoSuchTest' -bench=. -benchtime=1x ./...
+	$(GO) run ./cmd/bench-compare -baseline $(CURDIR)/BENCH_serve.json \
+		-current $(CURDIR)/BENCH_serve.tmp.json
+	rm -f $(CURDIR)/BENCH_serve.tmp.json
 
 lint:
 	$(GO) vet ./...

@@ -111,6 +111,43 @@ func benchClient() *http.Client {
 	return &http.Client{Transport: tr}
 }
 
+// underLoadBatch is how many requests each under-write-load benchmark
+// op issues. The mixed-load benchmarks used to issue ONE request per
+// op, so the `make bench` smoke run (-benchtime=1x) measured a single
+// guaranteed cold miss and recorded cache_hit_pct: 0 into
+// BENCH_serve.json — a stat-plumbing artifact, not a real stampede.
+// Batching makes even a 1x run exercise the read/write mix the
+// benchmark is about; ns_per_req in the baseline is per REQUEST, not
+// per op.
+const underLoadBatch = 32
+
+// benchPostComment submits one live comment as bench-writer and fails
+// the benchmark on any transport or status error. b.Errorf, not Fatal:
+// FailNow must stay off RunParallel worker goroutines.
+func benchPostComment(b *testing.B, client *http.Client, base, pageURL, text string) bool {
+	form := url.Values{"url": {pageURL}, "text": {text}}
+	req, err := http.NewRequest(http.MethodPost, base+"/discussion/comment",
+		strings.NewReader(form.Encode()))
+	if err != nil {
+		b.Errorf("build post: %v", err)
+		return false
+	}
+	req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+	req.AddCookie(&http.Cookie{Name: "session", Value: "bench-writer"})
+	resp, err := client.Do(req)
+	if err != nil {
+		b.Errorf("post: %v", err)
+		return false
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b.Errorf("post status = %d", resp.StatusCode)
+		return false
+	}
+	return true
+}
+
 func benchGet(b *testing.B, client *http.Client, url string) {
 	resp, err := client.Get(url)
 	if err != nil {
@@ -366,16 +403,18 @@ func buildTrendsFixture(sc trendsScale) *trendsFixture {
 	return &trendsFixture{
 		db:     platform.New(users, urls, comments, nil),
 		writer: users[0],
-		hot:    urls[:64],
+		hot:    urls[:min(64, len(urls))],
 	}
 }
 
 // BenchmarkTrendsUnderWriteLoad is the moving-target regime: a
 // concurrent mix where every 4th request posts a comment through
 // POST /discussion/comment (invalidating all four cached trends views)
-// and the rest read /trends. With the write-maintained index, ns/op
-// must be independent of store size — compare the urls=1k and
-// urls=100k sub-benchmarks, which differ 100x in store size.
+// and the rest read /trends. With the write-maintained index,
+// ns_per_req must be independent of store size — compare the urls=1k
+// and urls=100k sub-benchmarks, which differ 100x in store size. Each
+// op issues underLoadBatch requests so the recorded cache_hit_pct is
+// real even in the 1x smoke run (see underLoadBatch).
 func BenchmarkTrendsUnderWriteLoad(b *testing.B) {
 	for _, sc := range trendsScales {
 		b.Run(sc.name, func(b *testing.B) {
@@ -393,41 +432,26 @@ func BenchmarkTrendsUnderWriteLoad(b *testing.B) {
 			b.RunParallel(func(pb *testing.PB) {
 				i := 0
 				for pb.Next() {
-					i++
-					if i%4 == 0 {
-						n := seq.Add(1)
-						cu := f.hot[int(n)%len(f.hot)]
-						form := url.Values{
-							"url":  {cu.URL},
-							"text": {"trends write load"},
+					for j := 0; j < underLoadBatch; j++ {
+						i++
+						if i%4 == 0 {
+							n := seq.Add(1)
+							cu := f.hot[int(n)%len(f.hot)]
+							if !benchPostComment(b, client, srv.URL, cu.URL, "trends write load") {
+								return
+							}
+							continue
 						}
-						req, err := http.NewRequest(http.MethodPost, srv.URL+"/discussion/comment",
-							strings.NewReader(form.Encode()))
-						if err != nil {
-							b.Errorf("build post: %v", err)
-							return
-						}
-						req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
-						req.AddCookie(&http.Cookie{Name: "session", Value: "bench-writer"})
-						resp, err := client.Do(req)
-						if err != nil {
-							b.Errorf("post: %v", err)
-							return
-						}
-						_, _ = io.Copy(io.Discard, resp.Body)
-						resp.Body.Close()
-						if resp.StatusCode != http.StatusOK {
-							b.Errorf("post status = %d", resp.StatusCode)
-							return
-						}
-						continue
+						benchGet(b, client, srv.URL+"/trends")
 					}
-					benchGet(b, client, srv.URL+"/trends")
 				}
 			})
 			b.StopTimer()
 			hits, misses := s.CacheStats()
-			m := map[string]float64{"ns_per_op": float64(b.Elapsed().Nanoseconds()) / float64(b.N)}
+			m := map[string]float64{
+				"ns_per_req": float64(b.Elapsed().Nanoseconds()) / float64(b.N*underLoadBatch),
+			}
+			b.ReportMetric(m["ns_per_req"], "ns/req")
 			if total := hits + misses; total > 0 {
 				pct := float64(hits) / float64(total) * 100
 				b.ReportMetric(pct, "cache_hit_pct")
@@ -517,8 +541,10 @@ func BenchmarkLeaderboardRenderMiss(b *testing.B) {
 // BenchmarkLeaderboardUnderVoteLoad is the moving-target regime for
 // votes: a concurrent mix where every 4th request casts a vote through
 // /discussion/vote (invalidating the cached leaderboard by exact key)
-// and the rest read /leaderboard. ns/op must be independent of store
-// size — compare the urls=1k and urls=100k sub-benchmarks.
+// and the rest read /leaderboard. ns_per_req must be independent of
+// store size — compare the urls=1k and urls=100k sub-benchmarks. Each
+// op issues underLoadBatch requests so the recorded cache_hit_pct is
+// real even in the 1x smoke run (see underLoadBatch).
 func BenchmarkLeaderboardUnderVoteLoad(b *testing.B) {
 	for _, sc := range trendsScales {
 		b.Run(sc.name, func(b *testing.B) {
@@ -541,34 +567,39 @@ func BenchmarkLeaderboardUnderVoteLoad(b *testing.B) {
 			b.RunParallel(func(pb *testing.PB) {
 				i := 0
 				for pb.Next() {
-					i++
-					if i%4 == 0 {
-						n := seq.Add(1)
-						cu := f.hot[int(n)%len(f.hot)]
-						dir := "up"
-						if n%3 == 0 {
-							dir = "down"
+					for j := 0; j < underLoadBatch; j++ {
+						i++
+						if i%4 == 0 {
+							n := seq.Add(1)
+							cu := f.hot[int(n)%len(f.hot)]
+							dir := "up"
+							if n%3 == 0 {
+								dir = "down"
+							}
+							resp, err := client.Get(srv.URL + "/discussion/vote?dir=" + dir +
+								"&url=" + url.QueryEscape(cu.URL))
+							if err != nil {
+								b.Errorf("vote: %v", err)
+								return
+							}
+							_, _ = io.Copy(io.Discard, resp.Body)
+							resp.Body.Close()
+							if resp.StatusCode != http.StatusFound {
+								b.Errorf("vote status = %d", resp.StatusCode)
+								return
+							}
+							continue
 						}
-						resp, err := client.Get(srv.URL + "/discussion/vote?dir=" + dir +
-							"&url=" + url.QueryEscape(cu.URL))
-						if err != nil {
-							b.Errorf("vote: %v", err)
-							return
-						}
-						_, _ = io.Copy(io.Discard, resp.Body)
-						resp.Body.Close()
-						if resp.StatusCode != http.StatusFound {
-							b.Errorf("vote status = %d", resp.StatusCode)
-							return
-						}
-						continue
+						benchGet(b, client, srv.URL+"/leaderboard")
 					}
-					benchGet(b, client, srv.URL+"/leaderboard")
 				}
 			})
 			b.StopTimer()
 			hits, misses := s.CacheStats()
-			m := map[string]float64{"ns_per_op": float64(b.Elapsed().Nanoseconds()) / float64(b.N)}
+			m := map[string]float64{
+				"ns_per_req": float64(b.Elapsed().Nanoseconds()) / float64(b.N*underLoadBatch),
+			}
+			b.ReportMetric(m["ns_per_req"], "ns/req")
 			if total := hits + misses; total > 0 {
 				pct := float64(hits) / float64(total) * 100
 				b.ReportMetric(pct, "cache_hit_pct")
@@ -576,6 +607,191 @@ func BenchmarkLeaderboardUnderVoteLoad(b *testing.B) {
 			}
 			recordServeMetrics("LeaderboardUnderVoteLoad/"+sc.name, m)
 		})
+	}
+}
+
+// --- discussion scaling benchmarks ---------------------------------------
+//
+// Discussion pages are assembled from the platform fragment view
+// (pre-escaped per-comment fragments memoized at write time, per-view
+// streams maintained incrementally), so a cache-miss FILL is O(delta):
+// a memoized head, an O(1) stream snapshot, a counter read — never a
+// walk over the page's comments and never a re-escape.
+// BenchmarkDiscussionRenderMiss pins exactly that: allocs/op and ns/op
+// must stay flat from a 100-comment page to a 10k-comment page (the
+// seed render walked and escaped all 10k on every miss). The response
+// body is written to a discarding ResponseWriter because shoveling the
+// page's bytes is proportional to page size for ANY implementation;
+// the quantity under test is the render work, which must not be. With
+// BENCH_DISC_MAX_ALLOCS=<n> set it fails past the allocation budget,
+// the third CI budget beside trends and leaderboard.
+
+// discussionScales size the comments-per-URL axis; store size is held
+// small so the only variable is page length.
+var discussionScales = []trendsScale{
+	{name: "comments=100", urls: 4, per: 100, authors: 16, nsfwMod: 13, offMod: 17},
+	{name: "comments=10k", urls: 4, per: 10_000, authors: 16, nsfwMod: 13, offMod: 17},
+}
+
+// discardRW is an http.ResponseWriter whose body writes cost O(1); it
+// implements io.StringWriter so io.WriteString never copies either.
+type discardRW struct{ h http.Header }
+
+func (d *discardRW) Header() http.Header               { return d.h }
+func (d *discardRW) Write(b []byte) (int, error)       { return len(b), nil }
+func (d *discardRW) WriteString(s string) (int, error) { return len(s), nil }
+func (d *discardRW) WriteHeader(int)                   {}
+func newDiscardRW() *discardRW                         { return &discardRW{h: http.Header{}} }
+
+// BenchmarkDiscussionRenderMiss measures one uncached discussion fill
+// at 100 and 10k comments per page — the acceptance gate is the 10k
+// page staying within 2x of the 100-comment page on both ns/op and
+// allocs/op.
+func BenchmarkDiscussionRenderMiss(b *testing.B) {
+	for _, sc := range discussionScales {
+		b.Run(sc.name, func(b *testing.B) {
+			f := buildTrendsFixture(sc)
+			s := dissenterweb.NewServer(f.db,
+				dissenterweb.WithURLRateLimit(0, 0),
+				dissenterweb.WithResponseCache(0, 0))
+			target := f.hot[0]
+			req := httptest.NewRequest(http.MethodGet,
+				"/discussion?url="+url.QueryEscape(target.URL), nil)
+			// Warm the write-time memos (head fragment, comment stream)
+			// so the measured ops see the steady state the production
+			// path runs in, then measure the pure miss fill.
+			s.ServeHTTP(newDiscardRW(), req)
+			w := newDiscardRW()
+			b.ReportAllocs()
+			var ms0, ms1 runtime.MemStats
+			runtime.GC()
+			runtime.ReadMemStats(&ms0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.ServeHTTP(w, req)
+			}
+			b.StopTimer()
+			runtime.ReadMemStats(&ms1)
+			allocsPerOp := float64(ms1.Mallocs-ms0.Mallocs) / float64(b.N)
+			nsPerOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+			recordServeMetrics("DiscussionRenderMiss/"+sc.name, map[string]float64{
+				"ns_per_op":     nsPerOp,
+				"allocs_per_op": allocsPerOp,
+			})
+			if budget := os.Getenv("BENCH_DISC_MAX_ALLOCS"); budget != "" {
+				max, err := strconv.ParseFloat(budget, 64)
+				if err != nil {
+					b.Fatalf("bad BENCH_DISC_MAX_ALLOCS %q: %v", budget, err)
+				}
+				if allocsPerOp > max {
+					b.Fatalf("discussion miss allocates %.1f objects/op at %s, budget %v — the hot path regressed",
+						allocsPerOp, sc.name, budget)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkViralDiscussionUnderMixedLoad is the paper-scale adversarial
+// shape (Rye, Blackburn & Beverly, Figs. 4–5): ONE viral URL with 10k+
+// comments absorbing most reads AND most writes at once — concurrent
+// posters appending comments, voters moving the tally, readers
+// hammering the page. Comment posts append one memoized fragment to
+// the live cache entries and votes patch two integers, so the hit rate
+// stays high and ns_per_req stays flat in page size even though every
+// request targets the same 10k-comment page. Batched like the other
+// under-load benchmarks so the smoke run reports a real hit rate; ends
+// with the staleness assertion (the next render must agree with the
+// store).
+func BenchmarkViralDiscussionUnderMixedLoad(b *testing.B) {
+	f := buildTrendsFixture(trendsScale{
+		name: "viral", urls: 4, per: 10_000, authors: 16, nsfwMod: 13, offMod: 17,
+	})
+	s := dissenterweb.NewServer(f.db, dissenterweb.WithURLRateLimit(0, 0))
+	s.RegisterSession("bench-writer", dissenterweb.Session{Username: f.writer.Username})
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+	client := benchClient()
+	client.CheckRedirect = func(*http.Request, []*http.Request) error {
+		return http.ErrUseLastResponse
+	}
+	viral := f.hot[0]
+	page := srv.URL + "/discussion?url=" + url.QueryEscape(viral.URL)
+	var seq atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			for j := 0; j < underLoadBatch; j++ {
+				i++
+				switch {
+				case i%8 == 0: // poster
+					n := seq.Add(1)
+					if !benchPostComment(b, client, srv.URL, viral.URL,
+						fmt.Sprintf("viral pile-on %d", n)) {
+						return
+					}
+				case i%8 == 4: // voter
+					dir := "up"
+					if i%3 == 0 {
+						dir = "down"
+					}
+					resp, err := client.Get(srv.URL + "/discussion/vote?dir=" + dir +
+						"&url=" + url.QueryEscape(viral.URL))
+					if err != nil {
+						b.Errorf("vote: %v", err)
+						return
+					}
+					_, _ = io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusFound {
+						b.Errorf("vote status = %d", resp.StatusCode)
+						return
+					}
+				default: // reader
+					benchGet(b, client, page)
+				}
+			}
+		}
+	})
+	b.StopTimer()
+	hits, misses := s.CacheStats()
+	m := map[string]float64{
+		"ns_per_req": float64(b.Elapsed().Nanoseconds()) / float64(b.N*underLoadBatch),
+	}
+	b.ReportMetric(m["ns_per_req"], "ns/req")
+	if total := hits + misses; total > 0 {
+		pct := float64(hits) / float64(total) * 100
+		b.ReportMetric(pct, "cache_hit_pct")
+		m["cache_hit_pct"] = pct
+	}
+	recordServeMetrics("ViralDiscussionUnderMixedLoad", m)
+	// Staleness assertion: the very next render must carry the store's
+	// current visible-comment count — a dropped patch or invalidation
+	// fails the benchmark, not just a test.
+	countRe := regexp.MustCompile(`class="commentcount">(\d+)<`)
+	resp, err := client.Get(page)
+	if err != nil {
+		b.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		b.Fatal(err)
+	}
+	mch := countRe.FindSubmatch(body)
+	if mch == nil {
+		b.Fatalf("no commentcount on %s", viral.URL)
+	}
+	visible := 0
+	for _, c := range f.db.CommentsOnURL(viral.ID) {
+		if !c.Hidden() {
+			visible++
+		}
+	}
+	if got, _ := strconv.Atoi(string(mch[1])); got != visible {
+		b.Fatalf("stale render: shows %d comments, store holds %d visible", got, visible)
 	}
 }
 

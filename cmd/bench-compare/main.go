@@ -1,0 +1,112 @@
+// Command bench-compare diffs a fresh serving-path benchmark run
+// against the committed BENCH_serve.json baseline and fails on
+// regressions past a threshold — the guard rail that keeps the
+// baseline honest as the serving layer evolves.
+//
+//	go run ./cmd/bench-compare -baseline BENCH_serve.json -current BENCH_serve.tmp.json
+//
+// Timing metrics (ns_per_op, ns_per_req) regress when they exceed
+// baseline*max-ratio; allocation counts (allocs_per_op) use the same
+// ratio (they are deterministic, so any growth is a real code change);
+// cache_hit_pct regresses when it falls more than -max-hit-drop
+// percentage points below the baseline. Benchmarks present in the
+// baseline but missing from the current run are reported too — a
+// silently deleted benchmark is a coverage regression, not a win.
+// Metrics and benchmarks only the current run has are informational.
+//
+// The default ratio is generous because `make bench-compare` runs the
+// benchmarks at -benchtime=1x on whatever machine it is invoked on,
+// and single-iteration timings of the concurrent mixed-load shapes
+// wobble severalfold run to run; it catches order-of-magnitude
+// regressions (a hot path going O(page) is 100x at the big fixtures),
+// not percent-level drift. Tighten -max-ratio on a quiet box with a
+// longer -benchtime for finer comparisons.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type metrics = map[string]map[string]float64
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_serve.json", "committed baseline JSON")
+	currentPath := flag.String("current", "BENCH_serve.tmp.json", "fresh benchmark run JSON")
+	maxRatio := flag.Float64("max-ratio", 5, "fail when a timing/alloc metric exceeds baseline*ratio")
+	maxHitDrop := flag.Float64("max-hit-drop", 25, "fail when cache_hit_pct drops more than this many points")
+	flag.Parse()
+
+	baseline, err := load(*baselinePath)
+	if err != nil {
+		fatal("read baseline: %v", err)
+	}
+	current, err := load(*currentPath)
+	if err != nil {
+		fatal("read current run: %v", err)
+	}
+	regressions := Compare(baseline, current, *maxRatio, *maxHitDrop)
+	if len(regressions) == 0 {
+		fmt.Printf("bench-compare: %d benchmarks within thresholds (ratio %.2g, hit-drop %.3g)\n",
+			len(baseline), *maxRatio, *maxHitDrop)
+		return
+	}
+	for _, r := range regressions {
+		fmt.Fprintln(os.Stderr, "REGRESSION:", r)
+	}
+	os.Exit(1)
+}
+
+func load(path string) (metrics, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m metrics
+	if err := json.Unmarshal(blob, &m); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return m, nil
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "bench-compare: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// Compare reports every regression of current against baseline, one
+// human-readable line each. Only metrics present in BOTH runs of a
+// benchmark are compared, so renaming a metric shows up as the missing
+// benchmark/metric it is rather than a spurious pass.
+func Compare(baseline, current metrics, maxRatio, maxHitDrop float64) []string {
+	var out []string
+	for name, base := range baseline {
+		cur, ok := current[name]
+		if !ok {
+			out = append(out, fmt.Sprintf("%s: benchmark missing from current run", name))
+			continue
+		}
+		for metric, b := range base {
+			c, ok := cur[metric]
+			if !ok {
+				out = append(out, fmt.Sprintf("%s: metric %s missing from current run", name, metric))
+				continue
+			}
+			switch metric {
+			case "cache_hit_pct":
+				if c < b-maxHitDrop {
+					out = append(out, fmt.Sprintf("%s: cache_hit_pct %.1f -> %.1f (allowed drop %.3g points)",
+						name, b, c, maxHitDrop))
+				}
+			default: // ns_per_op, ns_per_req, allocs_per_op: lower is better
+				if b > 0 && c > b*maxRatio {
+					out = append(out, fmt.Sprintf("%s: %s %.4g -> %.4g (%.2fx, allowed %.2gx)",
+						name, metric, b, c, c/b, maxRatio))
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCompare(t *testing.T) {
+	baseline := metrics{
+		"DiscussionRenderMiss/comments=10k": {"ns_per_op": 2000, "allocs_per_op": 11},
+		"TrendsUnderWriteLoad/urls=1k":      {"ns_per_req": 100_000, "cache_hit_pct": 66},
+		"Deleted/bench":                     {"ns_per_op": 10},
+	}
+	current := metrics{
+		"DiscussionRenderMiss/comments=10k": {"ns_per_op": 9000, "allocs_per_op": 11},
+		"TrendsUnderWriteLoad/urls=1k":      {"ns_per_req": 120_000, "cache_hit_pct": 20},
+		"Brand/new":                         {"ns_per_op": 1},
+	}
+	got := Compare(baseline, current, 2.5, 25)
+	want := []string{
+		"ns_per_op 2000 -> 9000",   // 4.5x > 2.5x
+		"cache_hit_pct 66.0 -> 20", // 46-point drop > 25
+		"Deleted/bench: benchmark missing",
+	}
+	if len(got) != len(want) {
+		t.Fatalf("Compare returned %d regressions, want %d:\n%s", len(got), len(want), strings.Join(got, "\n"))
+	}
+	for _, frag := range want {
+		found := false
+		for _, line := range got {
+			if strings.Contains(line, frag) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no regression line containing %q in:\n%s", frag, strings.Join(got, "\n"))
+		}
+	}
+}
+
+func TestCompareClean(t *testing.T) {
+	baseline := metrics{"A": {"ns_per_op": 1000, "cache_hit_pct": 90}}
+	current := metrics{"A": {"ns_per_op": 2400, "cache_hit_pct": 70}}
+	if got := Compare(baseline, current, 2.5, 25); len(got) != 0 {
+		t.Fatalf("within-threshold drift flagged: %v", got)
+	}
+}

@@ -51,46 +51,73 @@
 // identical view states (the determinism test pins this), so a
 // persistent or remote backend only has to consume events, never scan.
 //
-// The hot read path never scans the store; three rankings are
-// write-maintained views over that event stream. The Gab Trends
-// ranking bumps per-URL visibility-class counters on CommentAdded and
-// re-offers the URL to a bounded top-50 structure per session view
-// (rankheap.TopK under a short per-view mutex — exact under bounding
-// because comment counts are monotone), so a cache-miss trends render
-// is O(50) at any store size. The net-vote leaderboard (Figure 5's
-// ordering, served at GET /leaderboard) is NOT monotone — downvotes
-// sink a URL — so it uses rankheap.Exact, which remembers every URL
-// across an elite top-50 heap and an overflow heap and stays exact
-// under decrease-key at O(log #URLs) per vote, with per-URL sequence
-// stamps resolving out-of-order offers. The follower-count ranking
-// (DB.TopFollowed) counts are monotone again (no unfollow surface) and
-// reuses the bounded TopK shape. Oracle equivalence tests pin each
-// ranking's exact agreement with a full scan under concurrent writes.
-// Bulk readers (Validate, Census, analyses) iterate through the
-// zero-copy RangeUsers/RangeURLs/RangeComments accessors, which pin
-// the append-only insertion log under a brief read lock and walk it in
-// place; no HTTP handler materializes a whole-store slice snapshot.
+// The hot read path never scans the store; three rankings and one
+// content view are write-maintained over that event stream. The Gab
+// Trends ranking bumps per-URL visibility-class counters on
+// CommentAdded and re-offers the URL to a bounded top-50 structure per
+// session view (rankheap.TopK under a short per-view mutex — exact
+// under bounding because comment counts are monotone), so a cache-miss
+// trends render is O(50) at any store size. The net-vote leaderboard
+// (Figure 5's ordering, served at GET /leaderboard) is NOT monotone —
+// downvotes sink a URL — so it uses rankheap.Exact, which remembers
+// every URL across an elite top-50 heap and an overflow heap and stays
+// exact under decrease-key at O(log #URLs) per vote, with per-URL
+// sequence stamps resolving out-of-order offers. The follower-count
+// ranking (DB.TopFollowed) counts are monotone again (no unfollow
+// surface) and reuses the bounded TopK shape. Oracle equivalence tests
+// pin each ranking's exact agreement with a full scan under concurrent
+// writes. Bulk readers (Validate, Census, analyses) iterate through
+// the zero-copy RangeUsers/RangeURLs/RangeComments accessors, which
+// pin the append-only insertion log under a brief read lock and walk
+// it in place; no HTTP handler materializes a whole-store slice
+// snapshot.
+//
+// The fourth view is content, not ordering: the discussion/home
+// fragment view (internal/platform/pageindex.go) memoizes each
+// comment's pre-escaped HTML row once at write time (comments are
+// immutable, so the fragment never changes) and maintains, per URL,
+// the four per-session-view comment streams — ID-ordered
+// concatenations of the visible fragments — plus the visibility-class
+// counters that derive every view's visible count, and, per author,
+// the distinct-URL home listing with the author's own per-URL class
+// counts. A discussion render (DB.CommentStream) is a memoized head,
+// an O(1) stream snapshot, and a counter read; a home render
+// (DB.HomeURLs) reads counters instead of scanning every comment of
+// every listed URL. That makes a hot-page miss O(delta) where the seed
+// paid two full passes and one html.EscapeString per comment per miss
+// — ~10k escapes on a viral page. The view is lazily materialized per
+// subject on first render and write-maintained afterwards;
+// out-of-ID-order event arrivals rebuild the subject from the sorted
+// base index without re-escaping. Oracle tests pin fragment-assembled
+// pages byte-identical to a from-scratch full render across all four
+// session views under concurrent posts and votes.
 //
 // The HTTP simulators front their hot endpoints — comment listings,
 // user profiles, trends — with a small LRU+TTL response cache
 // (internal/respcache) keyed by endpoint, subject, and session view, so
 // shadow-overlay opt-ins never share cached pages with anonymous
 // sessions (the leaderboard is view-independent — votes carry no
-// overlay — and caches under one key). Invalidation rules: a vote
-// invalidates every session view of that address's discussion
-// renderings plus the leaderboard (exact keys, no cache scan), and a
-// posted comment invalidates exactly three subjects — the URL's
-// discussion page, the posting author's home page (its commented-URL
-// listing changed), and the trends ranking (comment counts order it) —
-// again by exact key across the enumerable session views. A render that
-// raced with an invalidation of its own key is discarded at insert via
-// per-key tombstones; everything else expires by TTL, the backstop for
-// out-of-band store writes. URL submissions invalidate only the
-// leaderboard (a newcomer enters the net-vote ranking at its baseline)
-// — unknown-URL invitation pages are never cached (their keys are
-// visitor-chosen, so caching them would let a URL scan evict the hot
-// set) and the store fully indexes a submission before it becomes
-// findable.
+// overlay — and caches under one key). Misses coalesce through
+// respcache.GetOrFill (singleflight): N concurrent requests on one
+// cold key run ONE render, with the fill's epoch snapshotted under the
+// same lock acquisition that published the flight, so a fill racing an
+// invalidation is handed to its waiters but never cached stale.
+// Coherence rules: discussion pages cache STRUCTURED entries (stable
+// head, mutable vote/count span, fragment stream), so a vote patches
+// two integers in place (respcache.Update) and a posted comment swaps
+// in the view's grown stream — the page's escaped HTML is never
+// discarded; a view with no live entry falls back to exact-key
+// invalidation, whose tombstone discards racing fills. A posted
+// comment additionally drops every session view of the posting
+// author's home page (its commented-URL listing changed shape) and of
+// the trends ranking (comment counts order it) — by exact key across
+// the enumerable session views, never a cache scan. Everything else
+// expires by TTL, the backstop for out-of-band store writes. URL
+// submissions invalidate only the leaderboard (a newcomer enters the
+// net-vote ranking at its baseline) — unknown-URL invitation pages are
+// never cached (their keys are visitor-chosen, so caching them would
+// let a URL scan evict the hot set) and the store fully indexes a
+// submission before it becomes findable.
 //
 // The live write path is what makes the measurement side honest:
 // internal/dissentercrawl's Poster writes comments while a Campaign

@@ -19,12 +19,19 @@ import (
 // comment-id, inserts through platform.DB.AddComment, and invalidates
 // every cached rendering whose content the new comment changes.
 //
-// Invalidation contract — exactly three subjects, every session view of
-// each, by exact key:
+// Cache-coherence contract — exactly three subjects, every session
+// view of each, by exact key:
 //
-//	disc|<url>|    the URL's comment page (count and comment stream)
-//	home|<author>| the posting author's profile (commented-URL listing)
-//	trends|        the Gab Trends ranking (comment counts order it)
+//	disc|<url>|    PATCHED in place: each live view entry swaps in the
+//	               fragment view's grown comment stream (one appended
+//	               pre-escaped fragment) and fresh count — the page's
+//	               escaped HTML is never discarded. Views with no live
+//	               entry fall back to exact-key invalidation, whose
+//	               tombstone discards any fill racing the write
+//	               (refreshDiscussion).
+//	home|<author>| dropped: the posting author's profile listing
+//	               changed shape.
+//	trends|        dropped: comment counts order the ranking.
 //
 // plus, only when the post registers a never-seen URL, the leaderboard
 // (`leader|`): a just-registered URL enters the net-vote ranking at
@@ -32,10 +39,10 @@ import (
 // other discussions, other profiles, and single-comment pages (which
 // are rendered uncached) keep their entries — comments do not move
 // vote tallies, so an ordinary post never drops the leaderboard.
-// Invalidation runs after AddComment completes, so a reader that
-// rendered the pre-insert store has its stale PutAt discarded by the
-// key's tombstone, and any render that starts afterwards sees the
-// comment.
+// Coherence runs after AddComment completes (the fragment view is
+// maintained inside AddComment's event dispatch), so a reader that
+// rendered the pre-insert store has its stale fill discarded, and any
+// render or patch that starts afterwards sees the comment.
 
 // handlePostComment accepts a session-authenticated comment submission:
 // form fields url (required), text (required), parent (optional
@@ -112,7 +119,7 @@ func (s *Server) handlePostComment(w http.ResponseWriter, r *http.Request) {
 		NSFW:      formBool(r, "nsfw"),
 		Offensive: formBool(r, "offensive"),
 	})
-	s.invalidateSubject(discussionPrefix(raw))
+	s.refreshDiscussion(raw, cu.ID)
 	s.invalidateSubject(homePrefix(author.Username))
 	s.invalidateSubject("trends|")
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")

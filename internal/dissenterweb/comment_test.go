@@ -165,10 +165,12 @@ func TestPostCommentMovesTrendsRanking(t *testing.T) {
 	}
 }
 
-// TestPostCommentInvalidatesExactlyThreeSubjects pins the invalidation
-// contract: posting drops every session view of the discussion page,
-// the author's home page, and trends — and nothing else.
-func TestPostCommentInvalidatesExactlyThreeSubjects(t *testing.T) {
+// TestPostCommentCoherenceContract pins the cache-coherence contract:
+// posting PATCHES every live session view of the discussion page in
+// place (the entry survives and carries the new comment), drops every
+// view of the author's home page and of trends — and touches nothing
+// else.
+func TestPostCommentCoherenceContract(t *testing.T) {
 	s, srv, priv := newIsolatedServer(t)
 	poster := registerPoster(t, s, priv, "poster-tok")
 	target := urlNotCommentedBy(t, priv, poster)
@@ -211,15 +213,16 @@ func TestPostCommentInvalidatesExactlyThreeSubjects(t *testing.T) {
 		}
 	}
 
+	const patched, dropped, kept = "patched", "dropped", "kept"
 	subjects := []struct {
-		prefix      string
-		invalidated bool
+		prefix string
+		want   string
 	}{
-		{discussionPrefix(target.URL), true},
-		{homePrefix(poster.Username), true},
-		{"trends|", true},
-		{discussionPrefix(other.URL), false},
-		{homePrefix(otherUser.Username), false},
+		{discussionPrefix(target.URL), patched},
+		{homePrefix(poster.Username), dropped},
+		{"trends|", dropped},
+		{discussionPrefix(other.URL), kept},
+		{homePrefix(otherUser.Username), kept},
 	}
 	// Every view of every subject must be warm before the post.
 	for _, sub := range subjects {
@@ -230,19 +233,33 @@ func TestPostCommentInvalidatesExactlyThreeSubjects(t *testing.T) {
 		}
 	}
 
-	mustPost(t, srv, "poster-tok", url.Values{
+	id := mustPost(t, srv, "poster-tok", url.Values{
 		"url": {target.URL}, "text": {"coherence probe"},
 	})
 
 	for _, sub := range subjects {
 		for vk := range viewTokens {
 			key := sub.prefix + vk
-			_, ok := s.cacheGet(key)
-			if sub.invalidated && ok {
-				t.Errorf("key %q survived the post (dropped invalidation)", key)
-			}
-			if !sub.invalidated && !ok {
-				t.Errorf("key %q was evicted by an unrelated post", key)
+			p, ok := s.cacheGet(key)
+			switch sub.want {
+			case dropped:
+				if ok {
+					t.Errorf("key %q survived the post (dropped invalidation)", key)
+				}
+			case kept:
+				if !ok {
+					t.Errorf("key %q was evicted by an unrelated post", key)
+				}
+			case patched:
+				if !ok {
+					t.Errorf("key %q was discarded; the post should have patched it in place", key)
+					continue
+				}
+				// The surviving entry must already carry the new comment
+				// (it is plain, so every view shows it) and the grown count.
+				if !strings.Contains(string(p.stream), `data-comment-id="`+id+`"`) {
+					t.Errorf("key %q was not patched with the posted comment", key)
+				}
 			}
 		}
 	}

@@ -24,11 +24,13 @@ const leaderKey = "leader|"
 
 // handleLeaderboard renders the net-vote leaderboard.
 func (s *Server) handleLeaderboard(w http.ResponseWriter, r *http.Request) {
-	if body, ok := s.cacheGet(leaderKey); ok {
-		writeHTML(w, body)
-		return
-	}
-	epoch := s.cache.Epoch(leaderKey)
+	p, _ := s.cache.GetOrFill(leaderKey, func() page {
+		return page{simple: s.leaderboardBody()}
+	})
+	writePage(w, p)
+}
+
+func (s *Server) leaderboardBody() string {
 	entries := s.db.Leaderboard()
 	b := getBuf()
 	defer putBuf(b)
@@ -48,7 +50,5 @@ func (s *Server) handleLeaderboard(w http.ResponseWriter, r *http.Request) {
 		b.WriteString(s.trendRowFrag(e.URL))
 	}
 	b.WriteString("</ol>\n</body></html>\n")
-	body := b.String()
-	s.cache.PutAt(leaderKey, body, epoch)
-	writeHTML(w, body)
+	return b.String()
 }

@@ -10,16 +10,22 @@
 // its hot endpoints — comment listings, user profiles, trends — with an
 // LRU+TTL response cache keyed by endpoint, subject, and session view
 // (so shadow-overlay opt-ins never leak into another session's cached
-// page). The mutable surfaces (URL submission, voting, and the live
-// comment write path at POST /discussion/comment) invalidate every
-// session view of the affected subjects by exact key — a posted comment
-// drops its discussion page, the author's home page, and the trends
-// ranking (see comment.go for the contract) — and an epoch check
-// discards renders that raced with an invalidation; the TTL is the
-// backstop for out-of-band store writes. URL-keyed surfaces normalize
-// the address with urlkit.Normalize first, so trivially different
-// encodings of one address share a record, a cache subject, and a
-// rate-limit bucket.
+// page). Cache misses coalesce through respcache.GetOrFill, so a
+// stampede of concurrent requests on one cold hot page runs a single
+// render. Discussion pages cache STRUCTURED entries — the stable
+// pre-escaped head and comment stream separated from the mutable
+// vote/count span — assembled from the store's write-maintained
+// fragment view (platform.DB.CommentStream): a vote patches two
+// integers in place, a posted comment swaps in the view's grown stream
+// snapshot, and neither discards kilobytes of escaped HTML (see
+// refreshDiscussion). The remaining mutable surfaces invalidate every
+// session view of the affected subjects by exact key — a posted
+// comment drops the author's home page and the trends ranking (see
+// comment.go for the contract) — and an epoch check discards renders
+// that raced with an invalidation; the TTL is the backstop for
+// out-of-band store writes. URL-keyed surfaces normalize the address
+// with urlkit.Normalize first, so trivially different encodings of one
+// address share a record, a cache subject, and a rate-limit bucket.
 package dissenterweb
 
 import (
@@ -56,7 +62,7 @@ type Session struct {
 type Server struct {
 	db    *platform.DB
 	idgen *ids.Generator
-	cache *respcache.Cache[string]
+	cache *respcache.Cache[page]
 	// cacheConfigured marks that WithResponseCache ran, so NewServer
 	// does not build the default cache just to throw it away.
 	cacheConfigured bool
@@ -84,12 +90,36 @@ type Server struct {
 	lastSweep atomic.Int64
 	sweeping  atomic.Bool
 
-	// trendFrags caches the pre-escaped, immutable row fragment of each
-	// URL that enters a trends rendering (trends.go); trendFragCount
-	// triggers a wholesale reset if churn ever grows it past the hot
-	// set's size.
-	trendFrags     sync.Map // ids.ObjectID -> string
-	trendFragCount atomic.Int64
+	// Pre-escaped immutable per-record fragments, memoized once and
+	// reused across renders: trends/leaderboard row remainders, home
+	// commented-URL rows, and discussion-page heads. Per-comment
+	// fragments live in the platform fragment view (pageindex.go); these
+	// memos cover the record-derived markup around them.
+	trendFrags fragMemo
+	homeFrags  fragMemo
+	discHeads  fragMemo
+}
+
+// fragMemo memoizes immutable per-record HTML fragments keyed by
+// ObjectID, with a wholesale reset if churn ever grows it far past the
+// hot set — so it can never become a slow leak.
+type fragMemo struct {
+	m   sync.Map // ids.ObjectID -> string
+	n   atomic.Int64
+	max int64
+}
+
+func (f *fragMemo) get(id ids.ObjectID, build func() string) string {
+	if v, ok := f.m.Load(id); ok {
+		return v.(string)
+	}
+	frag := build()
+	if f.n.Add(1) > f.max {
+		f.m.Clear()
+		f.n.Store(1)
+	}
+	f.m.Store(id, frag)
+	return frag
 }
 
 type hitWindow struct {
@@ -120,7 +150,7 @@ const (
 // size <= 0 or ttl <= 0 disables caching entirely.
 func WithResponseCache(size int, ttl time.Duration) Option {
 	return func(s *Server) {
-		s.cache = respcache.New[string](size, ttl)
+		s.cache = respcache.New[page](size, ttl)
 		s.cacheConfigured = true
 	}
 }
@@ -140,11 +170,16 @@ func NewServer(db *platform.DB, opts ...Option) *Server {
 		sessions:  map[string]Session{},
 		hits:      map[string]*hitWindow{},
 	}
+	// The fragment memos hold one small string per hot record; the
+	// bounds only cap pathological churn (see fragMemo).
+	s.trendFrags.max = 64 * platform.TrendLimit
+	s.homeFrags.max = 4 * DefaultCacheSize
+	s.discHeads.max = 4 * DefaultCacheSize
 	for _, o := range opts {
 		o(s)
 	}
 	if !s.cacheConfigured {
-		s.cache = respcache.New[string](DefaultCacheSize, DefaultCacheTTL)
+		s.cache = respcache.New[page](DefaultCacheSize, DefaultCacheTTL)
 	}
 	return s
 }
@@ -211,13 +246,77 @@ func homePrefix(username string) string  { return "home|" + username + "|" }
 // prefix scan.
 var allViewKeys = [...]string{"00", "01", "10", "11"}
 
-func (s *Server) cacheGet(key string) (string, bool) { return s.cache.Get(key) }
+func (s *Server) cacheGet(key string) (page, bool) { return s.cache.Get(key) }
 
 // invalidateSubject drops every session view of one cache subject
-// ("disc|<url>|" or "trends|").
+// ("home|<author>|" or "trends|").
 func (s *Server) invalidateSubject(prefix string) {
 	for _, vk := range allViewKeys {
 		s.cache.Invalidate(prefix + vk)
+	}
+}
+
+// page is one response-cache entry. Simple endpoints (home, trends,
+// leaderboard) cache a fully rendered body in simple. Discussion pages
+// are structured — head (the stable prefix through the page
+// description), the mutable vote/count span as three integers, and the
+// view's pre-escaped comment stream — so a write can patch the span or
+// swap the stream without discarding the kilobytes that did not
+// change. A non-empty head marks a structured entry.
+type page struct {
+	simple string
+
+	head              string
+	ups, downs, count int
+	stream            []byte
+}
+
+// writePage sends a cached or freshly filled entry. Structured entries
+// are written part by part — the mutable span is rendered from its
+// integers into a stack buffer — so serving never re-assembles a body
+// string.
+func writePage(w http.ResponseWriter, p page) {
+	if p.head == "" {
+		writeHTML(w, p.simple)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	io.WriteString(w, p.head)
+	var a [160]byte
+	span := a[:0]
+	span = append(span, `<span class="votes" data-up="`...)
+	span = strconv.AppendInt(span, int64(p.ups), 10)
+	span = append(span, `" data-down="`...)
+	span = strconv.AppendInt(span, int64(p.downs), 10)
+	span = append(span, "\"></span>\n<span class=\"commentcount\">"...)
+	span = strconv.AppendInt(span, int64(p.count), 10)
+	span = append(span, "</span>\n</div>\n"...)
+	w.Write(span)
+	w.Write(p.stream)
+	io.WriteString(w, "</body></html>\n")
+}
+
+// refreshDiscussion folds a just-landed write (a vote, a posted
+// comment) into every live cached view of one discussion page IN
+// PLACE: the patch re-reads the tally, count, and stream snapshot from
+// the store under the cache shard lock, so whichever of two racing
+// patches applies last reflects both writes. Views with no live entry
+// fall back to exact-key invalidation, whose tombstone also discards
+// any fill that raced the write — the entry is then rebuilt on the
+// next request. Either way, a reader can never be served page state
+// predating the write.
+func (s *Server) refreshDiscussion(raw string, urlID ids.ObjectID) {
+	for _, vk := range allViewKeys {
+		key := discussionPrefix(raw) + vk
+		showNSFW, showOffensive := vk[0] == '1', vk[1] == '1'
+		patched := s.cache.Update(key, func(p page) page {
+			p.stream, p.count = s.db.CommentStream(urlID, showNSFW, showOffensive)
+			p.ups, p.downs = s.db.Votes(urlID)
+			return p
+		})
+		if !patched {
+			s.cache.Invalidate(key)
+		}
 	}
 }
 
@@ -365,7 +464,11 @@ func (s *Server) sweepRateLimits(now time.Time) {
 
 // handleHome renders a Dissenter user home page. Missing accounts get a
 // ~150-byte not-found page; real accounts get a >= 10 kB page (the size
-// side channel of §3.1).
+// side channel of §3.1). The commented-URL history comes from the
+// store's write-maintained home list (DB.HomeURLs): the per-URL
+// "does this session see any of my comments there?" filter is a
+// counter read, not the old scan over every comment of every listed
+// URL, and each listed row is a memoized fragment.
 func (s *Server) handleHome(w http.ResponseWriter, r *http.Request, username string) {
 	u := s.db.UserByUsername(username)
 	if u == nil || !u.HasDissenter {
@@ -376,11 +479,15 @@ func (s *Server) handleHome(w http.ResponseWriter, r *http.Request, username str
 	}
 	sess := s.session(r)
 	key := homePrefix(username) + viewKey(sess)
-	if body, ok := s.cacheGet(key); ok {
-		writeHTML(w, body)
-		return
-	}
-	epoch := s.cache.Epoch(key)
+	p, _ := s.cache.GetOrFill(key, func() page {
+		return page{simple: s.homeBody(u, sess)}
+	})
+	writePage(w, p)
+}
+
+// homeBody assembles a home page from the write-maintained listing and
+// the memoized row fragments.
+func (s *Server) homeBody(u *platform.User, sess Session) string {
 	b := getBuf()
 	defer putBuf(b)
 	b.WriteString("<!DOCTYPE html><html><head><title>Dissenter</title></head><body>\n")
@@ -393,41 +500,29 @@ func (s *Server) handleHome(w http.ResponseWriter, r *http.Request, username str
 	b.WriteString("</h2>\n<p class=\"bio\">")
 	b.WriteString(html.EscapeString(u.Bio))
 	b.WriteString("</p>\n</div>\n<ul class=\"history\">\n")
-	for _, cu := range s.db.URLsCommentedBy(u.AuthorID) {
-		if !s.anyVisibleBy(u.AuthorID, cu.ID, sess) {
-			continue
-		}
-		b.WriteString(`<li class="commented-url"><a href="/discussion?url=`)
-		b.WriteString(url.QueryEscape(cu.URL))
-		b.WriteString(`">`)
-		b.WriteString(html.EscapeString(cu.URL))
-		b.WriteString("</a></li>\n")
+	for _, cu := range s.db.HomeURLs(u.AuthorID, sess.ShowNSFW, sess.ShowOffensive) {
+		b.WriteString(s.homeRow(cu))
 	}
 	b.WriteString("</ul>\n")
 	b.WriteString(appBundle)
 	b.WriteString("</body></html>\n")
-	body := b.String()
-	s.cache.PutAt(key, body, epoch)
-	writeHTML(w, body)
+	return b.String()
 }
 
-// anyVisibleBy reports whether the author has at least one comment on the
-// URL that the session may see (hidden-only URLs stay off the profile).
-// Iterates the page's comment list in place and stops at the first
-// visible hit — no per-request slice materialization.
-func (s *Server) anyVisibleBy(author, urlID ids.ObjectID, sess Session) bool {
-	found := false
-	s.db.RangeCommentsOnURL(urlID, func(c *platform.Comment) bool {
-		if c.AuthorID == author && visible(c, sess) {
-			found = true
-			return false
-		}
-		return true
+// homeRow returns the memoized commented-URL list item for a record.
+func (s *Server) homeRow(cu *platform.CommentURL) string {
+	return s.homeFrags.get(cu.ID, func() string {
+		return `<li class="commented-url"><a href="/discussion?url=` +
+			url.QueryEscape(cu.URL) + `">` + html.EscapeString(cu.URL) + "</a></li>\n"
 	})
-	return found
 }
 
-// handleDiscussion renders the comment page for ?url=.
+// handleDiscussion renders the comment page for ?url=. A miss costs
+// O(delta), not O(page): the head is a memoized per-URL fragment, the
+// visible-comment count comes from the fragment view's counters (no
+// counting pass), and the comment stream is an O(1) snapshot of the
+// view's pre-escaped concatenation (no render pass) — where the seed
+// render walked the page twice and escaped every comment.
 func (s *Server) handleDiscussion(w http.ResponseWriter, r *http.Request) {
 	raw := urlkit.Normalize(r.URL.Query().Get("url"))
 	if raw == "" {
@@ -437,13 +532,6 @@ func (s *Server) handleDiscussion(w http.ResponseWriter, r *http.Request) {
 	if !s.rateLimit(w, "discussion:"+raw) {
 		return
 	}
-	sess := s.session(r)
-	key := discussionPrefix(raw) + viewKey(sess)
-	if body, ok := s.cacheGet(key); ok {
-		writeHTML(w, body)
-		return
-	}
-	epoch := s.cache.Epoch(key)
 	cu := s.db.URLByString(raw)
 	if cu == nil {
 		// A URL nobody has entered yet: an empty comment page inviting
@@ -456,68 +544,39 @@ func (s *Server) handleDiscussion(w http.ResponseWriter, r *http.Request) {
 			"</body></html>\n")
 		return
 	}
-	b := getBuf()
-	defer putBuf(b)
-	b.WriteString("<!DOCTYPE html><html><head><title>Dissenter Discussion</title></head><body>\n")
-	b.WriteString(`<div class="discussion" data-commenturl-id="`)
-	b.WriteString(cu.ID.String())
-	b.WriteString("\">\n<h1 class=\"pagetitle\">")
-	b.WriteString(html.EscapeString(cu.Title))
-	b.WriteString("</h1>\n<p class=\"pagedescription\">")
-	b.WriteString(html.EscapeString(cu.Description))
-	b.WriteString("</p>\n")
-	comments := s.db.CommentsOnURL(cu.ID)
-	shown := 0
-	for _, c := range comments {
-		if visible(c, sess) {
-			shown++
-		}
-	}
+	sess := s.session(r)
+	key := discussionPrefix(raw) + viewKey(sess)
+	p, _ := s.cache.GetOrFill(key, func() page {
+		return s.discussionPage(cu, sess.ShowNSFW, sess.ShowOffensive)
+	})
+	writePage(w, p)
+}
+
+// discussionPage fills one structured discussion entry from the
+// fragment view. Note: no flag in the stream distinguishes
+// NSFW/offensive content — the crawler must infer labels
+// differentially (§3.2).
+func (s *Server) discussionPage(cu *platform.CommentURL, showNSFW, showOffensive bool) page {
+	stream, count := s.db.CommentStream(cu.ID, showNSFW, showOffensive)
 	ups, downs := s.db.Votes(cu.ID)
-	b.WriteString(`<span class="votes" data-up="`)
-	writeInt(b, ups)
-	b.WriteString(`" data-down="`)
-	writeInt(b, downs)
-	b.WriteString("\"></span>\n<span class=\"commentcount\">")
-	writeInt(b, shown)
-	b.WriteString("</span>\n</div>\n")
-	for _, c := range comments {
-		if !visible(c, sess) {
-			continue
-		}
-		// Note: no flag in the body distinguishes NSFW/offensive content —
-		// the crawler must infer labels differentially (§3.2).
-		writeCommentDiv(b, "comment", c, true)
-	}
-	b.WriteString("</body></html>\n")
-	body := b.String()
-	s.cache.PutAt(key, body, epoch)
-	writeHTML(w, body)
+	return page{head: s.discussionHead(cu), ups: ups, downs: downs, count: count, stream: stream}
 }
 
-// writeCommentDiv renders one comment row — the hot inner loop of the
-// discussion and single-comment pages.
-func writeCommentDiv(b *bytes.Buffer, class string, c *platform.Comment, withParent bool) {
-	b.WriteString(`<div class="`)
-	b.WriteString(class)
-	b.WriteString(`" data-comment-id="`)
-	b.WriteString(c.ID.String())
-	b.WriteString(`" data-author-id="`)
-	b.WriteString(c.AuthorID.String())
-	if withParent {
-		b.WriteString(`" data-parent-id="`)
-		b.WriteString(parentAttr(c))
-	}
-	b.WriteString("\">\n<p class=\"comment-text\">")
-	b.WriteString(html.EscapeString(c.Text))
-	b.WriteString("</p>\n</div>\n")
-}
-
-func parentAttr(c *platform.Comment) string {
-	if c.ParentID.IsZero() {
-		return ""
-	}
-	return c.ParentID.String()
+// discussionHead returns the memoized stable prefix of a discussion
+// page: everything up to the mutable vote/count span.
+func (s *Server) discussionHead(cu *platform.CommentURL) string {
+	return s.discHeads.get(cu.ID, func() string {
+		var b strings.Builder
+		b.WriteString("<!DOCTYPE html><html><head><title>Dissenter Discussion</title></head><body>\n")
+		b.WriteString(`<div class="discussion" data-commenturl-id="`)
+		b.WriteString(cu.ID.String())
+		b.WriteString("\">\n<h1 class=\"pagetitle\">")
+		b.WriteString(html.EscapeString(cu.Title))
+		b.WriteString("</h1>\n<p class=\"pagedescription\">")
+		b.WriteString(html.EscapeString(cu.Description))
+		b.WriteString("</p>\n")
+		return b.String()
+	})
 }
 
 // handleComment renders the single-comment page, including the
@@ -539,10 +598,13 @@ func (s *Server) handleComment(w http.ResponseWriter, r *http.Request, cidStr st
 	b := getBuf()
 	defer putBuf(b)
 	b.WriteString("<!DOCTYPE html><html><head><title>Dissenter Comment</title></head><body>\n")
-	writeCommentDiv(b, "comment", c, true)
+	// The main row is the same fragment the discussion page shows,
+	// memoized once in the platform view; replies use the "reply" class
+	// and are rendered in place (uncached page, cold path).
+	b.WriteString(s.db.CommentFragment(c))
 	s.db.RangeCommentsOnURL(c.URLID, func(reply *platform.Comment) bool {
 		if reply.ParentID == c.ID && visible(reply, sess) {
-			writeCommentDiv(b, "reply", reply, false)
+			b.Write(platform.AppendCommentRow(b.AvailableBuffer(), "reply", reply, false))
 		}
 		return true
 	})

@@ -38,12 +38,13 @@ import (
 // posted comment invalidates every cached trends view.
 func (s *Server) handleTrends(w http.ResponseWriter, r *http.Request) {
 	sess := s.session(r)
-	key := trendsKey(sess)
-	if body, ok := s.cacheGet(key); ok {
-		writeHTML(w, body)
-		return
-	}
-	epoch := s.cache.Epoch(key)
+	p, _ := s.cache.GetOrFill(trendsKey(sess), func() page {
+		return page{simple: s.trendsBody(sess)}
+	})
+	writePage(w, p)
+}
+
+func (s *Server) trendsBody(sess Session) string {
 	entries := s.db.TopTrends(sess.ShowNSFW, sess.ShowOffensive)
 	b := getBuf()
 	defer putBuf(b)
@@ -58,33 +59,23 @@ func (s *Server) handleTrends(w http.ResponseWriter, r *http.Request) {
 		b.WriteString(s.trendRowFrag(e.URL))
 	}
 	b.WriteString("</ol>\n</body></html>\n")
-	body := b.String()
-	s.cache.PutAt(key, body, epoch)
-	writeHTML(w, body)
+	return b.String()
 }
 
 // trendRowFrag returns the per-URL remainder of a trends row — the
 // query-escaped link and HTML-escaped title after the comment count.
 // CommentURL records are immutable, so the fragment is computed once
 // per URL that ever trends and memoized; only the count is rendered
-// per request. The memo is reset wholesale if ranking churn ever grows
-// it far past the hot set, so it cannot become a slow leak.
+// per request.
 func (s *Server) trendRowFrag(cu *platform.CommentURL) string {
-	if v, ok := s.trendFrags.Load(cu.ID); ok {
-		return v.(string)
-	}
-	title := cu.Title
-	if title == "" {
-		title = cu.URL
-	}
-	frag := `"><a href="/discussion?url=` + url.QueryEscape(cu.URL) + `">` +
-		html.EscapeString(title) + "</a></li>\n"
-	if s.trendFragCount.Add(1) > 64*platform.TrendLimit {
-		s.trendFrags.Clear()
-		s.trendFragCount.Store(1)
-	}
-	s.trendFrags.Store(cu.ID, frag)
-	return frag
+	return s.trendFrags.get(cu.ID, func() string {
+		title := cu.Title
+		if title == "" {
+			title = cu.URL
+		}
+		return `"><a href="/discussion?url=` + url.QueryEscape(cu.URL) + `">` +
+			html.EscapeString(title) + "</a></li>\n"
+	})
 }
 
 // handleBegin accepts a URL submission and redirects to its comment
@@ -116,9 +107,11 @@ func (s *Server) handleBegin(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleVote records an up/down vote for a URL's comment page and
-// invalidates the two cached renderings the tally appears in: every
-// session view of the address's discussion page, and the leaderboard
-// (net votes order it), all by exact key.
+// refreshes the two cached renderings the tally appears in: every live
+// session view of the address's discussion page is PATCHED in place —
+// the vote span is two integers, so nothing re-renders and the page's
+// escaped HTML survives (refreshDiscussion) — and the leaderboard is
+// invalidated by exact key (the tally moved the ranking).
 func (s *Server) handleVote(w http.ResponseWriter, r *http.Request) {
 	raw := urlkit.Normalize(r.URL.Query().Get("url"))
 	if raw == "" {
@@ -141,7 +134,7 @@ func (s *Server) handleVote(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.db.Vote(cu.ID, ups, downs)
-	s.invalidateSubject(discussionPrefix(raw))
+	s.refreshDiscussion(raw, cu.ID)
 	s.cache.Invalidate(leaderKey)
 	http.Redirect(w, r, "/discussion?url="+url.QueryEscape(raw), http.StatusFound)
 }

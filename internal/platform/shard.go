@@ -87,6 +87,21 @@ func (s *shardedMap[K, V]) forEach(f func(K, V) bool) {
 	}
 }
 
+// reset drops every entry, one shard at a time. Concurrent readers
+// holding values fetched earlier keep them (values are pointers or
+// copies, never aliased map internals); a reader probing mid-reset
+// simply misses and re-creates. Used by size-bounded lazy caches
+// (pageindex) whose contents can always be rebuilt from the base
+// indexes.
+func (s *shardedMap[K, V]) reset() {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		sh.m = make(map[K]V)
+		sh.mu.Unlock()
+	}
+}
+
 // getOrCreate returns the value under k, calling create to build and
 // publish it if absent. create runs under the shard's write lock, so at
 // most one caller creates per key; its side effects (inserts into other

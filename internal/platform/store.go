@@ -56,10 +56,15 @@ type DB struct {
 	// ordering (voteindex.go) — and followRank ranks users by follower
 	// count (followindex.go). Each keeps sharded counters plus a
 	// rankheap order structure, so writes stay O(1)-ish and the ranked
-	// reads (TopTrends, Leaderboard, TopFollowed) are O(page).
+	// reads (TopTrends, Leaderboard, TopFollowed) are O(page). pages is
+	// the discussion/home fragment view (pageindex.go): memoized
+	// pre-escaped comment fragments, per-URL per-view comment streams,
+	// and per-author home lists — lazily materialized on first render,
+	// write-maintained afterwards.
 	trends     *trendIndex
 	leaders    *voteIndex
 	followRank *followIndex
+	pages      *pageIndex
 
 	maxGabID atomic.Int64
 }
@@ -105,8 +110,9 @@ func New(users []*User, urls []*CommentURL, comments []*Comment, follows map[ids
 		trends:           newTrendIndex(),
 		leaders:          newVoteIndex(),
 		followRank:       newFollowIndex(),
+		pages:            newPageIndex(),
 	}
-	db.views = []viewMaintainer{db.trends, db.leaders, db.followRank}
+	db.views = []viewMaintainer{db.trends, db.leaders, db.followRank, db.pages}
 	for _, u := range users {
 		db.indexUser(u)
 	}

@@ -6,14 +6,29 @@
 //
 // Keys are strings with a "<endpoint>|<subject>|<view>" layout by
 // convention; a mutation invalidates every view of one subject with
-// exact Invalidate calls over the enumerable view suffixes. Writers
-// that render outside the lock use the Epoch/PutAt pair: snapshot the
-// key's epoch before reading the backing store, and the insert is
-// discarded if the key was invalidated in between — a render that raced
-// a write is never cached stale. Entries expire TTL after insertion
-// regardless of use (no read-refresh): explicit invalidation is the
-// primary mechanism and the TTL is only a backstop against writes that
-// bypass it.
+// exact Invalidate calls over the enumerable view suffixes — or, for
+// entries whose mutable parts the writer can recompute cheaply,
+// patches the live entry in place with Update. Renders happen outside
+// the lock under the epoch protocol: the key's epoch is snapshotted
+// before reading the backing store, and the insert is discarded if the
+// key was invalidated in between — a render that raced a write is
+// never cached stale. GetOrFill (below) is the read path that drives
+// this protocol for every HTTP handler; the Epoch/PutAt pair it is
+// built on remains exported as the low-level escape hatch for callers
+// that need to separate the snapshot from the render themselves.
+// Entries expire TTL after insertion regardless of use (no
+// read-refresh): explicit invalidation is the primary mechanism and
+// the TTL is only a backstop against writes that bypass it.
+//
+// GetOrFill adds miss coalescing (singleflight) on top: N concurrent
+// misses on one key run ONE fill, and the waiters are handed the
+// filler's result directly. The fill composes with the tombstone
+// protocol — the filler's epoch is snapshotted under the same lock
+// acquisition that published its flight, so a fill racing an
+// invalidation of its key is served to the already-enqueued waiters
+// but never cached. Invalidate also detaches any in-flight fill for
+// the key, so a miss arriving AFTER the invalidation starts a fresh
+// fill instead of adopting the doomed one.
 //
 // Like the platform store it fronts, the cache is split across
 // independently locked shards by key hash, so concurrent hits on
@@ -56,8 +71,22 @@ type lruShard[V any] struct {
 	epoch     uint64
 	tomb      map[string]uint64
 	tombFloor uint64
+	// flights holds the in-progress GetOrFill per key: followers of a
+	// live flight wait on done instead of rendering.
+	flights map[string]*flight[V]
 
 	hits, misses uint64
+}
+
+// flight is one in-progress fill. val and failed are published before
+// done closes, so waiters reading after <-done observe them. failed
+// marks a fill that panicked: the flight is closed so waiters never
+// wedge, and they render for themselves instead of adopting a value
+// that does not exist.
+type flight[V any] struct {
+	done   chan struct{}
+	val    V
+	failed bool
 }
 
 type entry[V any] struct {
@@ -88,6 +117,7 @@ func (s *lruShard[V]) init(maxSize int, ttl time.Duration) {
 	s.now = time.Now
 	s.items = make(map[string]*entry[V], maxSize)
 	s.tomb = make(map[string]uint64)
+	s.flights = make(map[string]*flight[V])
 }
 
 func (c *Cache[V]) shard(key string) *lruShard[V] {
@@ -116,9 +146,105 @@ func (c *Cache[V]) Put(key string, val V) {
 	s.mu.Unlock()
 }
 
+// GetOrFill returns the cached value for key, or renders it with fill
+// — coalescing concurrent misses so N requests racing on one cold key
+// run ONE fill. The second return reports whether the caller was
+// served without running fill itself (a cache hit or a coalesced
+// wait); followers of a flight count as hits in Stats, since the cache
+// saved their render. The fill runs outside the shard lock with the
+// key's epoch snapshotted first, exactly like the Epoch/PutAt pair: if
+// the key is invalidated while the fill is in flight, the result is
+// still handed to the waiters that had already coalesced (they arrived
+// before the invalidation) but is never cached, and misses arriving
+// after the invalidation start a fresh fill (Invalidate detaches the
+// flight). fill must not call back into the cache for the same key.
+//
+// On a nil (disabled) cache, GetOrFill degrades to calling fill.
+func (c *Cache[V]) GetOrFill(key string, fill func() V) (V, bool) {
+	if c == nil {
+		return fill(), false
+	}
+	s := c.shard(key)
+	s.mu.Lock()
+	if e, ok := s.items[key]; ok && !s.now().After(e.expires) {
+		s.moveToFront(e)
+		s.hits++
+		v := e.val
+		s.mu.Unlock()
+		return v, true
+	}
+	if f, ok := s.flights[key]; ok {
+		s.hits++
+		s.mu.Unlock()
+		<-f.done
+		if f.failed {
+			// The leader's fill panicked; render for ourselves rather
+			// than serve a value that was never produced.
+			return fill(), false
+		}
+		return f.val, true
+	}
+	f := &flight[V]{done: make(chan struct{})}
+	s.flights[key] = f
+	epoch := s.epoch
+	s.misses++
+	s.mu.Unlock()
+
+	// The flight MUST be resolved even if fill panics (an HTTP handler's
+	// panic is recovered per request by net/http): an unclosed flight
+	// would wedge every present and future waiter on this key forever.
+	completed := false
+	defer func() {
+		s.mu.Lock()
+		if s.flights[key] == f {
+			delete(s.flights, key)
+		}
+		s.mu.Unlock()
+		f.failed = !completed
+		close(f.done)
+	}()
+
+	v := fill()
+	completed = true
+
+	s.mu.Lock()
+	if !(epoch < s.tombFloor || s.tomb[key] > epoch) {
+		s.put(key, v)
+	}
+	s.mu.Unlock()
+	f.val = v
+	return v, false
+}
+
+// Update patches the live entry for key in place, leaving its LRU
+// position and expiry untouched — the in-place alternative to
+// Invalidate for entries whose mutable parts the writer can recompute
+// cheaply (a vote tally span, an appended fragment). f runs under the
+// shard lock and must be fast; it must not call back into the cache.
+// Returns false when no unexpired entry exists — callers then fall
+// back to Invalidate, whose tombstone also discards any fill racing
+// the write.
+func (c *Cache[V]) Update(key string, f func(V) V) bool {
+	if c == nil {
+		return false
+	}
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.items[key]
+	if !ok || s.now().After(e.expires) {
+		return false
+	}
+	e.val = f(e.val)
+	return true
+}
+
 // Epoch returns the key's current invalidation epoch. Snapshot it
 // before rendering and pass it to PutAt so a render that raced with an
-// invalidation of the key is never cached stale.
+// invalidation of the key is never cached stale. Most callers want
+// GetOrFill, which drives this snapshot-render-insert protocol (plus
+// miss coalescing) internally; Epoch/PutAt is the low-level pair for
+// callers that separate the steps themselves.
 func (c *Cache[V]) Epoch(key string) uint64 {
 	if c == nil {
 		return 0
@@ -145,8 +271,10 @@ func (c *Cache[V]) PutAt(key string, val V, epoch uint64) {
 	s.put(key, val)
 }
 
-// Invalidate drops the entry for key, if any, and tombstones the key so
-// an in-flight PutAt for it (snapshotted earlier) is discarded.
+// Invalidate drops the entry for key, if any, and tombstones the key
+// so an in-flight PutAt or GetOrFill for it (snapshotted earlier) is
+// discarded. A live flight for the key is also detached: its waiters
+// still receive its value, but later misses start a fresh fill.
 func (c *Cache[V]) Invalidate(key string) {
 	if c == nil {
 		return
@@ -156,6 +284,7 @@ func (c *Cache[V]) Invalidate(key string) {
 	defer s.mu.Unlock()
 	s.epoch++
 	s.tomb[key] = s.epoch
+	delete(s.flights, key)
 	// Bound the tombstone map: on overflow, fall back to discarding all
 	// of this shard's in-flight puts once and start over.
 	if len(s.tomb) > s.maxSize {

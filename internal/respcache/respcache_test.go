@@ -162,6 +162,214 @@ func sameShardKey[V any](c *Cache[V], s *lruShard[V], i int) string {
 	}
 }
 
+// TestGetOrFillSingleflight pins the stampede contract: with one lead
+// fill blocked mid-render, every concurrent miss on the key coalesces
+// onto it — exactly one fill runs, and everyone gets its value. (A
+// goroutine arriving after the fill completes hits the now-cached
+// entry, so the fill count stays 1 regardless of scheduling.)
+func TestGetOrFillSingleflight(t *testing.T) {
+	c := New[string](32, time.Minute)
+	fills := 0
+	filling := make(chan struct{})
+	release := make(chan struct{})
+	lead := make(chan string, 1)
+	go func() {
+		v, _ := c.GetOrFill("disc|u|00", func() string {
+			fills++ // only the lead runs fills; no lock needed
+			close(filling)
+			<-release
+			return "rendered once"
+		})
+		lead <- v
+	}()
+	<-filling
+
+	const followers = 16
+	got := make(chan string, followers)
+	var launched sync.WaitGroup
+	for i := 0; i < followers; i++ {
+		launched.Add(1)
+		go func() {
+			launched.Done()
+			v, served := c.GetOrFill("disc|u|00", func() string {
+				t.Error("follower ran its own fill")
+				return "duplicate render"
+			})
+			if !served {
+				t.Error("follower reported a self-rendered miss")
+			}
+			got <- v
+		}()
+	}
+	launched.Wait()
+	close(release)
+	if v := <-lead; v != "rendered once" {
+		t.Fatalf("lead got %q", v)
+	}
+	for i := 0; i < followers; i++ {
+		if v := <-got; v != "rendered once" {
+			t.Fatalf("follower got %q", v)
+		}
+	}
+	if fills != 1 {
+		t.Fatalf("%d fills ran, want 1", fills)
+	}
+	if v, ok := c.Get("disc|u|00"); !ok || v != "rendered once" {
+		t.Fatalf("fill result not cached: %q %v", v, ok)
+	}
+}
+
+// TestGetOrFillRacingInvalidateNotCached: a fill in flight when its key
+// is invalidated still answers its waiters, but its result must never
+// be cached — the next request re-renders.
+func TestGetOrFillRacingInvalidateNotCached(t *testing.T) {
+	c := New[string](32, time.Minute)
+	filling := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan string, 1)
+	go func() {
+		v, _ := c.GetOrFill("disc|u|00", func() string {
+			close(filling)
+			<-release
+			return "pre-write render"
+		})
+		done <- v
+	}()
+	<-filling
+	c.Invalidate("disc|u|00") // the write path fires mid-fill
+	close(release)
+	if v := <-done; v != "pre-write render" {
+		t.Fatalf("waiter got %q", v)
+	}
+	if _, ok := c.Get("disc|u|00"); ok {
+		t.Fatal("fill racing an invalidation was cached stale")
+	}
+	refills := 0
+	if _, served := c.GetOrFill("disc|u|00", func() string { refills++; return "post-write render" }); served {
+		t.Error("post-invalidation request served without a fresh fill")
+	}
+	if refills != 1 {
+		t.Fatalf("refills = %d, want 1", refills)
+	}
+	if v, ok := c.Get("disc|u|00"); !ok || v != "post-write render" {
+		t.Fatalf("fresh fill not cached: %q %v", v, ok)
+	}
+}
+
+// TestGetOrFillPanickingFillDoesNotWedgeKey: a fill that panics (an
+// HTTP handler's panic is recovered per request by net/http) must
+// resolve its flight — waiters render for themselves, the panic
+// propagates to the leader, nothing is cached, and the key keeps
+// working afterwards.
+func TestGetOrFillPanickingFillDoesNotWedgeKey(t *testing.T) {
+	c := New[string](32, time.Minute)
+	filling := make(chan struct{})
+	release := make(chan struct{})
+	leadDone := make(chan any, 1)
+	go func() {
+		defer func() { leadDone <- recover() }()
+		c.GetOrFill("disc|u|00", func() string {
+			close(filling)
+			<-release
+			panic("render exploded")
+		})
+	}()
+	<-filling
+	waiter := make(chan string, 1)
+	go func() {
+		v, served := c.GetOrFill("disc|u|00", func() string { return "waiter fallback" })
+		if served {
+			t.Error("waiter of a failed flight reported being served")
+		}
+		waiter <- v
+	}()
+	// Give the waiter a moment to coalesce onto the doomed flight, then
+	// let the leader explode.
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	if r := <-leadDone; r == nil {
+		t.Fatal("panic did not propagate to the filler")
+	}
+	if v := <-waiter; v != "waiter fallback" {
+		t.Fatalf("waiter got %q", v)
+	}
+	if _, ok := c.Get("disc|u|00"); ok {
+		t.Fatal("panicked fill left a cached value")
+	}
+	// The key must be fully functional again.
+	if v, _ := c.GetOrFill("disc|u|00", func() string { return "recovered" }); v != "recovered" {
+		t.Fatalf("post-panic fill got %q", v)
+	}
+	if v, ok := c.Get("disc|u|00"); !ok || v != "recovered" {
+		t.Fatalf("post-panic fill not cached: %q %v", v, ok)
+	}
+}
+
+// TestGetOrFillConcurrent hammers GetOrFill/Invalidate/Update from many
+// goroutines; run under -race. The invariant checked at the end is the
+// coalescing ledger: total fills can never exceed total misses.
+func TestGetOrFillConcurrent(t *testing.T) {
+	c := New[int](64, time.Minute)
+	var fillCount, updates int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 400; i++ {
+				k := fmt.Sprintf("key%d", i%16)
+				c.GetOrFill(k, func() int {
+					mu.Lock()
+					fillCount++
+					mu.Unlock()
+					return i
+				})
+				switch {
+				case i%37 == 0:
+					c.Invalidate(k)
+				case i%11 == 0:
+					if c.Update(k, func(v int) int { return v + 1 }) {
+						mu.Lock()
+						updates++
+						mu.Unlock()
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	_, misses := c.Stats()
+	mu.Lock()
+	defer mu.Unlock()
+	if uint64(fillCount) != misses {
+		t.Errorf("fills = %d, misses = %d: every miss must run exactly one fill", fillCount, misses)
+	}
+}
+
+func TestUpdatePatchesLiveEntriesOnly(t *testing.T) {
+	c := New[string](32, time.Minute)
+	advance := fixedNow(c)
+	if c.Update("a", func(v string) string { return v + "!" }) {
+		t.Fatal("Update patched a missing entry")
+	}
+	c.Put("a", "v1")
+	if !c.Update("a", func(v string) string { return v + "+patch" }) {
+		t.Fatal("Update missed a live entry")
+	}
+	if v, _ := c.Get("a"); v != "v1+patch" {
+		t.Fatalf("patched value = %q", v)
+	}
+	// Patching must not extend the entry's life.
+	advance(61 * time.Second)
+	if c.Update("a", func(v string) string { return "resurrected" }) {
+		t.Fatal("Update patched an expired entry")
+	}
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("expired entry served after failed patch")
+	}
+}
+
 func TestNilCacheIsDisabled(t *testing.T) {
 	var c *Cache[string]
 	if got := New[string](0, time.Minute); got != nil {
@@ -177,6 +385,12 @@ func TestNilCacheIsDisabled(t *testing.T) {
 	}
 	c.Invalidate("a")
 	c.PutAt("a", "1", c.Epoch("a"))
+	if v, served := c.GetOrFill("a", func() string { return "filled" }); v != "filled" || served {
+		t.Fatalf("nil GetOrFill = %q, %v; want fill passthrough", v, served)
+	}
+	if c.Update("a", func(v string) string { return v }) {
+		t.Fatal("nil cache accepted a patch")
+	}
 	if c.Len() != 0 {
 		t.Fatal("nil cache has entries")
 	}
