@@ -5,9 +5,12 @@ GO ?= go
 
 # platform covers the event pipeline and every materialized view
 # (events.go, trendindex, voteindex, followindex); rankheap covers both
-# the bounded TopK and the non-monotone Exact structure.
+# the bounded TopK and the non-monotone Exact structure; eventlog and
+# replica cover the durability/replication layer (WAL group commit,
+# streaming apply, snapshot bootstrap).
 RACE_PKGS = ./internal/platform/... ./internal/respcache/... \
             ./internal/rankheap/... \
+            ./internal/eventlog/... ./internal/replica/... \
             ./internal/gabapi/... ./internal/dissenterweb/... \
             ./internal/crawlkit/... ./internal/dissentercrawl/...
 
@@ -19,7 +22,7 @@ TRENDS_ALLOC_BUDGET = 64
 LEADER_ALLOC_BUDGET = 64
 DISC_ALLOC_BUDGET = 64
 
-.PHONY: build test race bench bench-budget bench-compare lint fmt ci
+.PHONY: build test race crash-recovery bench bench-budget bench-compare lint fmt ci
 
 build:
 	$(GO) build ./...
@@ -29,6 +32,12 @@ test:
 
 race:
 	$(GO) test -race $(RACE_PKGS)
+
+# The out-of-process crash-recovery proof on its own (it also runs as
+# part of `test`): kill -9 a replica child process mid-stream, restart
+# it over the same directory, byte-compare every page vs the primary.
+crash-recovery:
+	$(GO) test -count=1 -v -run TestReplicaCrashRecovery ./internal/replica/
 
 # Smoke-run every benchmark once so bench code can never rot; use
 # `go test -bench=Concurrent -cpu 1,2,4,8 .` for real numbers. The

@@ -51,8 +51,8 @@ func loadFixture(b *testing.B) *synth.Output {
 func BenchmarkStoreConcurrentReads(b *testing.B) {
 	out := loadFixture(b)
 	db := out.DB
-	users := db.Users()
-	urls := db.URLs()
+	users := allUsers(db)
+	urls := allURLs(db)
 	maxID := int64(db.MaxGabID())
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
@@ -78,7 +78,7 @@ func BenchmarkStoreConcurrentMixed(b *testing.B) {
 	// would order-couple the read-only benchmarks that follow.
 	out := synth.Generate(synth.NewConfig(1.0/256, 7))
 	db := out.DB
-	urls := db.URLs()
+	urls := allURLs(db)
 	var seq atomic.Int64
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
@@ -180,7 +180,7 @@ func benchmarkDiscussionLoad(b *testing.B, opts ...dissenterweb.Option) {
 	srv := httptest.NewServer(s)
 	defer srv.Close()
 	client := benchClient()
-	urls := out.DB.URLs()
+	urls := allURLs(out.DB)
 	// A zipf-less stand-in for crawler locality: cycle a small hot set.
 	hot := urls
 	if len(hot) > 64 {
@@ -226,7 +226,7 @@ func BenchmarkWebMixedReadWriteConcurrent(b *testing.B) {
 	srv := httptest.NewServer(s)
 	defer srv.Close()
 	client := benchClient()
-	hot := out.DB.URLs()
+	hot := allURLs(out.DB)
 	if len(hot) > 64 {
 		hot = hot[:64]
 	}

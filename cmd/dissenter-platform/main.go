@@ -6,7 +6,16 @@
 //
 // Usage:
 //
-//	dissenter-platform [-addr :8080] [-scale 0.015625] [-seed 1]
+//	dissenter-platform [-addr :8080] [-scale 0.015625] [-seed 1] [-data DIR]
+//
+// With -data DIR the store is durable: on startup the directory's
+// newest snapshot plus WAL tail are restored (falling back to corpus
+// generation on an empty directory), and from then on every event is
+// group-committed to the WAL by a write-behind persister that rotates
+// WAL→snapshot so neither the files nor the in-memory event log grow
+// without bound (see internal/eventlog). Use the same -scale/-seed as
+// the run that created the directory, so the auxiliary simulators
+// (YouTube, Reddit) describe the same world.
 //
 // Routes:
 //
@@ -19,6 +28,8 @@
 //	/watch /channel/... /user-yt/...     YouTube simulator
 //	/v1/comments:analyze        Perspective-style scoring
 //	/reddit/... /api/user/...   Pushshift-style Reddit API
+//	/replication/events         replication stream (internal/replica.Publisher)
+//	/replication/snapshot       replication bootstrap snapshot
 //
 // Three sessions are pre-registered: "nsfw-probe" (NSFW view enabled)
 // and "off-probe" (offensive view enabled) for the differential crawl,
@@ -36,9 +47,11 @@ import (
 	"strings"
 
 	"dissenter/internal/dissenterweb"
+	"dissenter/internal/eventlog"
 	"dissenter/internal/gabapi"
 	"dissenter/internal/perspective"
 	"dissenter/internal/pushshift"
+	"dissenter/internal/replica"
 	"dissenter/internal/synth"
 )
 
@@ -48,11 +61,29 @@ func main() {
 	seed := flag.Int64("seed", 1, "generation seed")
 	gabLimit := flag.Int("gab-rate-limit", 0, "Gab API requests per 5-minute window (0 = unlimited)")
 	urlLimit := flag.Int("url-rate-limit", 0, "Dissenter per-URL requests per minute (0 = unlimited; platform used 10)")
+	dataDir := flag.String("data", "", "persistence directory (restore on start, WAL+snapshot while running; empty = in-memory only)")
 	flag.Parse()
 
 	log.Printf("generating corpus at scale %.5f (seed %d)...", *scale, *seed)
 	out := synth.Generate(synth.NewConfig(*scale, *seed))
-	census := out.DB.Census()
+	db := out.DB
+	if *dataDir != "" {
+		restored, skipped, err := eventlog.RestoreDir(*dataDir)
+		if err != nil {
+			log.Fatalf("restore %s: %v", *dataDir, err)
+		}
+		if restored != nil {
+			db = restored
+			log.Printf("restored store from %s at seq %d (%d unknown records skipped)", *dataDir, db.EventSeq(), skipped)
+		}
+		pers, err := eventlog.StartPersister(db, *dataDir, eventlog.Options{})
+		if err != nil {
+			log.Fatalf("start persister: %v", err)
+		}
+		defer pers.Close()
+		log.Printf("persisting events to %s", *dataDir)
+	}
+	census := db.Census()
 	log.Printf("generated: %d Gab users, %d Dissenter users, %d comments on %d URLs",
 		census.GabUsers, census.DissenterUsers, census.Comments, census.URLs)
 
@@ -62,23 +93,23 @@ func main() {
 	} else {
 		gabOpts = append(gabOpts, gabapi.WithRateLimit(0, 0))
 	}
-	gab := gabapi.NewServer(out.DB, gabOpts...)
+	gab := gabapi.NewServer(db, gabOpts...)
 
 	webOpts := []dissenterweb.Option{}
 	if *urlLimit >= 0 {
 		webOpts = append(webOpts, dissenterweb.WithURLRateLimit(*urlLimit, 60*1e9))
 	}
-	web := dissenterweb.NewServer(out.DB, webOpts...)
+	web := dissenterweb.NewServer(db, webOpts...)
 	web.RegisterSession("nsfw-probe", dissenterweb.Session{ShowNSFW: true})
 	web.RegisterSession("off-probe", dissenterweb.Session{ShowOffensive: true})
 	sessionBanner := "sessions: nsfw-probe, off-probe"
-	if active := out.DB.ActiveUsers(); len(active) > 0 {
+	if active := db.ActiveUsers(); len(active) > 0 {
 		web.RegisterSession("writer", dissenterweb.Session{Username: active[0].Username})
 		sessionBanner += fmt.Sprintf(", writer (posts as @%s)", active[0].Username)
 	}
 
 	var names []string
-	for _, u := range out.DB.DissenterUsers() {
+	for _, u := range db.DissenterUsers() {
 		names = append(names, u.Username)
 	}
 	sort.Strings(names)
@@ -101,6 +132,7 @@ func main() {
 	mux.Handle("/v1/comments:analyze", perspective.Handler(0))
 	mux.Handle("/reddit/", reddit)
 	mux.Handle("/api/user/", reddit)
+	mux.Handle("/replication/", &replica.Publisher{DB: db, Logf: log.Printf})
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
@@ -108,10 +140,10 @@ func main() {
 		}
 		fmt.Fprintf(w, "dissenter-platform: %d Gab users, %d Dissenter users, %d comments\n",
 			census.GabUsers, census.DissenterUsers, census.Comments)
-		fmt.Fprintf(w, "max Gab ID: %d\n%s\n", out.DB.MaxGabID(), sessionBanner)
+		fmt.Fprintf(w, "max Gab ID: %d\n%s\n", db.MaxGabID(), sessionBanner)
 	})
 
-	log.Printf("serving on %s (max Gab ID %d)", *addr, out.DB.MaxGabID())
+	log.Printf("serving on %s (max Gab ID %d)", *addr, db.MaxGabID())
 	if err := http.ListenAndServe(*addr, mux); err != nil {
 		fmt.Fprintln(os.Stderr, strings.TrimSpace(err.Error()))
 		os.Exit(1)

@@ -1,0 +1,103 @@
+// Command dissenter-replica serves the Dissenter web app read-only
+// from an out-of-process replica of a primary's store. It tails the
+// primary's replication stream (cmd/dissenter-platform's /replication/
+// mount), applies every event into its own platform.DB through the
+// normal write paths — so its rankings, fragment views, and rendered
+// pages are maintained by exactly the code that maintains the
+// primary's — and keeps its own WAL+snapshot directory, so a killed
+// replica restarts from local state and resumes the stream at its
+// durable offset.
+//
+// Usage:
+//
+//	dissenter-replica -primary http://localhost:8080/replication [-addr :8081] [-dir ./replica-data]
+//
+// Routes: the Dissenter web app's read surface (/user/..., /discussion,
+// /comment/..., /trends, /leaderboard); the mutating endpoints answer
+// 403 (write on the primary). /replication-status reports the applied
+// and durable sequence numbers as JSON.
+//
+// The probe sessions "nsfw-probe" and "off-probe" are pre-registered
+// with the same view settings as the primary's, so differential crawls
+// can hit either process interchangeably.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"dissenter/internal/dissenterweb"
+	"dissenter/internal/platform"
+	"dissenter/internal/replica"
+)
+
+func main() {
+	addr := flag.String("addr", ":8081", "listen address")
+	primary := flag.String("primary", "http://localhost:8080/replication", "primary's replication mount")
+	dir := flag.String("dir", "./replica-data", "local persistence directory")
+	urlLimit := flag.Int("url-rate-limit", 0, "per-URL requests per minute (0 = unlimited)")
+	flag.Parse()
+
+	// The serving stack is rebuilt whenever the replica (re)binds its
+	// store — at open, and after a snapshot bootstrap replaces the DB
+	// instance. A fresh Server over the fresh store means no cache entry
+	// can describe state the new store never saw; the event invalidator
+	// keeps it coherent from then on.
+	var handler atomic.Value // holds http.Handler
+	bind := func(db *platform.DB) {
+		web := dissenterweb.NewServer(db,
+			dissenterweb.ReadOnly(),
+			dissenterweb.WithURLRateLimit(*urlLimit, time.Minute),
+		)
+		web.RegisterSession("nsfw-probe", dissenterweb.Session{ShowNSFW: true})
+		web.RegisterSession("off-probe", dissenterweb.Session{ShowOffensive: true})
+		db.RegisterView(web.EventInvalidator())
+		handler.Store(http.Handler(web))
+		log.Printf("serving store at seq %d", db.EventSeq())
+	}
+
+	rep, err := replica.Open(*dir, *primary, replica.Options{
+		OnState: bind,
+		Logf:    log.Printf,
+	})
+	if err != nil {
+		log.Fatalf("open replica: %v", err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		rep.Run(ctx)
+		rep.Close()
+		os.Exit(0)
+	}()
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/replication-status", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"applied":%d,"durable":%d}`+"\n", rep.Seq(), rep.Durable())
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/" {
+			c := rep.DB().Census()
+			fmt.Fprintf(w, "dissenter-replica: seq %d (durable %d), %d Gab users, %d comments on %d URLs\n",
+				rep.Seq(), rep.Durable(), c.GabUsers, c.Comments, c.URLs)
+			return
+		}
+		handler.Load().(http.Handler).ServeHTTP(w, r)
+	})
+
+	log.Printf("replica of %s serving read-only on %s (data in %s)", *primary, *addr, *dir)
+	if err := http.ListenAndServe(*addr, mux); err != nil {
+		fmt.Fprintln(os.Stderr, strings.TrimSpace(err.Error()))
+		os.Exit(1)
+	}
+}

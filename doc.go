@@ -50,6 +50,26 @@
 // indexes and views; replaying one log into two fresh stores yields
 // identical view states (the determinism test pins this), so a
 // persistent or remote backend only has to consume events, never scan.
+// Views attach through the exported platform.View interface
+// (Name/Apply/Rebuild, registered with DB.RegisterView) — the four
+// built-in rankings and the web layer's replica cache invalidator all
+// use the same seam.
+//
+// The event stream is also the durability and replication contract.
+// internal/eventlog defines the versioned binary codec (length-prefixed,
+// CRC-32C-checksummed frames; append-only field compatibility; golden
+// files pin the bytes), a group-commit write-ahead log, and a snapshot
+// format over DB.Checkpoint; eventlog.Persister runs write-behind off
+// AwaitEvents, rotates snapshot+WAL, and CompactLog-truncates the
+// in-memory log so a long-lived primary's RAM stops growing.
+// internal/replica serves the stream over chunked HTTP
+// (replica.Publisher at /replication/ on cmd/dissenter-platform,
+// resumable via ?since=, with a snapshot bootstrap behind 410 Gone)
+// and consumes it out of process: cmd/dissenter-replica applies every
+// event into its own DB through the normal write paths and serves the
+// read surface read-only, byte-identical to the primary — proven by a
+// crash-recovery test that kill -9s a real replica child process
+// mid-stream and diffs every page after restart.
 //
 // The hot read path never scans the store; three rankings and one
 // content view are write-maintained over that event stream. The Gab

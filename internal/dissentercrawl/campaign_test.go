@@ -91,7 +91,7 @@ func TestCampaignCommentMirror(t *testing.T) {
 	// differential pass runs first; each label count must cover at least
 	// the single-labeled ground truth and at most the union.
 	truthNSFW, truthOff, truthBoth := 0, 0, 0
-	for _, c := range out.DB.Comments() {
+	for _, c := range allComments(out.DB) {
 		switch {
 		case c.NSFW && c.Offensive:
 			truthBoth++
@@ -142,7 +142,7 @@ func TestCampaignURLTable(t *testing.T) {
 	// Every URL with at least one comment must be mirrored with correct
 	// votes and identifiers.
 	missing := 0
-	for _, cu := range out.DB.URLs() {
+	for _, cu := range allURLs(out.DB) {
 		if len(out.DB.CommentsOnURL(cu.ID)) == 0 {
 			continue
 		}
@@ -212,7 +212,7 @@ func TestCampaignSocialGraphDissenterOnly(t *testing.T) {
 	}
 	// Ground truth: count Dissenter-to-Dissenter follow edges.
 	truthEdges := 0
-	for from, tos := range out.DB.Follows() {
+	for from, tos := range allFollows(out.DB) {
 		fu := out.DB.UserByGabID(from)
 		if fu == nil || !fu.HasDissenter {
 			continue

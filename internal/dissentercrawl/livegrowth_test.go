@@ -48,7 +48,7 @@ func TestLiveGrowthCampaignConverges(t *testing.T) {
 	}
 
 	var targets []string
-	for _, cu := range priv.DB.URLs() {
+	for _, cu := range allURLs(priv.DB) {
 		if len(priv.DB.CommentsOnURL(cu.ID)) > 0 {
 			targets = append(targets, cu.URL)
 		}
@@ -116,7 +116,7 @@ func TestLiveGrowthCampaignConverges(t *testing.T) {
 	// full coverage of everything a registered session could see (a
 	// doubly-flagged comment is invisible to both single-flag sessions).
 	reachable := 0
-	for _, truth := range priv.DB.Comments() {
+	for _, truth := range allComments(priv.DB) {
 		if !(truth.NSFW && truth.Offensive) {
 			reachable++
 		}

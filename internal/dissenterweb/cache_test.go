@@ -31,7 +31,7 @@ func newIsolatedServer(t *testing.T, opts ...Option) (*Server, *httptest.Server,
 // busyURL returns a URL in o with at least one visible comment.
 func busyURL(t *testing.T, o *synth.Output) *platform.CommentURL {
 	t.Helper()
-	for _, cu := range o.DB.URLs() {
+	for _, cu := range allURLs(o.DB) {
 		for _, c := range o.DB.CommentsOnURL(cu.ID) {
 			if !c.Hidden() {
 				return cu
@@ -108,7 +108,7 @@ func TestCacheDoesNotLeakShadowOverlay(t *testing.T) {
 	s.RegisterSession("nsfw-cache-probe", Session{ShowNSFW: true, ShowOffensive: true})
 
 	var hidden *platform.Comment
-	for _, c := range out.DB.Comments() {
+	for _, c := range allComments(out.DB) {
 		if c.Hidden() {
 			hidden = c
 			break

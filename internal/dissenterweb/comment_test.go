@@ -74,7 +74,7 @@ func urlNotCommentedBy(t *testing.T, o *synth.Output, author *platform.User) *pl
 	for _, cu := range o.DB.URLsCommentedBy(author.AuthorID) {
 		mine[cu.URL] = true
 	}
-	for _, cu := range o.DB.URLs() {
+	for _, cu := range allURLs(o.DB) {
 		if len(o.DB.CommentsOnURL(cu.ID)) > 0 && !mine[cu.URL] {
 			return cu
 		}
@@ -130,7 +130,7 @@ func TestPostCommentMovesTrendsRanking(t *testing.T) {
 	// pre-post ranking would still be served.
 	_, before := fetch(t, srv.URL+"/trends", "")
 	top := 0
-	for _, other := range priv.DB.URLs() {
+	for _, other := range allURLs(priv.DB) {
 		n := 0
 		for _, c := range priv.DB.CommentsOnURL(other.ID) {
 			if !c.Hidden() {
@@ -177,7 +177,7 @@ func TestPostCommentCoherenceContract(t *testing.T) {
 
 	// A control discussion and a control profile that must survive.
 	var other *platform.CommentURL
-	for _, cu := range priv.DB.URLs() {
+	for _, cu := range allURLs(priv.DB) {
 		if cu.ID != target.ID && len(priv.DB.CommentsOnURL(cu.ID)) > 0 {
 			other = cu
 			break
@@ -288,7 +288,7 @@ func TestPostCommentParentReply(t *testing.T) {
 
 	// A parent on a different page is rejected.
 	var elsewhere *platform.Comment
-	for _, c := range priv.DB.Comments() {
+	for _, c := range allComments(priv.DB) {
 		if c.URLID != cu.ID {
 			elsewhere = c
 			break

@@ -159,7 +159,7 @@ func assertPagesMatchOracle(t *testing.T, srv *httptest.Server, db *platform.DB,
 func TestFragmentPagesByteEqualFullRender(t *testing.T) {
 	s, srv, priv := newIsolatedServer(t)
 	registerOracleSessions(s)
-	urls := priv.DB.URLs()
+	urls := allURLs(priv.DB)
 	if len(urls) > 8 {
 		urls = urls[:8]
 	}
@@ -182,7 +182,7 @@ func TestFragmentPagesByteEqualFullRenderUnderWrites(t *testing.T) {
 	s, srv, priv := newIsolatedServer(t)
 	registerOracleSessions(s)
 	poster := registerPoster(t, s, priv, "poster-tok")
-	hot := priv.DB.URLs()[:4]
+	hot := allURLs(priv.DB)[:4]
 
 	const posters, perPoster, voters, perVoter = 3, 10, 2, 10
 	var wg sync.WaitGroup

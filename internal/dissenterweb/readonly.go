@@ -1,0 +1,81 @@
+package dissenterweb
+
+import (
+	"dissenter/internal/platform"
+)
+
+// Replica serving: a Server normally learns about store writes because
+// it performs them — each mutating handler runs the matching cache
+// coherence (refreshDiscussion, invalidateSubject, leaderKey). On a
+// read replica the writes arrive from below instead, replayed into the
+// store by the replication stream, and the handlers never run. Two
+// pieces close the loop: ReadOnly() turns the mutating endpoints away
+// (the primary is where writes belong), and EventInvalidator() is a
+// platform.View that watches the replayed events and runs exactly the
+// coherence the suppressed handlers would have — registered through
+// DB.RegisterView, the same seam the store's own materialized views
+// attach through.
+
+// ReadOnly makes the server refuse its mutating endpoints
+// (/discussion/begin, /discussion/vote, /discussion/comment) with
+// 403 Forbidden. Read paths are unaffected.
+func ReadOnly() Option {
+	return func(s *Server) { s.readOnly = true }
+}
+
+// EventInvalidator returns a platform.View that maintains this
+// server's response-cache coherence from replayed events. Register it
+// on the server's DB (db.RegisterView(srv.EventInvalidator())) when
+// the store is written by replication rather than by this server's
+// handlers. The coherence per event mirrors the write handlers'
+// contract exactly:
+//
+//	CommentAdded  patch/drop every view of the URL's discussion page,
+//	              drop the author's home views, drop the trends views
+//	              (comment.go's contract).
+//	VoteCast      patch every view of the discussion page, drop the
+//	              leaderboard (handleVote's contract).
+//	URLSubmitted  drop the leaderboard — a just-registered URL enters
+//	              the net-vote ranking at its baseline
+//	              (handleBegin's contract).
+//	UserAdded,    nothing: no cached page lists users or follow
+//	FollowAdded   edges (home pages are keyed by username and a new
+//	              user has no cached page yet).
+func (s *Server) EventInvalidator() platform.View {
+	return eventInvalidator{s}
+}
+
+type eventInvalidator struct{ s *Server }
+
+func (eventInvalidator) Name() string { return "web-invalidator" }
+
+// Apply runs after the store's base indexes and fragment views already
+// reflect the event (dispatch order), so a patch or a post-tombstone
+// refill always renders post-write state.
+func (iv eventInvalidator) Apply(db *platform.DB, ev platform.Event) {
+	s := iv.s
+	switch e := ev.(type) {
+	case platform.CommentAdded:
+		if cu := db.URLByID(e.Comment.URLID); cu != nil {
+			s.refreshDiscussion(cu.URL, cu.ID)
+		}
+		if author := db.UserByAuthorID(e.Comment.AuthorID); author != nil {
+			s.invalidateSubject(homePrefix(author.Username))
+		}
+		s.invalidateSubject("trends|")
+	case platform.VoteCast:
+		if cu := db.URLByID(e.URLID); cu != nil {
+			s.refreshDiscussion(cu.URL, cu.ID)
+		}
+		s.cache.Invalidate(leaderKey)
+	case platform.URLSubmitted:
+		s.cache.Invalidate(leaderKey)
+	}
+}
+
+// Rebuild is the bulk-catch-up hook; a cache derives nothing — entries
+// refill lazily from the store on each miss. Register the invalidator
+// on a server built over the SAME store it watches and before that
+// store takes replicated writes (a replica re-bootstrap builds a fresh
+// Server over the fresh DB, so no stale entries can survive a swap).
+func (eventInvalidator) Rebuild(db *platform.DB) {}

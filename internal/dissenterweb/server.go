@@ -70,6 +70,11 @@ type Server struct {
 	urlLimit  int // requests per URL per window (10/min observed)
 	urlWindow time.Duration
 
+	// readOnly refuses the mutating endpoints (ReadOnly): set on
+	// servers fronting a replica store, where writes arrive from the
+	// replication stream, not from handlers.
+	readOnly bool
+
 	// Every request consults the session table and (on rate-limited
 	// endpoints) the per-URL hit counters; they used to share one mutex,
 	// which made an unrelated write — a RegisterSession, a rate-limit
@@ -378,14 +383,32 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	case r.URL.Path == "/leaderboard" || r.URL.Path == "/leaderboard/":
 		s.handleLeaderboard(w, r)
 	case r.URL.Path == "/discussion/begin":
+		if s.refuseWrite(w) {
+			return
+		}
 		s.handleBegin(w, r)
 	case r.URL.Path == "/discussion/vote":
+		if s.refuseWrite(w) {
+			return
+		}
 		s.handleVote(w, r)
 	case r.URL.Path == "/discussion/comment":
+		if s.refuseWrite(w) {
+			return
+		}
 		s.handlePostComment(w, r)
 	default:
 		http.NotFound(w, r)
 	}
+}
+
+// refuseWrite answers a mutating request on a read-only server.
+func (s *Server) refuseWrite(w http.ResponseWriter) bool {
+	if !s.readOnly {
+		return false
+	}
+	http.Error(w, "read-only replica: write on the primary", http.StatusForbidden)
+	return true
 }
 
 // rateLimit applies the per-URL request budget. The counter is keyed by

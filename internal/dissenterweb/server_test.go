@@ -78,7 +78,7 @@ func TestHomePageSizeSideChannel(t *testing.T) {
 
 func TestNonDissenterGabUserHasNoHomePage(t *testing.T) {
 	_, srv := newTestServer(t)
-	for _, u := range out.DB.Users() {
+	for _, u := range allUsers(out.DB) {
 		if !u.HasDissenter {
 			resp, _ := fetch(t, srv.URL+"/user/"+u.Username, "")
 			if resp.StatusCode != http.StatusNotFound {
@@ -110,7 +110,7 @@ func TestDiscussionPage(t *testing.T) {
 	_, srv := newTestServer(t)
 	// Pick a URL with several comments.
 	var target *platform.CommentURL
-	for _, cu := range out.DB.URLs() {
+	for _, cu := range allURLs(out.DB) {
 		if len(out.DB.CommentsOnURL(cu.ID)) >= 3 {
 			target = cu
 			break
@@ -156,7 +156,7 @@ func TestDiscussionUnknownURL(t *testing.T) {
 
 func hiddenComment(t *testing.T, nsfw bool) *platform.Comment {
 	t.Helper()
-	for _, c := range out.DB.Comments() {
+	for _, c := range allComments(out.DB) {
 		if nsfw && c.NSFW && !c.Offensive {
 			return c
 		}
@@ -212,7 +212,7 @@ func TestShadowOverlayGating(t *testing.T) {
 func TestCommentPageHiddenMetadata(t *testing.T) {
 	_, srv := newTestServer(t)
 	var c *platform.Comment
-	for _, cand := range out.DB.Comments() {
+	for _, cand := range allComments(out.DB) {
 		if !cand.Hidden() {
 			c = cand
 			break
@@ -263,7 +263,7 @@ func TestCommentPageBadID(t *testing.T) {
 
 func TestPerURLRateLimit(t *testing.T) {
 	_, srv := newTestServer(t, WithURLRateLimit(3, time.Hour))
-	page := srv.URL + "/discussion?url=" + url.QueryEscape(out.DB.URLs()[0].URL)
+	page := srv.URL + "/discussion?url=" + url.QueryEscape(allURLs(out.DB)[0].URL)
 	for i := 0; i < 3; i++ {
 		resp, _ := fetch(t, page, "")
 		if resp.StatusCode != http.StatusOK {
@@ -275,7 +275,7 @@ func TestPerURLRateLimit(t *testing.T) {
 		t.Fatalf("4th request status = %d, want 429", resp.StatusCode)
 	}
 	// A different URL is unaffected: the limit is per-URL (§3.2).
-	other := srv.URL + "/discussion?url=" + url.QueryEscape(out.DB.URLs()[1].URL)
+	other := srv.URL + "/discussion?url=" + url.QueryEscape(allURLs(out.DB)[1].URL)
 	resp, _ = fetch(t, other, "")
 	if resp.StatusCode != http.StatusOK {
 		t.Errorf("other URL status = %d", resp.StatusCode)
@@ -286,7 +286,7 @@ func TestRepliesOnCommentPage(t *testing.T) {
 	_, srv := newTestServer(t)
 	var parent *platform.Comment
 	replies := 0
-	for _, c := range out.DB.Comments() {
+	for _, c := range allComments(out.DB) {
 		if c.IsReply() && !c.Hidden() {
 			p := out.DB.CommentByID(c.ParentID)
 			if p != nil && !p.Hidden() {

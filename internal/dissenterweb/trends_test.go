@@ -44,7 +44,7 @@ func TestTrendsHomepage(t *testing.T) {
 	}
 	// The top trend should agree with ground truth's busiest page.
 	best := 0
-	for _, cu := range out.DB.URLs() {
+	for _, cu := range allURLs(out.DB) {
 		visible := 0
 		for _, c := range out.DB.CommentsOnURL(cu.ID) {
 			if !c.Hidden() {
@@ -109,7 +109,7 @@ func TestSubmitNewURL(t *testing.T) {
 
 func TestSubmitExistingURLKeepsID(t *testing.T) {
 	_, srv := newTestServer(t)
-	existing := out.DB.URLs()[0]
+	existing := allURLs(out.DB)[0]
 	client := &http.Client{CheckRedirect: func(*http.Request, []*http.Request) error {
 		return http.ErrUseLastResponse
 	}}
@@ -216,7 +216,7 @@ func TestURLCanonicalizationUnifiesRecords(t *testing.T) {
 		return http.ErrUseLastResponse
 	}}
 
-	before := len(priv.DB.URLs())
+	before := len(allURLs(priv.DB))
 	for _, v := range append([]string{canonical}, variants...) {
 		resp, err := client.Get(srv.URL + "/discussion/begin?url=" + url.QueryEscape(v))
 		if err != nil {
@@ -224,7 +224,7 @@ func TestURLCanonicalizationUnifiesRecords(t *testing.T) {
 		}
 		resp.Body.Close()
 	}
-	if got := len(priv.DB.URLs()) - before; got != 1 {
+	if got := len(allURLs(priv.DB)) - before; got != 1 {
 		t.Fatalf("submitting 4 encodings minted %d records, want 1", got)
 	}
 	_, body := fetch(t, srv.URL+"/discussion?url="+url.QueryEscape(canonical), "")

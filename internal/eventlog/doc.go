@@ -1,0 +1,76 @@
+// Package eventlog gives the platform's event pipeline a durable,
+// versioned binary form: the codec that puts platform.Event values on
+// a wire or a disk, the write-ahead log (WAL) that makes dispatched
+// events crash-safe, the snapshot format that bounds WAL replay and
+// in-memory log growth, and the Persister that ties the three to a
+// live platform.DB. internal/replica streams the same encoded records
+// over HTTP, so "a WAL file" and "a replication stream" are one
+// format.
+//
+// # Record format (codec.go)
+//
+// Every event is one self-delimiting, checksummed frame:
+//
+//	u32  payload length (big-endian)
+//	u32  CRC-32C (Castagnoli) of the payload
+//	payload:
+//	    u8       codec version (CodecVersion)
+//	    string   event wire name (uvarint length + bytes)
+//	    uvarint  sequence number (1-based position in dispatch order)
+//	    body     event-specific fields
+//
+// Bodies are built from four primitives: uvarint/varint
+// (encoding/binary), length-prefixed UTF-8 strings, raw 12-byte
+// ObjectIDs, and times as varint Unix seconds + uvarint nanoseconds
+// (the zero time is preserved exactly). Bool sets (user flags, view
+// filters, comment labels) are bit-packed in declared field order.
+//
+// # Compatibility rule
+//
+// The encoding is a public contract with two growth paths:
+//
+//   - New fields are APPENDED to a body and default to their zero
+//     value when absent: decoders read the fields they know and treat
+//     a body that ends cleanly at a field boundary as "the rest are
+//     zero", and ignore trailing bytes they do not understand. Fields
+//     are never reordered, retyped, or removed within a version.
+//   - New event types get new wire names. A decoder skips records
+//     whose name (or whole codec version) it does not know — counting
+//     them via Decoder.Skipped, never failing — so old readers survive
+//     new writers' streams and WAL files.
+//
+// Corruption is different from unfamiliarity: a frame whose checksum
+// mismatches, whose length field is implausible, or whose body is cut
+// mid-field is an error, because the transport (disk, TCP) promised
+// integrity. The WAL opener treats such a frame as a torn tail write
+// and truncates at the last whole record.
+//
+// # Snapshot format (snapshot.go)
+//
+// A snapshot is a platform.Checkpoint — a consistent cut of the base
+// entities at a known sequence point, vote deltas folded in — encoded
+// as:
+//
+//	"DSNP" magic, u8 version, uvarint sequence point,
+//	four sections (users, urls, comments, follow edges), each a
+//	uvarint count followed by length-prefixed entity bodies,
+//	u32 CRC-32C of everything above.
+//
+// # Files on disk (wal.go, persist.go)
+//
+// A persistence directory holds at steady state one snapshot and one
+// WAL, both named by the sequence point they start from:
+//
+//	snap-<seq>.snap   state through event <seq>
+//	wal-<seq>.wal     header ("DWAL", version, uvarint base), then
+//	                  records <seq>+1, <seq>+2, ... as frames
+//
+// The Persister is a write-behind group-commit loop: it tails the
+// in-memory event log (DB.AwaitEvents/EventsSince), appends each new
+// batch to the WAL, fsyncs once per batch, and — past a rotation
+// threshold — cuts a fresh checkpoint, writes it tmp+rename+dir-sync,
+// starts a new WAL at the checkpoint's sequence point, deletes the old
+// pair, and calls DB.CompactLog so the in-memory log stops growing.
+// RestoreDir inverts the layout: newest valid snapshot, then WAL
+// replay through DB.ApplyEvent.
+package eventlog

@@ -1,0 +1,372 @@
+package eventlog
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"dissenter/internal/platform"
+)
+
+// Directory layout: one snapshot plus one WAL at steady state, each
+// named by the sequence point it starts from (zero-padded so
+// lexicographic order is numeric order).
+
+func snapPath(dir string, seq uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("snap-%020d.snap", seq))
+}
+
+func walPath(dir string, seq uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("wal-%020d.wal", seq))
+}
+
+// parseSeq extracts the sequence point from a snap-/wal- file name,
+// reporting ok=false for names that are not ours.
+func parseSeq(name, prefix, suffix string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	seq, err := strconv.ParseUint(name[len(prefix):len(name)-len(suffix)], 10, 64)
+	return seq, err == nil
+}
+
+// listSeqs returns the sequence points of all matching files in dir,
+// ascending.
+func listSeqs(dir, prefix, suffix string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var seqs []uint64
+	for _, e := range entries {
+		if seq, ok := parseSeq(e.Name(), prefix, suffix); ok {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	return seqs, nil
+}
+
+// syncDir fsyncs the directory itself, making renames and creates
+// durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// writeSnapshotFile writes cp durably: tmp file, fsync, rename into
+// place, fsync the directory.
+func writeSnapshotFile(dir string, cp platform.Checkpoint) error {
+	path := snapPath(dir, cp.Seq)
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := WriteSnapshot(f, cp); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(dir)
+}
+
+// RestoreDir rebuilds a store from a persistence directory: the newest
+// readable snapshot (FromCheckpoint), then its WAL tail replayed
+// through the normal write paths (DB.ApplyEvent), with any torn tail
+// truncated. A directory with no state (or that does not exist)
+// returns (nil, 0, nil) — the caller starts from whatever seed it has.
+// skipped counts WAL records dropped because their event type or codec
+// version is unknown.
+func RestoreDir(dir string) (db *platform.DB, skipped int, err error) {
+	snaps, err := listSeqs(dir, "snap-", ".snap")
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, 0, nil
+		}
+		return nil, 0, err
+	}
+
+	// Newest readable snapshot wins; older ones are the fallback if the
+	// newest was half-written without its rename (which tmp+rename
+	// prevents) or the disk corrupted it.
+	var base uint64
+	for i := len(snaps) - 1; i >= 0; i-- {
+		b, rerr := os.ReadFile(snapPath(dir, snaps[i]))
+		if rerr != nil {
+			continue
+		}
+		cp, derr := DecodeSnapshot(b)
+		if derr != nil {
+			continue
+		}
+		db = platform.FromCheckpoint(cp)
+		base = cp.Seq
+		break
+	}
+	if db == nil {
+		if len(snaps) > 0 {
+			return nil, 0, fmt.Errorf("eventlog: %s: no readable snapshot among %d", dir, len(snaps))
+		}
+		// No snapshot was ever cut; a WAL from sequence 0 alone is a
+		// complete history for a store born empty.
+		if _, statErr := os.Stat(walPath(dir, 0)); statErr != nil {
+			return nil, 0, nil
+		}
+		db = platform.New(nil, nil, nil, nil)
+	}
+
+	if _, statErr := os.Stat(walPath(dir, base)); statErr == nil {
+		w, skip, werr := OpenWAL(walPath(dir, base), func(rec Record) error {
+			db.ApplyEvent(rec.Event)
+			return nil
+		})
+		if werr != nil {
+			return nil, 0, werr
+		}
+		skipped = skip
+		w.Close()
+	}
+	return db, skipped, nil
+}
+
+// Options tunes a Persister.
+type Options struct {
+	// RotateEvery is how many WAL records accumulate before the
+	// Persister cuts a snapshot, starts a fresh WAL, and compacts the
+	// in-memory log. Default 4096.
+	RotateEvery int
+}
+
+// Persister is the write-behind durability loop for one DB: it tails
+// the in-memory event log, group-commits batches to the WAL, and
+// rotates WAL→snapshot so neither the WAL nor the in-memory log grows
+// without bound. Write-behind means a write is acknowledged to HTTP
+// clients before it is durable; a primary crash can lose the unsynced
+// tail — the replication design accepts this (the paper's workload is
+// a measurement simulation, not a bank), and a REPLICA never loses
+// anything, because its source of truth is the primary's stream, which
+// it re-fetches from its durable offset on restart.
+type Persister struct {
+	db      *platform.DB
+	dir     string
+	rotate  uint64
+	wal     *WAL
+	durable atomic.Uint64
+	stop    chan struct{}
+	done    chan struct{}
+
+	mu  sync.Mutex
+	err error
+}
+
+// StartPersister attaches a durability loop to db, persisting into
+// dir. The directory must either be empty/new, or hold the state db
+// was just restored from (RestoreDir) — the WAL on disk must end at or
+// before db's current head, and start at db's compaction base.
+// An empty directory gets an initial snapshot of db's current state
+// (covering any construction-time seed, which the event stream alone
+// would not), so the directory is self-contained from the start.
+func StartPersister(db *platform.DB, dir string, opt Options) (*Persister, error) {
+	if opt.RotateEvery <= 0 {
+		opt.RotateEvery = 4096
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	p := &Persister{
+		db:     db,
+		dir:    dir,
+		rotate: uint64(opt.RotateEvery),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+
+	base := db.EventBase()
+	if _, err := os.Stat(walPath(dir, base)); err == nil {
+		// Resuming a directory the store was restored from: scan the
+		// WAL (no replay — db already reflects it) to find the durable
+		// point and position for append.
+		w, _, err := OpenWAL(walPath(dir, base), nil)
+		if err != nil {
+			return nil, err
+		}
+		if head := db.EventSeq(); w.LastSeq() > head {
+			w.Close()
+			return nil, fmt.Errorf("eventlog: %s: WAL ends at %d beyond the store head %d — restore the store from this directory first", dir, w.LastSeq(), head)
+		}
+		p.wal = w
+	} else {
+		// Fresh directory: cut an initial snapshot so the seed entities
+		// are covered, then open the WAL right after it.
+		cp := db.Checkpoint()
+		if err := writeSnapshotFile(dir, cp); err != nil {
+			return nil, err
+		}
+		w, err := CreateWAL(walPath(dir, cp.Seq), cp.Seq)
+		if err != nil {
+			return nil, err
+		}
+		if err := syncDir(dir); err != nil {
+			w.Close()
+			return nil, err
+		}
+		p.wal = w
+		db.CompactLog(cp.Seq)
+	}
+	p.durable.Store(p.wal.LastSeq())
+	go p.loop()
+	return p, nil
+}
+
+// Durable returns the highest sequence number guaranteed on disk.
+func (p *Persister) Durable() uint64 { return p.durable.Load() }
+
+// Err returns the loop's sticky error, if it has stopped on one.
+func (p *Persister) Err() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.err
+}
+
+func (p *Persister) fail(err error) {
+	p.mu.Lock()
+	if p.err == nil {
+		p.err = err
+	}
+	p.mu.Unlock()
+}
+
+// Close drains outstanding events to the WAL, fsyncs, and stops the
+// loop. It returns the loop's sticky error, if any.
+func (p *Persister) Close() error {
+	close(p.stop)
+	<-p.done
+	return p.Err()
+}
+
+func (p *Persister) loop() {
+	defer close(p.done)
+	for {
+		if !p.db.AwaitEvents(p.durable.Load(), p.stop) {
+			p.drain()
+			if p.wal != nil {
+				if err := p.wal.Close(); err != nil {
+					p.fail(err)
+				}
+			}
+			return
+		}
+		if !p.commitBatch() {
+			return
+		}
+		if p.durable.Load()-p.wal.Base() >= p.rotate {
+			if err := p.rotateFiles(); err != nil {
+				p.fail(err)
+				return
+			}
+		}
+	}
+}
+
+// commitBatch appends everything past the durable point and fsyncs
+// once — the group commit. Events dispatched while the fsync runs ride
+// in the next batch.
+func (p *Persister) commitBatch() bool {
+	durable := p.durable.Load()
+	evs, ok := p.db.EventsSince(durable)
+	if !ok {
+		// Only this loop compacts, always at or below the durable
+		// point, so a missing prefix means the DB was compacted behind
+		// our back.
+		p.fail(fmt.Errorf("eventlog: event log compacted past the durable point %d", durable))
+		return false
+	}
+	for i, ev := range evs {
+		if err := p.wal.Append(Record{Seq: durable + 1 + uint64(i), Event: ev}); err != nil {
+			p.fail(err)
+			return false
+		}
+	}
+	if err := p.wal.Sync(); err != nil {
+		p.fail(err)
+		return false
+	}
+	p.durable.Store(durable + uint64(len(evs)))
+	return true
+}
+
+// drain is commitBatch at shutdown: best-effort, errors recorded.
+func (p *Persister) drain() {
+	if p.wal == nil {
+		return
+	}
+	p.commitBatch()
+}
+
+// rotateFiles cuts a checkpoint, makes it durable, starts a fresh WAL
+// at its sequence point, removes the superseded files, and compacts
+// the in-memory log. A crash between any two steps leaves a directory
+// RestoreDir still reads correctly: the newest snapshot plus its WAL
+// (possibly not yet created — then the snapshot alone) cover
+// everything the old pair did.
+func (p *Persister) rotateFiles() error {
+	cp := p.db.Checkpoint()
+	if err := writeSnapshotFile(p.dir, cp); err != nil {
+		return err
+	}
+	newWAL, err := CreateWAL(walPath(p.dir, cp.Seq), cp.Seq)
+	if err != nil {
+		return err
+	}
+	if err := syncDir(p.dir); err != nil {
+		newWAL.Close()
+		return err
+	}
+	oldWAL := p.wal
+	p.wal = newWAL
+	p.durable.Store(cp.Seq)
+	oldWAL.Close()
+	os.Remove(oldWAL.Path())
+	if snaps, err := listSeqs(p.dir, "snap-", ".snap"); err == nil {
+		for _, seq := range snaps {
+			if seq < cp.Seq {
+				os.Remove(snapPath(p.dir, seq))
+			}
+		}
+	}
+	if wals, err := listSeqs(p.dir, "wal-", ".wal"); err == nil {
+		for _, seq := range wals {
+			if seq < cp.Seq {
+				os.Remove(walPath(p.dir, seq))
+			}
+		}
+	}
+	p.db.CompactLog(cp.Seq)
+	return nil
+}

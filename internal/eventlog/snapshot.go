@@ -1,0 +1,172 @@
+package eventlog
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"slices"
+
+	"dissenter/internal/ids"
+	"dissenter/internal/platform"
+)
+
+// SnapshotVersion is the snapshot layout version; entity bodies inside
+// a snapshot follow the codec's append-only compatibility rule, so the
+// version only bumps for section-structure changes.
+const SnapshotVersion = 1
+
+var snapMagic = [4]byte{'D', 'S', 'N', 'P'}
+
+// EncodeSnapshot encodes a consistent cut. Entity bodies reuse the
+// record codec's encodings, each length-prefixed so future fields can
+// be appended without a version bump.
+func EncodeSnapshot(cp platform.Checkpoint) []byte {
+	dst := append([]byte(nil), snapMagic[:]...)
+	dst = append(dst, SnapshotVersion)
+	dst = binary.AppendUvarint(dst, cp.Seq)
+
+	dst = binary.AppendUvarint(dst, uint64(len(cp.Users)))
+	for _, u := range cp.Users {
+		dst = appendSized(dst, func(d []byte) []byte { return appendUser(d, u) })
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(cp.URLs)))
+	for _, cu := range cp.URLs {
+		dst = appendSized(dst, func(d []byte) []byte { return appendURL(d, cu) })
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(cp.Comments)))
+	for _, c := range cp.Comments {
+		dst = appendSized(dst, func(d []byte) []byte { return appendComment(d, c) })
+	}
+	// Map order is randomized; sort so equal checkpoints encode to
+	// equal bytes (the golden and round-trip tests rely on it).
+	froms := make([]ids.GabID, 0, len(cp.Follows))
+	for from := range cp.Follows {
+		froms = append(froms, from)
+	}
+	slices.Sort(froms)
+	dst = binary.AppendUvarint(dst, uint64(len(cp.Follows)))
+	for _, from := range froms {
+		tos := cp.Follows[from]
+		dst = binary.AppendVarint(dst, int64(from))
+		dst = binary.AppendUvarint(dst, uint64(len(tos)))
+		for _, to := range tos {
+			dst = binary.AppendVarint(dst, int64(to))
+		}
+	}
+	return binary.BigEndian.AppendUint32(dst, crc32.Checksum(dst, castagnoli))
+}
+
+// appendSized appends f's output prefixed with its uvarint length:
+// encode into the tail, copy it out, write the length, re-append.
+// Snapshot writes are rare (rotation), so the extra copy is cheap.
+func appendSized(dst []byte, f func([]byte) []byte) []byte {
+	start := len(dst)
+	dst = f(dst)
+	body := append([]byte(nil), dst[start:]...)
+	dst = binary.AppendUvarint(dst[:start], uint64(len(body)))
+	return append(dst, body...)
+}
+
+// DecodeSnapshot parses an encoded snapshot, verifying magic, version,
+// and checksum. The returned checkpoint's slices are freshly
+// allocated, so it is a legal FromCheckpoint seed.
+func DecodeSnapshot(b []byte) (platform.Checkpoint, error) {
+	var cp platform.Checkpoint
+	if len(b) < len(snapMagic)+1+4 {
+		return cp, fmt.Errorf("eventlog: snapshot too short (%d bytes)", len(b))
+	}
+	if [4]byte(b[:4]) != snapMagic {
+		return cp, fmt.Errorf("eventlog: bad snapshot magic %q", b[:4])
+	}
+	body, sumBytes := b[:len(b)-4], b[len(b)-4:]
+	if crc32.Checksum(body, castagnoli) != binary.BigEndian.Uint32(sumBytes) {
+		return cp, fmt.Errorf("eventlog: snapshot checksum mismatch")
+	}
+	if ver := b[4]; ver == 0 || ver > SnapshotVersion {
+		return cp, fmt.Errorf("eventlog: unknown snapshot version %d", ver)
+	}
+	r := &reader{b: body, off: 5}
+	cp.Seq = r.uvarint()
+
+	nUsers := r.uvarint()
+	for i := uint64(0); i < nUsers && r.err == nil; i++ {
+		if u, ok := decodeSection(r, decodeUser); ok {
+			cp.Users = append(cp.Users, u)
+		}
+	}
+	nURLs := r.uvarint()
+	for i := uint64(0); i < nURLs && r.err == nil; i++ {
+		if cu, ok := decodeSection(r, decodeURL); ok {
+			cp.URLs = append(cp.URLs, cu)
+		}
+	}
+	nComments := r.uvarint()
+	for i := uint64(0); i < nComments && r.err == nil; i++ {
+		if c, ok := decodeSection(r, decodeComment); ok {
+			cp.Comments = append(cp.Comments, c)
+		}
+	}
+	nFollows := r.uvarint()
+	if nFollows > 0 && r.err == nil {
+		cp.Follows = make(map[ids.GabID][]ids.GabID, nFollows)
+		for i := uint64(0); i < nFollows && r.err == nil; i++ {
+			from := ids.GabID(r.varint())
+			k := r.uvarint()
+			tos := make([]ids.GabID, 0, k)
+			for j := uint64(0); j < k && r.err == nil; j++ {
+				tos = append(tos, ids.GabID(r.varint()))
+			}
+			cp.Follows[from] = tos
+		}
+	}
+	if r.err != nil {
+		return platform.Checkpoint{}, r.err
+	}
+	return cp, nil
+}
+
+// decodeSection decodes one length-prefixed entity body with its own
+// bounded reader, propagating corruption to the outer walk.
+func decodeSection[T any](r *reader, decode func(*reader) T) (v T, ok bool) {
+	sub := r.section()
+	v = decode(sub)
+	if sub.err != nil && r.err == nil {
+		r.err = sub.err
+	}
+	return v, r.err == nil
+}
+
+// section consumes one length-prefixed entity body and returns a
+// reader over exactly those bytes, so appended future fields inside
+// an entity never desynchronize the outer walk.
+func (r *reader) section() *reader {
+	n := r.uvarint()
+	if r.err != nil {
+		return &reader{err: r.err}
+	}
+	if uint64(len(r.b)-r.off) < n {
+		r.fail()
+		return &reader{err: r.err}
+	}
+	sub := &reader{b: r.b[r.off : r.off+int(n)]}
+	r.off += int(n)
+	return sub
+}
+
+// WriteSnapshot encodes cp and writes it to w.
+func WriteSnapshot(w io.Writer, cp platform.Checkpoint) error {
+	_, err := w.Write(EncodeSnapshot(cp))
+	return err
+}
+
+// ReadSnapshot reads w's counterpart: the whole stream is one
+// snapshot. Snapshots are bounded by the corpus size, which already
+// lives in memory on both ends.
+func ReadSnapshot(r io.Reader) (platform.Checkpoint, error) {
+	b, err := io.ReadAll(r)
+	if err != nil {
+		return platform.Checkpoint{}, err
+	}
+	return DecodeSnapshot(b)
+}

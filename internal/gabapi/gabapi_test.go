@@ -69,7 +69,7 @@ func TestAccountNotFound(t *testing.T) {
 func TestDeletedAccountsInvisible(t *testing.T) {
 	srv := newTestServer(t, WithRateLimit(0, 0))
 	found := false
-	for _, u := range out.DB.Users() {
+	for _, u := range allUsers(out.DB) {
 		if u.GabDeleted {
 			resp, _ := get(t, srv.URL+"/api/v1/accounts/"+u.GabID.String())
 			if resp.StatusCode != http.StatusNotFound {
@@ -87,7 +87,7 @@ func TestDeletedAccountsInvisible(t *testing.T) {
 func TestEnumerationFindsAllLiveAccounts(t *testing.T) {
 	srv := newTestServer(t, WithRateLimit(0, 0))
 	live := 0
-	for _, u := range out.DB.Users() {
+	for _, u := range allUsers(out.DB) {
 		if !u.GabDeleted {
 			live++
 		}
@@ -108,7 +108,7 @@ func TestFollowersPagination(t *testing.T) {
 	srv := newTestServer(t, WithRateLimit(0, 0))
 	// Find a user with more than one page of following.
 	var gid string
-	for id, following := range out.DB.Follows() {
+	for id, following := range allFollows(out.DB) {
 		if len(following) > PageSize {
 			gid = id.String()
 			break
@@ -116,7 +116,7 @@ func TestFollowersPagination(t *testing.T) {
 	}
 	if gid == "" {
 		// Fall back to any user with following.
-		for id, f := range out.DB.Follows() {
+		for id, f := range allFollows(out.DB) {
 			if len(f) > 0 {
 				gid = id.String()
 				break

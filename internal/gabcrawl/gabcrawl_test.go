@@ -55,7 +55,7 @@ func TestEnumerateComplete(t *testing.T) {
 		t.Fatal(err)
 	}
 	live := 0
-	for _, u := range out.DB.Users() {
+	for _, u := range allUsers(out.DB) {
 		if !u.GabDeleted {
 			live++
 		}
@@ -89,7 +89,7 @@ func TestRelationsComplete(t *testing.T) {
 	c := newClient(t)
 	var gid ids.GabID
 	var want int
-	for id, following := range out.DB.Follows() {
+	for id, following := range allFollows(out.DB) {
 		if len(following) > want {
 			gid, want = id, len(following)
 		}

@@ -1,6 +1,8 @@
 package platform
 
 import (
+	"fmt"
+
 	"dissenter/internal/ids"
 )
 
@@ -8,21 +10,29 @@ import (
 // user insertion, URL submission, comment posting, follow edges, votes
 // — flows through one seam: the write method updates the base lookup
 // indexes, then calls dispatch, which appends a typed Event to the
-// store's append-only event log and fans it out to every registered
-// view maintainer. Materialized views (the trends ranking, the
-// net-vote leaderboard, the follower-count ranking) therefore never
-// hand-wire themselves into individual write methods; adding a view is
-// implementing viewMaintainer, registering it in New, and bulk-seeding
-// it from the construction-time entities.
+// store's sequence-numbered event log and fans it out to every
+// registered View. Materialized views (the trends ranking, the
+// net-vote leaderboard, the follower-count ranking, the page-fragment
+// view) therefore never hand-wire themselves into individual write
+// methods; adding a view is implementing View and handing it to
+// RegisterView — the one public seam event consumers attach through,
+// in-process views and replication subscribers alike.
 //
-// The log is also the store's replay seam, the first concrete step
-// toward a persistent / multi-backend layout: a backend does not need
-// fast scans, it needs to replay writes. ReplayInto re-applies the
-// sequence into another DB through the normal write paths, which
-// re-dispatches into THAT store's views — replaying the same log into
-// two fresh stores yields identical view states (pinned by the
-// determinism test), and the views of a replayed copy match the
-// original's once it quiesces.
+// The log is also the store's replication seam: every event carries an
+// implicit 1-based sequence number (its position in dispatch order),
+// EventsSince streams the suffix after any sequence point, and
+// ApplyEvent replays a single event into another DB through the normal
+// write paths — which re-dispatches into THAT store's views, so a
+// replica's rankings and page fragments are maintained by the same
+// code that maintains the primary's. Durability (internal/eventlog)
+// and the HTTP stream (internal/replica) are built entirely on this
+// surface.
+//
+// The log does not grow without bound: CompactLog drops a durable
+// prefix once a snapshot covers it (eventlog.Persister does this after
+// writing one), leaving EventBase() compacted events plus the retained
+// tail. EventCount and EventSeq keep counting from the store's birth —
+// count = snapshot base + tail.
 //
 // Ordering: the log records the interleaving the dispatchers won, not
 // a global serialization of the shard locks, so under write
@@ -30,11 +40,19 @@ import (
 // one it raced with. The write paths are built so that every such
 // interleaving replays to the same end state: comment listings sort by
 // ID, vote deltas commute, and the views backfill registrations that
-// arrive after the writes referencing them (see trendIndex.apply and
-// voteIndex.apply).
+// arrive after the writes referencing them (see trendIndex.Apply and
+// voteIndex.Apply).
 
 // Event is one runtime mutation of the store, as appended to the event
-// log and fanned out to the view maintainers.
+// log and fanned out to the registered views.
+//
+// Events are a versioned public contract: each concrete type has a
+// stable wire name and a versioned binary encoding in
+// internal/eventlog, so WAL files and replication streams survive
+// schema growth. The compatibility rule: new fields are appended to a
+// type's encoding and default to their zero value when absent, and
+// decoders skip event types they do not know (counting them) instead
+// of failing. See eventlog's package documentation for the format.
 type Event interface {
 	// applyTo replays the mutation into dst through the normal write
 	// paths (re-indexing, re-dispatching). Replay skips Vote's
@@ -68,37 +86,99 @@ func (e CommentAdded) applyTo(dst *DB) { dst.AddComment(e.Comment) }
 func (e FollowAdded) applyTo(dst *DB)  { dst.AddFollow(e.From, e.To) }
 func (e VoteCast) applyTo(dst *DB)     { dst.applyVote(e.URLID, e.Ups, e.Downs) }
 
-// viewMaintainer is a write-maintained materialized view hanging off a
-// DB: dispatch hands it every event, synchronously, after the base
-// indexes already reflect the mutation. apply must be safe for
-// concurrent use (views shard their counters and keep their order
-// structures under short mutexes) and must tolerate events arriving in
-// any order consistent with the per-entity shard serializations.
-type viewMaintainer interface {
-	apply(db *DB, ev Event)
+// ApplyEvent replays one event into the store through the normal write
+// paths — re-indexing the base lookups and re-dispatching into this
+// store's views and event log. It is the entry point replication
+// consumers use: a replica applying a primary's stream through
+// ApplyEvent advances its own sequence number in lockstep with the
+// primary's, so the replica's log position IS its replication cursor.
+func (db *DB) ApplyEvent(ev Event) { ev.applyTo(db) }
+
+// View is a write-maintained materialized view hanging off a DB:
+// dispatch hands it every event, synchronously, after the base indexes
+// already reflect the mutation. This is the one public seam event
+// consumers attach through — the four built-in views (trends,
+// leaderboard, followers, pages) register through it in New, and
+// out-of-process consumers (the replica's cache invalidator) register
+// through it at attach time.
+type View interface {
+	// Name labels the view for diagnostics (ViewNames); it carries no
+	// registration semantics.
+	Name() string
+	// Apply folds one event into the view. It must be safe for
+	// concurrent use (views shard their counters and keep their order
+	// structures under short mutexes) and must tolerate events arriving
+	// in any order consistent with the per-entity shard serializations.
+	Apply(db *DB, ev Event)
+	// Rebuild (re)derives the view's state from the store's base
+	// indexes — the snapshot/bootstrap hook. RegisterView calls it once
+	// after registration so a late-attached view catches up on
+	// everything that preceded it. Rebuild is called with no concurrent
+	// Apply for this view unless the view documents otherwise; register
+	// views before the store takes concurrent writes (New does, and so
+	// does a replica before it starts streaming).
+	Rebuild(db *DB)
 }
 
-// dispatch appends the event to the log and fans it out to every view.
-// It runs after the write method's base-index updates, so a caller
-// that invalidates cached renderings when the write returns never lets
-// a reader re-render pre-write view state.
+// RegisterView attaches a view to the store's event pipeline and then
+// calls v.Rebuild(db) to derive its state from everything already
+// written. Registration-then-rebuild means an event dispatched between
+// the two steps can reach the view through both paths; the built-in
+// views tolerate that (offers keep the maximum / rebuilds read the
+// base indexes), and so must any view registered on a store already
+// taking writes.
+func (db *DB) RegisterView(v View) {
+	db.eventMu.Lock()
+	views := make([]View, len(db.views), len(db.views)+1)
+	copy(views, db.views)
+	db.views = append(views, v) // copy-on-write: dispatch snapshots db.views
+	db.eventMu.Unlock()
+	v.Rebuild(db)
+}
+
+// ViewNames lists the registered views' names in registration order.
+func (db *DB) ViewNames() []string {
+	db.eventMu.Lock()
+	views := db.views
+	db.eventMu.Unlock()
+	out := make([]string, len(views))
+	for i, v := range views {
+		out[i] = v.Name()
+	}
+	return out
+}
+
+// dispatch appends the event to the log, wakes any AwaitEvents
+// waiters, and fans the event out to every registered view. It runs
+// after the write method's base-index updates, so a caller that
+// invalidates cached renderings when the write returns never lets a
+// reader re-render pre-write view state.
 func (db *DB) dispatch(ev Event) {
 	db.eventMu.Lock()
 	db.events = append(db.events, ev)
+	views := db.views
+	if len(db.waiters) > 0 {
+		for _, ch := range db.waiters {
+			close(ch)
+		}
+		db.waiters = nil
+	}
 	db.eventMu.Unlock()
-	for _, v := range db.views {
-		v.apply(db, ev)
+	for _, v := range views {
+		v.Apply(db, ev)
 	}
 }
 
-// Events returns the runtime mutation log in append order: a stable
-// snapshot of the events dispatched so far (construction-time bulk
-// data is not events — replay targets are built from the same seed
-// entities). Like the Range accessors, the snapshot pins the log's
-// current length; events appended afterwards are not included. The
-// capacity is clipped to the length, so a caller appending to the
-// snapshot reallocates instead of racing dispatch for the live log's
-// spare backing array.
+// Events returns the retained tail of the runtime mutation log in
+// append order: a stable snapshot of the events dispatched since the
+// last compaction point (construction-time bulk data is not events —
+// see Checkpoint for the snapshot that covers it). The event at index
+// i carries sequence number EventBase()+i+1; before any CompactLog the
+// tail is the whole log. Like the Range accessors, the snapshot pins
+// the log's current length; events appended afterwards are not
+// included. The capacity is clipped to the length, so a caller
+// appending to the snapshot reallocates instead of racing dispatch for
+// the live log's spare backing array.
 func (db *DB) Events() []Event {
 	db.eventMu.Lock()
 	out := db.events[:len(db.events):len(db.events)]
@@ -106,29 +186,144 @@ func (db *DB) Events() []Event {
 	return out
 }
 
-// EventCount reports how many events the log holds.
+// EventSeq returns the sequence number of the most recently dispatched
+// event — 0 on a store that has never dispatched. Sequence numbers are
+// 1-based positions in dispatch order and survive compaction: they
+// keep counting from the store's birth (or, for a store built with
+// FromCheckpoint, from the checkpoint's sequence point).
+func (db *DB) EventSeq() uint64 {
+	db.eventMu.Lock()
+	defer db.eventMu.Unlock()
+	return db.eventBase + uint64(len(db.events))
+}
+
+// EventBase returns the compaction point: the number of leading events
+// no longer resident in memory because a snapshot covers them
+// (CompactLog). Events() holds the tail after this point.
+func (db *DB) EventBase() uint64 {
+	db.eventMu.Lock()
+	defer db.eventMu.Unlock()
+	return db.eventBase
+}
+
+// EventCount reports how many events the store has dispatched in its
+// lifetime: the compacted prefix plus the retained tail (count =
+// snapshot base + tail), NOT just the resident events — the count is
+// unaffected by compaction.
 func (db *DB) EventCount() int {
 	db.eventMu.Lock()
 	defer db.eventMu.Unlock()
-	return len(db.events)
+	return int(db.eventBase) + len(db.events)
 }
 
-// ReplayInto re-applies this store's event log, in order, into dst —
-// rebuilding dst's base indexes AND its materialized views through the
-// normal write paths. dst is typically a fresh store built with New
-// from the same construction-time entities (replaying into a store
-// that already saw some of the events double-applies the non-idempotent
-// ones: comments, votes, follows). The entity RECORDS may be shared —
-// they are immutable — but the seed SLICES handed to each New must
-// have private backing arrays: New retains and appends to them, and
-// two stores appending into one array's spare capacity overwrite each
-// other's entity logs. It returns the number of events replayed.
-// Replay is deterministic: the same log replayed into two fresh stores
-// produces identical view states.
+// EventsSince returns the retained events after sequence point since
+// (the event with sequence since+1 first), as a stable snapshot. ok is
+// false when the prefix through since has been compacted away
+// (since < EventBase()), in which case the caller must restart from a
+// snapshot — the replication stream returns 410 Gone for this.
+func (db *DB) EventsSince(since uint64) (evs []Event, ok bool) {
+	db.eventMu.Lock()
+	defer db.eventMu.Unlock()
+	if since < db.eventBase {
+		return nil, false
+	}
+	i := since - db.eventBase
+	if i >= uint64(len(db.events)) {
+		return nil, true
+	}
+	return db.events[i:len(db.events):len(db.events)], true
+}
+
+// AwaitEvents blocks until the log's head passes sequence point seq
+// (EventSeq() > seq), returning true — or until done is closed,
+// returning false. It is the poll-free edge the persister and the
+// replication stream wait on.
+func (db *DB) AwaitEvents(seq uint64, done <-chan struct{}) bool {
+	for {
+		db.eventMu.Lock()
+		if db.eventBase+uint64(len(db.events)) > seq {
+			db.eventMu.Unlock()
+			return true
+		}
+		ch := make(chan struct{})
+		db.waiters = append(db.waiters, ch)
+		db.eventMu.Unlock()
+		select {
+		case <-ch:
+		case <-done:
+			return false
+		}
+	}
+}
+
+// CompactLog drops the log prefix through sequence point upTo,
+// releasing its memory; EventBase() advances to upTo and Events()
+// keeps only the tail. Callers must hold a durable snapshot at a
+// sequence point >= upTo first (eventlog.Persister compacts only after
+// fsyncing one) — the dropped events are unrecoverable from this store
+// otherwise. Requests past the head are clamped. It returns the number
+// of events dropped.
+func (db *DB) CompactLog(upTo uint64) int {
+	db.eventMu.Lock()
+	defer db.eventMu.Unlock()
+	if head := db.eventBase + uint64(len(db.events)); upTo > head {
+		upTo = head
+	}
+	if upTo <= db.eventBase {
+		return 0
+	}
+	drop := int(upTo - db.eventBase)
+	// Copy the tail so the dropped prefix's backing array is actually
+	// released (a reslice would pin it) and future appends cannot race
+	// snapshots still holding the old array.
+	tail := make([]Event, len(db.events)-drop)
+	copy(tail, db.events[drop:])
+	db.events = tail
+	db.eventBase = upTo
+	return drop
+}
+
+// ReplayInto re-applies this store's retained event tail, in order,
+// into dst — rebuilding dst's base indexes AND its materialized views
+// through the normal write paths. dst must already reflect the log's
+// base: a fresh store built with New from the same construction-time
+// entities when EventBase() is 0, or a store built with FromCheckpoint
+// of the snapshot the log was compacted against (replaying into a
+// store that already saw some of the events double-applies the
+// non-idempotent ones: comments, votes, follows). The entity RECORDS
+// may be shared — they are immutable — but the seed SLICES handed to
+// each New must have private backing arrays: New retains and appends
+// to them, and two stores appending into one array's spare capacity
+// overwrite each other's entity logs. It returns the number of events
+// replayed. Replay is deterministic: the same log replayed into two
+// fresh stores produces identical view states.
 func (db *DB) ReplayInto(dst *DB) int {
 	events := db.Events()
 	for _, ev := range events {
-		ev.applyTo(dst)
+		dst.ApplyEvent(ev)
 	}
 	return len(events)
 }
+
+// eventName returns the event's stable wire name — the identity the
+// versioned encoding (internal/eventlog) and diagnostics use.
+func eventName(ev Event) string {
+	switch ev.(type) {
+	case UserAdded:
+		return "user-added"
+	case URLSubmitted:
+		return "url-submitted"
+	case CommentAdded:
+		return "comment-added"
+	case FollowAdded:
+		return "follow-added"
+	case VoteCast:
+		return "vote-cast"
+	default:
+		return fmt.Sprintf("unknown(%T)", ev)
+	}
+}
+
+// EventName returns ev's stable wire name: the identity events carry
+// in the versioned binary encoding and the replication stream.
+func EventName(ev Event) string { return eventName(ev) }

@@ -89,7 +89,7 @@ func mutateForReplay(db *DB) {
 						})
 					}
 				case 1:
-					urls := db.URLs()
+					urls := allURLs(db)
 					cu := urls[rng.Intn(len(urls))]
 					db.AddComment(&Comment{
 						ID:        gen.NewAt(base.Add(time.Hour)),
@@ -101,7 +101,7 @@ func mutateForReplay(db *DB) {
 						Offensive: rng.Intn(6) == 0,
 					})
 				case 2:
-					urls := db.URLs()
+					urls := allURLs(db)
 					cu := urls[rng.Intn(len(urls))]
 					if rng.Intn(2) == 0 {
 						db.Vote(cu.ID, 1, 0)

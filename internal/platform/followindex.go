@@ -64,7 +64,10 @@ func newFollowIndex() *followIndex {
 	}
 }
 
-// apply is the view-maintainer seam (events.go). AddFollow commits the
+// Name implements View.
+func (ix *followIndex) Name() string { return "followers" }
+
+// Apply implements View (events.go). AddFollow commits the
 // followersOf edge before dispatching, so the reverse index's length
 // here is at least this event's count. If the followed user's record
 // resolves nil, the account was not registered at a moment after the
@@ -74,7 +77,7 @@ func newFollowIndex() *followIndex {
 // count, with no ordering required between AddFollow and AddUser (the
 // store API does not force a registration-first order, and neither
 // does a replayed log).
-func (ix *followIndex) apply(db *DB, ev Event) {
+func (ix *followIndex) Apply(db *DB, ev Event) {
 	switch e := ev.(type) {
 	case FollowAdded:
 		n := len(db.Followers(e.To))
@@ -107,17 +110,19 @@ func (ix *followIndex) top() []FollowerEntry {
 	return out
 }
 
-// bulkBuild seeds the index from the construction-time reverse edge
-// map, before the DB is shared.
-func (ix *followIndex) bulkBuild(db *DB, followers map[ids.GabID][]ids.GabID) {
-	for to, froms := range followers {
-		if len(froms) == 0 {
-			continue
+// Rebuild implements View: it derives the ranking from the store's
+// reverse (followers) index, offering each followed user at their
+// current count. Called by RegisterView on a quiesced store; a second
+// Rebuild is a no-op because offers keep the maximum.
+func (ix *followIndex) Rebuild(db *DB) {
+	db.followersOf.forEach(func(to ids.GabID, froms []ids.GabID) bool {
+		if len(froms) > 0 {
+			if u, ok := db.byGabID.get(to); ok {
+				ix.offer(FollowerEntry{User: u, Followers: len(froms)})
+			}
 		}
-		if u, ok := db.byGabID.get(to); ok {
-			ix.offer(FollowerEntry{User: u, Followers: len(froms)})
-		}
-	}
+		return true
+	})
 }
 
 // TopFollowed returns the FollowRankLimit users with the most Gab

@@ -141,10 +141,13 @@ func (ix *pageIndex) frag(c *Comment) string {
 	return f
 }
 
-// apply is the view-maintainer seam (events.go). Only comment inserts
-// move page content; votes render from the live tally and URL/user
-// registrations resolve lazily at render time.
-func (ix *pageIndex) apply(db *DB, ev Event) {
+// Name implements View.
+func (ix *pageIndex) Name() string { return "pages" }
+
+// Apply implements View (events.go). Only comment inserts move page
+// content; votes render from the live tally and URL/user registrations
+// resolve lazily at render time.
+func (ix *pageIndex) Apply(db *DB, ev Event) {
 	e, ok := ev.(CommentAdded)
 	if !ok {
 		return
@@ -155,6 +158,18 @@ func (ix *pageIndex) apply(db *DB, ev Event) {
 	if h, ok := ix.homes.get(e.Comment.AuthorID); ok {
 		h.add(db, e.Comment)
 	}
+}
+
+// Rebuild implements View. The fragment view is lazy — nothing is
+// materialized until a page is rendered, and every materialized entry
+// is rebuilt from the base indexes on demand — so rebuilding means
+// dropping whatever was materialized and letting the hot set
+// re-materialize against the current store.
+func (ix *pageIndex) Rebuild(db *DB) {
+	ix.pages.reset()
+	ix.nPages.Store(0)
+	ix.homes.reset()
+	ix.nHomes.Store(0)
 }
 
 // page returns the URL's materialized page state, building it from the

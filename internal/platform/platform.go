@@ -190,20 +190,24 @@ func (db *DB) Validate() error {
 	if err != nil {
 		return err
 	}
-	for follower, following := range db.Follows() {
+	db.RangeFollows(func(follower ids.GabID, following []ids.GabID) bool {
 		if _, ok := db.byGabID.get(follower); !ok {
-			return fmt.Errorf("platform: follow edge from unknown user %d", follower)
+			err = fmt.Errorf("platform: follow edge from unknown user %d", follower)
+			return false
 		}
 		for _, f := range following {
 			if _, ok := db.byGabID.get(f); !ok {
-				return fmt.Errorf("platform: follow edge to unknown user %d", f)
+				err = fmt.Errorf("platform: follow edge to unknown user %d", f)
+				return false
 			}
 			if f == follower {
-				return fmt.Errorf("platform: self-follow by %d", follower)
+				err = fmt.Errorf("platform: self-follow by %d", follower)
+				return false
 			}
 		}
-	}
-	return nil
+		return true
+	})
+	return err
 }
 
 // Stats is a cheap census of the database used by tests and reports.

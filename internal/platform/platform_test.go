@@ -118,7 +118,7 @@ func TestLookups(t *testing.T) {
 	if got := db.Following(2); len(got) != 2 {
 		t.Errorf("Following(2) = %v", got)
 	}
-	if db.URLs()[0].NetVotes() != 1 {
+	if allURLs(db)[0].NetVotes() != 1 {
 		t.Error("NetVotes wrong")
 	}
 }
@@ -138,7 +138,7 @@ func TestCensus(t *testing.T) {
 
 func TestCommentsSortedOnURL(t *testing.T) {
 	db := buildValid()
-	comments := db.CommentsOnURL(db.URLs()[0].ID)
+	comments := db.CommentsOnURL(allURLs(db)[0].ID)
 	if len(comments) != 2 {
 		t.Fatalf("comments = %d", len(comments))
 	}
@@ -189,7 +189,7 @@ func TestIncrementalInsert(t *testing.T) {
 	}
 
 	// Votes accumulate on top of the generated baseline.
-	first := db.URLs()[0]
+	first := allURLs(db)[0]
 	db.Vote(first.ID, 3, 1)
 	if ups, downs := db.Votes(first.ID); ups != 5 || downs != 2 {
 		t.Errorf("Votes = %d/%d, want 5/2", ups, downs)

@@ -28,6 +28,14 @@ import (
 // stay write-maintained and how another backend would consume this
 // store's mutations (ReplayInto).
 type DB struct {
+	// gate serializes writers against checkpoint cuts: every write
+	// method holds it for read across its whole body (base-index
+	// updates plus dispatch), and Checkpoint holds it for write, so a
+	// checkpoint never observes a half-applied mutation and its
+	// sequence point covers exactly the events dispatched before it.
+	// Writers share it, so it adds no writer-writer serialization.
+	gate sync.RWMutex
+
 	mu       sync.RWMutex // guards the entity slices below
 	users    []*User
 	urls     []*CommentURL
@@ -45,10 +53,19 @@ type DB struct {
 	followersOf      *shardedMap[ids.GabID, []ids.GabID]
 	votes            *shardedMap[ids.ObjectID, voteDelta]
 
-	// The event log and the registered view maintainers (events.go).
-	eventMu sync.Mutex
-	events  []Event
-	views   []viewMaintainer
+	// The event log and the registered views (events.go). events holds
+	// the retained tail; eventBase counts the compacted prefix, so the
+	// event at events[i] carries sequence number eventBase+i+1. waiters
+	// are AwaitEvents parkers, closed (all of them) by dispatch.
+	// seeded records whether New was given construction-time entities —
+	// state a pure event stream from sequence 0 would not reproduce, so
+	// replication from a seeded store must bootstrap from a snapshot.
+	eventMu   sync.Mutex
+	events    []Event
+	eventBase uint64
+	views     []View
+	waiters   []chan struct{}
+	seeded    bool
 
 	// The write-maintained materialized views, all fed by dispatch:
 	// trends ranks URLs by visible comment count per session view
@@ -112,7 +129,7 @@ func New(users []*User, urls []*CommentURL, comments []*Comment, follows map[ids
 		followRank:       newFollowIndex(),
 		pages:            newPageIndex(),
 	}
-	db.views = []viewMaintainer{db.trends, db.leaders, db.followRank, db.pages}
+	db.seeded = len(users) > 0 || len(urls) > 0 || len(comments) > 0 || len(follows) > 0
 	for _, u := range users {
 		db.indexUser(u)
 	}
@@ -146,11 +163,23 @@ func New(users []*User, urls []*CommentURL, comments []*Comment, follows map[ids
 		sort.Slice(list, func(i, j int) bool { return list[i] < list[j] })
 		db.followersOf.set(id, list)
 	}
-	db.trends.bulkBuild(db, comments)
-	db.leaders.bulkBuild(urls)
-	db.followRank.bulkBuild(db, followers)
+	// The built-in views attach through the same public seam any
+	// consumer would: RegisterView derives each one's state from the
+	// just-built base indexes via its Rebuild hook.
+	db.RegisterView(db.trends)
+	db.RegisterView(db.leaders)
+	db.RegisterView(db.followRank)
+	db.RegisterView(db.pages)
 	return db
 }
+
+// Seeded reports whether the store was built from construction-time
+// entities (New with non-empty arguments). A seeded store's full state
+// is NOT reproducible by replaying its event stream from sequence 0 —
+// the seed entities were never events — so replication consumers must
+// bootstrap from a snapshot (Checkpoint) instead of streaming from the
+// beginning; the replication publisher enforces this.
+func (db *DB) Seeded() bool { return db.seeded }
 
 // initialized reports whether the DB was built with New; the zero DB has
 // no indexes and rejects everything.
@@ -179,6 +208,8 @@ func (db *DB) indexUser(u *User) {
 // backfilling state keyed to this user (follower counts recorded
 // before the account was registered) always resolves the record.
 func (db *DB) AddUser(u *User) {
+	db.gate.RLock()
+	defer db.gate.RUnlock()
 	db.indexUser(u)
 	db.mu.Lock()
 	db.users = append(db.users, u)
@@ -192,6 +223,8 @@ func (db *DB) AddUser(u *User) {
 // the winner's record is fully indexed before it becomes visible via
 // URLByString. The loser's minted ID is discarded.
 func (db *DB) SubmitURL(cu *CommentURL) (canonical *CommentURL, inserted bool) {
+	db.gate.RLock()
+	defer db.gate.RUnlock()
 	canonical, inserted = db.urlByURL.getOrCreate(cu.URL, func() *CommentURL {
 		db.urlByID.set(cu.ID, cu)
 		db.mu.Lock()
@@ -215,6 +248,8 @@ func (db *DB) SubmitURL(cu *CommentURL) (canonical *CommentURL, inserted bool) {
 // cached trends renderings afterwards never lets a reader re-render
 // the pre-insert ranking.
 func (db *DB) AddComment(c *Comment) {
+	db.gate.RLock()
+	defer db.gate.RUnlock()
 	db.commentByID.set(c.ID, c)
 	db.commentsByAuthor.update(c.AuthorID, func(old []*Comment) []*Comment {
 		return insertSorted(old, c)
@@ -247,6 +282,8 @@ func insertSorted(old []*Comment, c *Comment) []*Comment {
 // reader on an unrelated edge insert); the forward list keeps arrival
 // order, the reverse list ascending-ID order, both copy-on-write.
 func (db *DB) AddFollow(from, to ids.GabID) {
+	db.gate.RLock()
+	defer db.gate.RUnlock()
 	db.following.update(from, func(old []ids.GabID) []ids.GabID {
 		out := make([]ids.GabID, 0, len(old)+1)
 		out = append(out, old...)
@@ -281,6 +318,8 @@ func (db *DB) Vote(urlID ids.ObjectID, ups, downs int) bool {
 // because a log may order a VoteCast before the URLSubmitted it raced
 // with (the vote index backfills the tally at registration).
 func (db *DB) applyVote(urlID ids.ObjectID, ups, downs int) {
+	db.gate.RLock()
+	defer db.gate.RUnlock()
 	db.votes.update(urlID, func(d voteDelta) voteDelta {
 		d.ups += ups
 		d.downs += downs
@@ -454,10 +493,32 @@ func (db *DB) RangeCommentsOnURL(id ids.ObjectID, f func(*Comment) bool) {
 	}
 }
 
+// RangeFollows calls f for each user with at least one outgoing follow
+// edge, passing their followed list in edge-arrival order, until f
+// returns false. The edge slices are stable snapshots; f must not
+// modify them. Shards are visited in turn, so edges inserted mid-call
+// on an already-visited shard are missed — like the other Range
+// accessors this is a streaming walk, not a consistent cut (Checkpoint
+// is the consistent one).
+func (db *DB) RangeFollows(f func(from ids.GabID, tos []ids.GabID) bool) {
+	db.following.forEach(f)
+}
+
 // --- snapshot accessors -------------------------------------------------
+
+// The whole-store snapshot accessors below are deprecated: the read
+// surface a replica (or any future backend) must support is the
+// O(page)/streaming one — point lookups, the Range walks, and the
+// write-maintained views — not "hand me the whole store as a slice".
+// They remain for bulk export; new code should use RangeUsers /
+// RangeURLs / RangeComments / RangeFollows, or Checkpoint when a
+// consistent cut is required.
 
 // Users returns all users in insertion order. The slice is a stable
 // snapshot; callers must not modify it.
+//
+// Deprecated: iterate with RangeUsers instead; use Checkpoint for a
+// consistent bulk export.
 func (db *DB) Users() []*User {
 	db.mu.RLock()
 	out := db.users
@@ -467,6 +528,9 @@ func (db *DB) Users() []*User {
 
 // URLs returns all comment-page URLs in insertion order. The slice is a
 // stable snapshot; callers must not modify it.
+//
+// Deprecated: iterate with RangeURLs instead; use Checkpoint for a
+// consistent bulk export.
 func (db *DB) URLs() []*CommentURL {
 	db.mu.RLock()
 	out := db.urls
@@ -476,6 +540,9 @@ func (db *DB) URLs() []*CommentURL {
 
 // Comments returns all comments in insertion order. The slice is a
 // stable snapshot; callers must not modify it.
+//
+// Deprecated: iterate with RangeComments instead; use Checkpoint for a
+// consistent bulk export.
 func (db *DB) Comments() []*Comment {
 	db.mu.RLock()
 	out := db.comments
@@ -487,7 +554,10 @@ func (db *DB) Comments() []*Comment {
 // sharded forward index. The edge slices are shared snapshots; callers
 // must not modify them. Shards are visited in turn, so edges inserted
 // mid-call on an already-visited shard are missed — a bulk accessor
-// for quiesced stores (Validate, graph export), not a consistent cut.
+// for quiesced stores (graph export), not a consistent cut.
+//
+// Deprecated: iterate with RangeFollows instead; use Checkpoint for a
+// consistent bulk export.
 func (db *DB) Follows() map[ids.GabID][]ids.GabID {
 	out := make(map[ids.GabID][]ids.GabID)
 	db.following.forEach(func(from ids.GabID, tos []ids.GabID) bool {

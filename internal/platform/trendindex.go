@@ -139,10 +139,13 @@ func newTrendIndex() *trendIndex {
 	return ix
 }
 
-// apply is the view-maintainer seam (events.go): comment inserts bump
-// the ranking, URL registrations backfill it. Votes, follows, and user
-// inserts do not move a trends ranking.
-func (ix *trendIndex) apply(db *DB, ev Event) {
+// Name implements View.
+func (ix *trendIndex) Name() string { return "trends" }
+
+// Apply implements View (events.go): comment inserts bump the ranking,
+// URL registrations backfill it. Votes, follows, and user inserts do
+// not move a trends ranking.
+func (ix *trendIndex) Apply(db *DB, ev Event) {
 	switch e := ev.(type) {
 	case CommentAdded:
 		ix.addComment(db, e.Comment)
@@ -220,16 +223,20 @@ func (ix *trendIndex) top(view int) []TrendEntry {
 	return out
 }
 
-// bulkBuild seeds the index from construction-time entities, before
-// the DB is shared: count every comment's class, then offer each
-// commented URL to each view once.
-func (ix *trendIndex) bulkBuild(db *DB, comments []*Comment) {
+// Rebuild implements View: it derives the counters and rankings from
+// the store's comment index — count every comment's class, then offer
+// each commented URL to each view once. Called by RegisterView on a
+// quiesced store (New, or a replica before it starts streaming); a
+// second Rebuild on a quiesced store is a no-op because the offers
+// keep the maximum.
+func (ix *trendIndex) Rebuild(db *DB) {
 	byURL := make(map[ids.ObjectID]classCounts)
-	for _, c := range comments {
+	db.RangeComments(func(c *Comment) bool {
 		cc := byURL[c.URLID]
 		cc[commentClass(c)]++
 		byURL[c.URLID] = cc
-	}
+		return true
+	})
 	for id, cc := range byURL {
 		ix.counts.set(id, cc)
 		cu, _ := db.urlByID.get(id)

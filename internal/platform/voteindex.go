@@ -83,7 +83,10 @@ func newVoteIndex() *voteIndex {
 	}
 }
 
-// apply is the view-maintainer seam (events.go). applyVote commits the
+// Name implements View.
+func (ix *voteIndex) Name() string { return "leaderboard" }
+
+// Apply implements View (events.go). applyVote commits the
 // tally before dispatching, so the snapshot read here carries at least
 // this event's update (possibly later ones — a higher stamp, which the
 // offer guard prefers anyway). If the URL record resolves nil, the URL
@@ -94,7 +97,7 @@ func newVoteIndex() *voteIndex {
 // because Vote validates registration; the nil path is real during
 // replay, where a VoteCast can precede the URLSubmitted it raced with
 // in log order.)
-func (ix *voteIndex) apply(db *DB, ev Event) {
+func (ix *voteIndex) Apply(db *DB, ev Event) {
 	switch e := ev.(type) {
 	case VoteCast:
 		t, _ := db.votes.get(e.URLID)
@@ -139,14 +142,16 @@ func (ix *voteIndex) top() []LeaderEntry {
 	return out
 }
 
-// bulkBuild seeds the ranking with every construction-time URL at its
-// baseline tally, before the DB is shared.
-func (ix *voteIndex) bulkBuild(urls []*CommentURL) {
-	for _, cu := range urls {
-		ix.rank.Update(cu.ID, leaderVal{
-			entry: LeaderEntry{URL: cu, Ups: cu.Ups, Downs: cu.Downs},
-		})
-	}
+// Rebuild implements View: every registered URL is offered at its
+// current tally (baseline plus any serve-time delta, carrying the
+// delta's sequence stamp so the offer guard orders it against live
+// Apply offers). Called by RegisterView on a quiesced store.
+func (ix *voteIndex) Rebuild(db *DB) {
+	db.RangeURLs(func(cu *CommentURL) bool {
+		t, _ := db.votes.get(cu.ID)
+		ix.offer(cu, t)
+		return true
+	})
 }
 
 // Leaderboard returns the LeaderLimit URLs with the highest net votes,

@@ -1,0 +1,67 @@
+// Package replica moves the read path out of the primary's process:
+// a Publisher exposes a platform.DB's event stream and snapshot over
+// HTTP, and a Replica tails that stream into its own DB — applying
+// every event through the normal write paths (platform.DB.ApplyEvent),
+// so the replica's materialized views and page fragments are
+// maintained by exactly the code that maintains the primary's, and a
+// read-only web server mounted on the replica's DB serves
+// byte-identical pages.
+//
+// Topology
+//
+//	primary process                     replica process
+//	┌──────────────────────┐            ┌──────────────────────┐
+//	│ platform.DB (writes) │            │ platform.DB (reads)  │
+//	│   │ events           │            │   ▲ ApplyEvent       │
+//	│   ├─ eventlog.       │  HTTP      │   │                  │
+//	│   │  Persister → WAL │  chunked   │ replica.Replica      │
+//	│   └─ replica.        │  stream    │   │                  │
+//	│      Publisher ──────┼────────────┼───┘                  │
+//	└──────────────────────┘            │ eventlog.Persister   │
+//	                                    │   → replica's WAL    │
+//	                                    └──────────────────────┘
+//
+// Protocol. Two endpoints, mounted wherever the Publisher is routed
+// (cmd/dissenter-platform mounts it at /replication/):
+//
+//   - GET <mount>/events?since=N streams the events after sequence
+//     point N as eventlog codec frames (see that package's wire
+//     format) over a chunked response that stays open: when the log
+//     is drained the publisher blocks on DB.AwaitEvents and flushes
+//     each new batch as it lands. Every frame carries its sequence
+//     number, so the stream is resumable: a replica reconnecting
+//     after any failure asks for since=<its own EventSeq> and misses
+//     nothing, and duplicate frames delivered across a reconnect are
+//     dropped by sequence comparison.
+//   - GET <mount>/snapshot returns an eventlog snapshot of a fresh
+//     consistent checkpoint — the bootstrap path.
+//
+// The publisher answers 410 Gone on /events when the requested tail
+// no longer exists: the prefix was compacted away (since <
+// EventBase), the store was seeded with construction-time entities
+// that never were events (since == 0 on a Seeded store, unless the
+// client marks boot=1 — "my since=0 is a bootstrapped snapshot of
+// your seed, not an empty store"), or the requested point is past the
+// primary's head (a primary that crashed and lost its unsynced
+// tail). 410 tells the replica to bootstrap:
+// fetch /snapshot, rebuild from the checkpoint, wipe and restart its
+// local persistence at the snapshot's sequence point, and resume the
+// stream from there.
+//
+// Durability. The replica runs its own eventlog.Persister over its
+// own directory, so a killed replica restarts from its local
+// snapshot+WAL (eventlog.RestoreDir) and re-enters the stream at its
+// durable offset — it never needs the primary's history twice unless
+// the primary compacted past it. The write-behind window that can
+// lose a primary's unsynced tail costs a replica nothing: its source
+// of truth is the stream, re-fetched from whatever point its own WAL
+// proves durable.
+//
+// Version skew. Unknown event types in the stream are skipped (the
+// codec counts them) and the cursor accounting inside one connection
+// stays correct; across a reconnect a replica that skipped events
+// re-requests from its own sequence number, which has fallen behind
+// the primary's by the skipped count. Mixed-version replication is
+// therefore read-your-stream consistent only within a connection;
+// upgrade replicas before primaries.
+package replica

@@ -1,0 +1,289 @@
+package replica
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"dissenter/internal/eventlog"
+	"dissenter/internal/platform"
+)
+
+// Options tunes a Replica.
+type Options struct {
+	// Client is the HTTP client used against the primary (default
+	// http.DefaultClient). Streams are long-lived; do not set a
+	// client-level timeout.
+	Client *http.Client
+	// RotateEvery is passed to the replica's local Persister.
+	RotateEvery int
+	// ReconnectWait is the pause between stream attempts after a
+	// failure (default 250ms).
+	ReconnectWait time.Duration
+	// OnState is called with the replica's DB when it is (re)bound: once
+	// during Open and again after every snapshot bootstrap, which
+	// REPLACES the DB instance. A serving layer holding the old pointer
+	// keeps reading a frozen store; rebind handlers (and re-register
+	// any views) here.
+	OnState func(*platform.DB)
+	// Logf, when set, receives replication diagnostics.
+	Logf func(format string, args ...any)
+}
+
+// Replica tails a primary's event stream into its own store. Open
+// restores local durable state, Run drives the stream until the
+// context ends, DB hands the current store to a serving layer.
+type Replica struct {
+	dir     string
+	primary string // publisher mount, e.g. http://host:port/replication
+	opt     Options
+	client  *http.Client
+
+	mu     sync.Mutex
+	db     *platform.DB
+	pers   *eventlog.Persister
+	closed bool
+}
+
+func (r *Replica) logf(format string, args ...any) {
+	if r.opt.Logf != nil {
+		r.opt.Logf(format, args...)
+	}
+}
+
+// Open builds a replica over a local persistence directory, restoring
+// whatever snapshot+WAL state a previous run left (eventlog.RestoreDir)
+// — so a restarted replica re-enters the stream at its durable offset
+// instead of replaying history — and starts the local durability loop.
+// primaryURL is the publisher's mount (no trailing slash needed).
+func Open(dir, primaryURL string, opt Options) (*Replica, error) {
+	if opt.ReconnectWait <= 0 {
+		opt.ReconnectWait = 250 * time.Millisecond
+	}
+	client := opt.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	db, skipped, err := eventlog.RestoreDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("replica: restore %s: %w", dir, err)
+	}
+	if db == nil {
+		db = platform.New(nil, nil, nil, nil)
+	} else if skipped > 0 {
+		// Skipped WAL records mean our local history has holes the
+		// primary's does not; our sequence cursor would lie. Bootstrap.
+		db = platform.New(nil, nil, nil, nil)
+		if err := os.RemoveAll(dir); err != nil {
+			return nil, err
+		}
+	}
+	pers, err := eventlog.StartPersister(db, dir, eventlog.Options{RotateEvery: opt.RotateEvery})
+	if err != nil {
+		return nil, err
+	}
+	r := &Replica{
+		dir:     dir,
+		primary: trimSlash(primaryURL),
+		opt:     opt,
+		client:  client,
+		db:      db,
+		pers:    pers,
+	}
+	if opt.OnState != nil {
+		opt.OnState(db)
+	}
+	return r, nil
+}
+
+func trimSlash(s string) string {
+	for len(s) > 0 && s[len(s)-1] == '/' {
+		s = s[:len(s)-1]
+	}
+	return s
+}
+
+// DB returns the replica's current store. After a snapshot bootstrap
+// this is a NEW instance; long-lived holders should rebind via
+// Options.OnState instead of caching this value.
+func (r *Replica) DB() *platform.DB {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.db
+}
+
+// Seq returns the replica's applied sequence number — its replication
+// cursor (the store's own event log position, advanced by ApplyEvent).
+func (r *Replica) Seq() uint64 { return r.DB().EventSeq() }
+
+// Durable returns the highest sequence number the replica's local WAL
+// guarantees on disk.
+func (r *Replica) Durable() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.pers == nil {
+		return 0
+	}
+	return r.pers.Durable()
+}
+
+// Close stops the local durability loop, draining outstanding events
+// to the WAL first. Cancel Run's context before (or concurrently with)
+// calling Close.
+func (r *Replica) Close() error {
+	r.mu.Lock()
+	pers := r.pers
+	r.pers = nil
+	r.closed = true
+	r.mu.Unlock()
+	if pers == nil {
+		return nil
+	}
+	return pers.Close()
+}
+
+// Run drives the replication loop until ctx ends: stream, apply,
+// reconnect on failure, bootstrap from a snapshot when the primary
+// answers 410 Gone. It returns ctx.Err() and never gives up on
+// transient failures — a replica's job is to be caught up whenever the
+// primary is reachable.
+func (r *Replica) Run(ctx context.Context) error {
+	for {
+		if err := r.streamOnce(ctx); err != nil && ctx.Err() == nil {
+			r.logf("replica: stream: %v (reconnecting)", err)
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(r.opt.ReconnectWait):
+		}
+	}
+}
+
+// streamOnce opens one /events connection at the current cursor and
+// applies frames until the stream ends. A clean server-side close
+// returns nil (reconnect); a sequence gap or decode failure returns an
+// error (reconnect resumes at the applied cursor, so nothing is lost
+// and duplicates are dropped by sequence comparison).
+func (r *Replica) streamOnce(ctx context.Context) error {
+	db := r.DB()
+	cur := db.EventSeq()
+	// A seeded replica store got its entities from a snapshot (New's
+	// construction path or FromCheckpoint), so a since of 0 already
+	// covers the primary's seed: say so, or a seeded-but-idle primary
+	// would answer 410 and force a bootstrap ping-pong.
+	u := fmt.Sprintf("%s/events?since=%d", r.primary, cur)
+	if db.Seeded() {
+		u += "&boot=1"
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return err
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+		// fall through to the stream
+	case http.StatusGone:
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return r.bootstrap(ctx)
+	default:
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return fmt.Errorf("replica: /events: unexpected status %s", resp.Status)
+	}
+	defer resp.Body.Close()
+
+	dec := eventlog.NewDecoder(resp.Body)
+	skipped := 0
+	for {
+		rec, err := dec.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		// Frames the decoder skipped (unknown type or version) advanced
+		// the primary's cursor without an apply here; account for them
+		// before the contiguity check.
+		if d := dec.Skipped() - skipped; d > 0 {
+			cur += uint64(d)
+			skipped = dec.Skipped()
+		}
+		if rec.Seq <= cur {
+			continue // duplicate delivery across a reconnect
+		}
+		if rec.Seq != cur+1 {
+			return fmt.Errorf("replica: sequence gap: got %d after %d", rec.Seq, cur)
+		}
+		db.ApplyEvent(rec.Event)
+		cur = rec.Seq
+	}
+}
+
+// bootstrap rebuilds the replica from the primary's snapshot: fetch
+// the checkpoint, build a fresh store from it, wipe and restart local
+// persistence at the snapshot's sequence point, and hand the new store
+// to OnState. The old store keeps serving reads until the swap.
+func (r *Replica) bootstrap(ctx context.Context) error {
+	r.logf("replica: bootstrapping from snapshot")
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.primary+"/snapshot", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return fmt.Errorf("replica: /snapshot: unexpected status %s", resp.Status)
+	}
+	cp, err := eventlog.ReadSnapshot(resp.Body)
+	if err != nil {
+		return fmt.Errorf("replica: decode snapshot: %w", err)
+	}
+	db := platform.FromCheckpoint(cp)
+
+	// Swap the store in before rebuilding persistence: reads move to
+	// the fresh state immediately, and a crash mid-rebootstrap just
+	// re-bootstraps (the wiped directory restores to nothing).
+	r.mu.Lock()
+	oldPers := r.pers
+	r.db = db
+	r.pers = nil
+	r.mu.Unlock()
+	if oldPers != nil {
+		oldPers.Close()
+	}
+	if err := os.RemoveAll(r.dir); err != nil {
+		return err
+	}
+	pers, err := eventlog.StartPersister(db, r.dir, eventlog.Options{RotateEvery: r.opt.RotateEvery})
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	if r.closed {
+		// Close won the race with the rebootstrap; don't leak a loop.
+		r.mu.Unlock()
+		return pers.Close()
+	}
+	r.pers = pers
+	r.mu.Unlock()
+	if r.opt.OnState != nil {
+		r.opt.OnState(db)
+	}
+	r.logf("replica: bootstrapped at seq %d", cp.Seq)
+	return nil
+}

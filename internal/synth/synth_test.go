@@ -27,7 +27,7 @@ func TestGenerateDeterministic(t *testing.T) {
 	if ca != cb {
 		t.Fatalf("censuses differ: %+v vs %+v", ca, cb)
 	}
-	csa, csb := a.DB.Comments(), b.DB.Comments()
+	csa, csb := allComments(a.DB), allComments(b.DB)
 	for i := range csa {
 		if csa[i].Text != csb[i].Text {
 			t.Fatal("comment streams differ")
@@ -72,7 +72,7 @@ func TestCensusShape(t *testing.T) {
 
 func TestAdminsAndBanned(t *testing.T) {
 	admins, banned, moderators := 0, 0, 0
-	for _, u := range testOut.DB.Users() {
+	for _, u := range allUsers(testOut.DB) {
 		if u.Flags.IsAdmin {
 			admins++
 			if u.Username != "a" && u.Username != "shadowknight412" {
@@ -100,7 +100,7 @@ func TestAdminsAndBanned(t *testing.T) {
 func TestGabIDAnomalies(t *testing.T) {
 	// Gab IDs should be mostly monotone in creation time with a small
 	// number of late accounts carrying low (recycled-range) IDs.
-	users := testOut.DB.Users()
+	users := allUsers(testOut.DB)
 	inversions := 0
 	for i := 1; i < len(users); i++ {
 		// Users are generated in creation order.
@@ -138,7 +138,7 @@ func TestFirstMonthJoinShare(t *testing.T) {
 func TestCommentConcentration(t *testing.T) {
 	// Figure 3: ~90% of comments from a small head of active users.
 	byAuthor := map[string]int{}
-	for _, c := range testOut.DB.Comments() {
+	for _, c := range allComments(testOut.DB) {
 		byAuthor[c.AuthorID.String()]++
 	}
 	contrib := make([]float64, 0, len(byAuthor))
@@ -153,7 +153,7 @@ func TestCommentConcentration(t *testing.T) {
 
 func TestURLMixShape(t *testing.T) {
 	var urls []string
-	for _, cu := range testOut.DB.URLs() {
+	for _, cu := range allURLs(testOut.DB) {
 		urls = append(urls, cu.URL)
 	}
 	tlds := urlkit.RankTLDs(urls)
@@ -192,7 +192,7 @@ func TestURLMixShape(t *testing.T) {
 
 func TestDuplicateArtifacts(t *testing.T) {
 	var urls []string
-	for _, cu := range testOut.DB.URLs() {
+	for _, cu := range allURLs(testOut.DB) {
 		urls = append(urls, cu.URL)
 	}
 	oc := urlkit.AnalyzeOverCount(urls)
@@ -209,7 +209,7 @@ func TestPileOnURLs(t *testing.T) {
 	db := testOut.DB
 	for _, dom := range []string{"thewatcherfiles.com", "deutschland.de"} {
 		found := false
-		for _, cu := range db.URLs() {
+		for _, cu := range allURLs(db) {
 			if strings.Contains(cu.URL, dom) && len(db.CommentsOnURL(cu.ID)) >= 90 {
 				found = true
 				break
@@ -224,7 +224,7 @@ func TestPileOnURLs(t *testing.T) {
 func TestHaComment(t *testing.T) {
 	longest := 0
 	var text string
-	for _, c := range testOut.DB.Comments() {
+	for _, c := range allComments(testOut.DB) {
 		if len(c.Text) > longest {
 			longest = len(c.Text)
 			text = c.Text
@@ -241,7 +241,7 @@ func TestHaComment(t *testing.T) {
 func TestVotePlanShape(t *testing.T) {
 	zero, pos, neg := 0, 0, 0
 	within10 := 0
-	for _, cu := range testOut.DB.URLs() {
+	for _, cu := range allURLs(testOut.DB) {
 		switch net := cu.NetVotes(); {
 		case net == 0:
 			zero++
@@ -254,7 +254,7 @@ func TestVotePlanShape(t *testing.T) {
 			within10++
 		}
 	}
-	total := len(testOut.DB.URLs())
+	total := len(allURLs(testOut.DB))
 	if f := float64(zero) / float64(total); f < 0.60 || f > 0.80 {
 		t.Errorf("zero-vote share = %.3f, want ≈0.714", f)
 	}
@@ -267,8 +267,8 @@ func TestVotePlanShape(t *testing.T) {
 }
 
 func TestTonesRecorded(t *testing.T) {
-	if len(testOut.Tones) != len(testOut.DB.Comments()) {
-		t.Fatalf("tones recorded for %d of %d comments", len(testOut.Tones), len(testOut.DB.Comments()))
+	if len(testOut.Tones) != len(allComments(testOut.DB)) {
+		t.Fatalf("tones recorded for %d of %d comments", len(testOut.Tones), len(allComments(testOut.DB)))
 	}
 }
 
@@ -365,7 +365,7 @@ func TestYouTubeGroundTruth(t *testing.T) {
 	}
 	// Every youtube.com/youtu.be URL in the DB must resolve in the site.
 	misses := 0
-	for _, cu := range testOut.DB.URLs() {
+	for _, cu := range allURLs(testOut.DB) {
 		if urlkit.IsYouTube(cu.URL) {
 			if _, ok := yt.Lookup(cu.URL); !ok {
 				misses++

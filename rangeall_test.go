@@ -1,0 +1,18 @@
+package dissenter_test
+
+import "dissenter/internal/platform"
+
+// Collect helpers over the platform.DB Range walks; the whole-store
+// snapshot accessors are deprecated.
+
+func allUsers(db *platform.DB) []*platform.User {
+	var out []*platform.User
+	db.RangeUsers(func(u *platform.User) bool { out = append(out, u); return true })
+	return out
+}
+
+func allURLs(db *platform.DB) []*platform.CommentURL {
+	var out []*platform.CommentURL
+	db.RangeURLs(func(cu *platform.CommentURL) bool { out = append(out, cu); return true })
+	return out
+}
