@@ -22,7 +22,7 @@ TRENDS_ALLOC_BUDGET = 64
 LEADER_ALLOC_BUDGET = 64
 DISC_ALLOC_BUDGET = 64
 
-.PHONY: build test race crash-recovery bench bench-budget bench-compare lint fmt ci
+.PHONY: build test race crash-recovery bench bench-budget bench-compare lint fuzz-smoke fmt ci
 
 build:
 	$(GO) build ./...
@@ -72,14 +72,29 @@ bench-compare:
 		-current $(CURDIR)/BENCH_serve.tmp.json
 	rm -f $(CURDIR)/BENCH_serve.tmp.json
 
+# The project's own five-analyzer suite (internal/lint: rangewalk,
+# viewpurity, cachecoherence, lockscope, wirecompat) runs through the
+# go vet -vettool protocol. The tool is built once into bin/ and the
+# go command caches per-package vet results against its hash, so
+# repeat runs only re-analyze changed packages.
+VETTOOL = $(CURDIR)/bin/dissenter-vet
+
 lint:
+	$(GO) build -o $(VETTOOL) ./cmd/dissenter-vet
+	$(GO) vet -vettool=$(VETTOOL) ./...
 	$(GO) vet ./...
 	@unformatted=$$(gofmt -l .); \
 	if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:" >&2; echo "$$unformatted" >&2; exit 1; \
 	fi
 
+# Actually execute the codec round-trip fuzzer for a few seconds (the
+# plain test run only replays the seed corpus). Ten seconds is a smoke
+# pass, not a campaign; run longer locally when touching the codec.
+fuzz-smoke:
+	$(GO) test -run '^FuzzRoundTrip$$' -fuzz '^FuzzRoundTrip$$' -fuzztime=10s ./internal/eventlog/
+
 fmt:
 	gofmt -w .
 
-ci: build lint test race bench bench-budget
+ci: build lint test race bench bench-budget fuzz-smoke

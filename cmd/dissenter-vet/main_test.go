@@ -1,0 +1,44 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// TestVetCleanTree is the acceptance gate for the whole suite: build
+// the vettool, run it through `go vet -vettool` over every package in
+// the module, and require zero diagnostics. Any invariant regression
+// anywhere in the tree fails this test (and `make lint`, which runs
+// the same command).
+func TestVetCleanTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("building and vetting the whole tree is not short")
+	}
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skipf("go command unavailable: %v", err)
+	}
+	repoRoot, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tool := filepath.Join(t.TempDir(), "dissenter-vet")
+	build := exec.Command(goBin, "build", "-o", tool, "./cmd/dissenter-vet")
+	build.Dir = repoRoot
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building vettool: %v\n%s", err, out)
+	}
+
+	var stderr bytes.Buffer
+	vet := exec.Command(goBin, "vet", "-vettool="+tool, "./...")
+	vet.Dir = repoRoot
+	vet.Stdout = os.Stdout
+	vet.Stderr = &stderr
+	if err := vet.Run(); err != nil {
+		t.Fatalf("go vet -vettool reported diagnostics: %v\n%s", err, stderr.String())
+	}
+}

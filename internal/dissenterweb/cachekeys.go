@@ -1,0 +1,37 @@
+package dissenterweb
+
+// The response cache's key space, in one place. Every cached page
+// belongs to a subject — the store entity whose writes invalidate or
+// patch it — and a subject's keys are its prefix plus a session
+// viewKey ("00".."11", see viewKey). Writers and readers MUST build
+// keys through these constants and helpers: the cachecoherence
+// analyzer rejects fresh "disc|"/"home|"/"trends|"/"leader|" literals
+// at call sites, so the PR 2/PR 5 coherence contract (every mutation
+// pairs with exact-key coherence on these subjects) cannot drift one
+// callsite at a time.
+const (
+	// SubjectDiscussion prefixes one URL's discussion page:
+	// "disc|<raw-url>|<viewKey>".
+	SubjectDiscussion = "disc|"
+	// SubjectHome prefixes one author's home page:
+	// "home|<username>|<viewKey>".
+	SubjectHome = "home|"
+	// SubjectTrends prefixes the sitewide trends page:
+	// "trends|<viewKey>".
+	SubjectTrends = "trends|"
+	// SubjectLeaderboard is the single leaderboard entry's full key —
+	// the page is session-independent, so it carries no viewKey.
+	SubjectLeaderboard = "leader|"
+)
+
+// DiscussionSubject returns the cache-key prefix covering every
+// session view of one discussion page.
+func DiscussionSubject(raw string) string { return SubjectDiscussion + raw + "|" }
+
+// HomeSubject returns the cache-key prefix covering every session
+// view of one author's home page.
+func HomeSubject(username string) string { return SubjectHome + username + "|" }
+
+// TrendsKey returns the exact cache key for the trends page as seen
+// by sess.
+func TrendsKey(sess Session) string { return SubjectTrends + viewKey(sess) }

@@ -91,7 +91,7 @@ func (s *Server) handlePostComment(w http.ResponseWriter, r *http.Request) {
 			FirstSeen: time.Now().UTC().Truncate(time.Second),
 		})
 		if inserted {
-			s.cache.Invalidate(leaderKey)
+			s.cache.Invalidate(SubjectLeaderboard)
 		}
 	}
 	var parentID ids.ObjectID
@@ -120,8 +120,8 @@ func (s *Server) handlePostComment(w http.ResponseWriter, r *http.Request) {
 		Offensive: formBool(r, "offensive"),
 	})
 	s.refreshDiscussion(raw, cu.ID)
-	s.invalidateSubject(homePrefix(author.Username))
-	s.invalidateSubject("trends|")
+	s.invalidateSubject(HomeSubject(author.Username))
+	s.invalidateSubject(SubjectTrends)
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
 	fmt.Fprintf(w, `<div class="posted" data-comment-id="%s"></div>`+"\n", id)
 }

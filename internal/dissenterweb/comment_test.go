@@ -218,11 +218,11 @@ func TestPostCommentCoherenceContract(t *testing.T) {
 		prefix string
 		want   string
 	}{
-		{discussionPrefix(target.URL), patched},
-		{homePrefix(poster.Username), dropped},
-		{"trends|", dropped},
-		{discussionPrefix(other.URL), kept},
-		{homePrefix(otherUser.Username), kept},
+		{DiscussionSubject(target.URL), patched},
+		{HomeSubject(poster.Username), dropped},
+		{SubjectTrends, dropped},
+		{DiscussionSubject(other.URL), kept},
+		{HomeSubject(otherUser.Username), kept},
 	}
 	// Every view of every subject must be warm before the post.
 	for _, sub := range subjects {

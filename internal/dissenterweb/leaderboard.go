@@ -19,12 +19,12 @@ import (
 // registration paths (/discussion/begin, a POST /discussion/comment to
 // a never-seen address) drop it too — a just-registered URL enters the
 // ranking at its baseline net, which can reorder the tail. TTL
-// backstops out-of-band store writes, as everywhere.
-const leaderKey = "leader|"
+// backstops out-of-band store writes, as everywhere. The key itself is
+// SubjectLeaderboard (cachekeys.go), where every cache subject lives.
 
 // handleLeaderboard renders the net-vote leaderboard.
 func (s *Server) handleLeaderboard(w http.ResponseWriter, r *http.Request) {
-	p, _ := s.cache.GetOrFill(leaderKey, func() page {
+	p, _ := s.cache.GetOrFill(SubjectLeaderboard, func() page {
 		return page{simple: s.leaderboardBody()}
 	})
 	writePage(w, p)

@@ -6,7 +6,7 @@ import (
 
 // Replica serving: a Server normally learns about store writes because
 // it performs them — each mutating handler runs the matching cache
-// coherence (refreshDiscussion, invalidateSubject, leaderKey). On a
+// coherence (refreshDiscussion, invalidateSubject, SubjectLeaderboard). On a
 // read replica the writes arrive from below instead, replayed into the
 // store by the replication stream, and the handlers never run. Two
 // pieces close the loop: ReadOnly() turns the mutating endpoints away
@@ -60,16 +60,16 @@ func (iv eventInvalidator) Apply(db *platform.DB, ev platform.Event) {
 			s.refreshDiscussion(cu.URL, cu.ID)
 		}
 		if author := db.UserByAuthorID(e.Comment.AuthorID); author != nil {
-			s.invalidateSubject(homePrefix(author.Username))
+			s.invalidateSubject(HomeSubject(author.Username))
 		}
-		s.invalidateSubject("trends|")
+		s.invalidateSubject(SubjectTrends)
 	case platform.VoteCast:
 		if cu := db.URLByID(e.URLID); cu != nil {
 			s.refreshDiscussion(cu.URL, cu.ID)
 		}
-		s.cache.Invalidate(leaderKey)
+		s.cache.Invalidate(SubjectLeaderboard)
 	case platform.URLSubmitted:
-		s.cache.Invalidate(leaderKey)
+		s.cache.Invalidate(SubjectLeaderboard)
 	}
 }
 

@@ -242,10 +242,6 @@ func viewKey(sess Session) string {
 	return string(k[:])
 }
 
-func trendsKey(sess Session) string      { return "trends|" + viewKey(sess) }
-func discussionPrefix(raw string) string { return "disc|" + raw + "|" }
-func homePrefix(username string) string  { return "home|" + username + "|" }
-
 // allViewKeys enumerates every viewKey value, so a subject's cache
 // entries can be dropped with exact deletes instead of a full-cache
 // prefix scan.
@@ -312,7 +308,7 @@ func writePage(w http.ResponseWriter, p page) {
 // predating the write.
 func (s *Server) refreshDiscussion(raw string, urlID ids.ObjectID) {
 	for _, vk := range allViewKeys {
-		key := discussionPrefix(raw) + vk
+		key := DiscussionSubject(raw) + vk
 		showNSFW, showOffensive := vk[0] == '1', vk[1] == '1'
 		patched := s.cache.Update(key, func(p page) page {
 			p.stream, p.count = s.db.CommentStream(urlID, showNSFW, showOffensive)
@@ -501,7 +497,7 @@ func (s *Server) handleHome(w http.ResponseWriter, r *http.Request, username str
 		return
 	}
 	sess := s.session(r)
-	key := homePrefix(username) + viewKey(sess)
+	key := HomeSubject(username) + viewKey(sess)
 	p, _ := s.cache.GetOrFill(key, func() page {
 		return page{simple: s.homeBody(u, sess)}
 	})
@@ -568,7 +564,7 @@ func (s *Server) handleDiscussion(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sess := s.session(r)
-	key := discussionPrefix(raw) + viewKey(sess)
+	key := DiscussionSubject(raw) + viewKey(sess)
 	p, _ := s.cache.GetOrFill(key, func() page {
 		return s.discussionPage(cu, sess.ShowNSFW, sess.ShowOffensive)
 	})

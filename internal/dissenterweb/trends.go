@@ -38,7 +38,7 @@ import (
 // posted comment invalidates every cached trends view.
 func (s *Server) handleTrends(w http.ResponseWriter, r *http.Request) {
 	sess := s.session(r)
-	p, _ := s.cache.GetOrFill(trendsKey(sess), func() page {
+	p, _ := s.cache.GetOrFill(TrendsKey(sess), func() page {
 		return page{simple: s.trendsBody(sess)}
 	})
 	writePage(w, p)
@@ -100,7 +100,7 @@ func (s *Server) handleBegin(w http.ResponseWriter, r *http.Request) {
 			FirstSeen: time.Now().UTC().Truncate(time.Second),
 		})
 		if inserted {
-			s.cache.Invalidate(leaderKey)
+			s.cache.Invalidate(SubjectLeaderboard)
 		}
 	}
 	http.Redirect(w, r, "/discussion?url="+url.QueryEscape(raw), http.StatusFound)
@@ -135,6 +135,6 @@ func (s *Server) handleVote(w http.ResponseWriter, r *http.Request) {
 	}
 	s.db.Vote(cu.ID, ups, downs)
 	s.refreshDiscussion(raw, cu.ID)
-	s.cache.Invalidate(leaderKey)
+	s.cache.Invalidate(SubjectLeaderboard)
 	http.Redirect(w, r, "/discussion?url="+url.QueryEscape(raw), http.StatusFound)
 }

@@ -1,0 +1,41 @@
+package lint_test
+
+import (
+	"testing"
+
+	"dissenter/internal/lint"
+	"dissenter/internal/lint/linttest"
+)
+
+const src = "testdata/src"
+
+func TestRangeWalk(t *testing.T) {
+	linttest.Run(t, src, "rangewalk/bad", lint.RangeWalk)
+	linttest.Run(t, src, "rangewalk/ok", lint.RangeWalk)
+	// The owning package is exempt even though it calls the accessors.
+	linttest.Run(t, src, "dissenter/internal/platform", lint.RangeWalk)
+}
+
+func TestViewPurity(t *testing.T) {
+	linttest.Run(t, src, "viewpurity/bad", lint.ViewPurity)
+	linttest.Run(t, src, "viewpurity/ok", lint.ViewPurity)
+}
+
+func TestCacheCoherence(t *testing.T) {
+	linttest.Run(t, src, "cohbad/internal/dissenterweb", lint.CacheCoherence)
+	linttest.Run(t, src, "cohok/internal/dissenterweb", lint.CacheCoherence)
+	// The analyzer engages only inside internal/dissenterweb: the same
+	// uncompensated mutations are fine elsewhere (e.g. in fixtures
+	// reused by other analyzers).
+	linttest.Run(t, src, "viewpurity/ok", lint.CacheCoherence)
+}
+
+func TestLockScope(t *testing.T) {
+	linttest.Run(t, src, "lockbad/internal/platform", lint.LockScope)
+	linttest.Run(t, src, "lockok/internal/platform", lint.LockScope)
+}
+
+func TestWireCompat(t *testing.T) {
+	linttest.Run(t, src, "wirebad/internal/eventlog", lint.WireCompat)
+	linttest.Run(t, src, "wireok/internal/eventlog", lint.WireCompat)
+}

@@ -1,0 +1,444 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// ioPackages are packages whose calls block on the outside world; none
+// of them belong under a shard or segment mutex that serving paths
+// contend on.
+var ioPackages = map[string]bool{
+	"os":       true,
+	"io":       true,
+	"fmt":      true,
+	"bufio":    true,
+	"log":      true,
+	"net":      true,
+	"net/http": true,
+}
+
+// LockScope guards the fine-grained locking discipline of the store
+// and the response cache. Within internal/platform and
+// internal/respcache it flags, per function: (1) a sync.Mutex/RWMutex
+// Lock or RLock with no matching defer-unlock and no matching unlock
+// in the same block — branch-only unlocks are how paths leak out
+// locked; (2) while a lock is held: calls to caller-supplied callback
+// parameters, channel sends/receives/selects, and calls into I/O
+// packages. The four sites that run callbacks under a shard lock by
+// documented design (shardedMap.update/forEach/getOrCreate,
+// Cache.Update) carry //lint:ignore lockscope directives. Test files
+// are exempt.
+var LockScope = &Analyzer{
+	Name: "lockscope",
+	Doc:  "no callbacks, channel ops, or I/O under shard/segment mutexes; Lock/Unlock must be defer- or same-block-matched",
+	Run:  runLockScope,
+}
+
+func runLockScope(pass *Pass) error {
+	path := pass.Pkg.Path()
+	if !strings.Contains(path, "internal/platform") && !strings.Contains(path, "internal/respcache") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkLockUnit(pass, fn.Body, funcParams(pass, fn.Type.Params))
+				}
+			case *ast.FuncLit:
+				// Each literal is its own unit: it may run on another
+				// goroutine or after the enclosing locks are gone.
+				checkLockUnit(pass, fn.Body, funcParams(pass, fn.Type.Params))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// funcParams collects the function-typed parameter objects of a
+// function — the "caller-supplied callbacks" the held-region rule
+// watches for. Func-typed struct fields (e.g. respcache's clock hook
+// s.now) are deliberately not included: they are owned by the
+// invariant-holding package, not the caller.
+func funcParams(pass *Pass, fl *ast.FieldList) map[types.Object]bool {
+	set := map[types.Object]bool{}
+	if fl == nil {
+		return set
+	}
+	for _, field := range fl.List {
+		for _, name := range field.Names {
+			obj := pass.TypesInfo.Defs[name]
+			if obj == nil {
+				continue
+			}
+			if _, ok := obj.Type().Underlying().(*types.Signature); ok {
+				set[obj] = true
+			}
+		}
+	}
+	return set
+}
+
+// lockOp is one Lock/Unlock-family call found at statement level.
+type lockOp struct {
+	key      string // source text of the mutex expression, e.g. "sh.mu"
+	name     string // Lock, Unlock, RLock, RUnlock
+	acquire  bool
+	read     bool
+	deferred bool
+	pos      token.Pos
+	block    ast.Node // owner of the statement list the call sits in
+}
+
+type lockChecker struct {
+	pass   *Pass
+	params map[types.Object]bool
+	ops    []lockOp
+}
+
+func checkLockUnit(pass *Pass, body *ast.BlockStmt, params map[types.Object]bool) {
+	c := &lockChecker{pass: pass, params: params}
+	c.collectOps(body.List, body)
+
+	// Pairing: every acquire needs a later matching release that is
+	// either deferred or in the same block.
+	for _, op := range c.ops {
+		if !op.acquire || op.deferred {
+			continue
+		}
+		matched := false
+		for _, rel := range c.ops {
+			if rel.acquire || rel.key != op.key || rel.read != op.read || rel.pos <= op.pos {
+				continue
+			}
+			if rel.deferred || rel.block == op.block {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			unlock := "Unlock"
+			if op.read {
+				unlock = "RUnlock"
+			}
+			c.pass.Reportf(op.pos,
+				"%s.%s has no defer-matched or same-block %s; branch-only unlocks leak the lock on the untaken path",
+				op.key, op.name, unlock)
+		}
+	}
+
+	// Held-region actions.
+	c.walkStmts(body.List, map[string]bool{})
+}
+
+// collectOps gathers statement-level mutex calls, tracking the node
+// that owns each statement list so same-block pairing can compare
+// owners by identity.
+func (c *lockChecker) collectOps(list []ast.Stmt, block ast.Node) {
+	for _, stmt := range list {
+		switch s := stmt.(type) {
+		case *ast.ExprStmt:
+			if op, ok := c.mutexCall(s.X, false, block); ok {
+				c.ops = append(c.ops, op)
+			}
+		case *ast.DeferStmt:
+			if op, ok := c.mutexCall(s.Call, true, block); ok {
+				c.ops = append(c.ops, op)
+			}
+		case *ast.BlockStmt:
+			c.collectOps(s.List, s)
+		case *ast.IfStmt:
+			c.collectOps(s.Body.List, s.Body)
+			if s.Else != nil {
+				switch e := s.Else.(type) {
+				case *ast.BlockStmt:
+					c.collectOps(e.List, e)
+				case *ast.IfStmt:
+					c.collectOps([]ast.Stmt{e}, block)
+				}
+			}
+		case *ast.ForStmt:
+			c.collectOps(s.Body.List, s.Body)
+		case *ast.RangeStmt:
+			c.collectOps(s.Body.List, s.Body)
+		case *ast.SwitchStmt:
+			for _, cc := range s.Body.List {
+				if cl, ok := cc.(*ast.CaseClause); ok {
+					c.collectOps(cl.Body, cl)
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			for _, cc := range s.Body.List {
+				if cl, ok := cc.(*ast.CaseClause); ok {
+					c.collectOps(cl.Body, cl)
+				}
+			}
+		case *ast.SelectStmt:
+			for _, cc := range s.Body.List {
+				if cl, ok := cc.(*ast.CommClause); ok {
+					c.collectOps(cl.Body, cl)
+				}
+			}
+		case *ast.LabeledStmt:
+			c.collectOps([]ast.Stmt{s.Stmt}, block)
+		}
+	}
+}
+
+// mutexCall recognizes <expr>.Lock/Unlock/RLock/RUnlock() where expr
+// is a sync.Mutex or sync.RWMutex (possibly through a pointer).
+func (c *lockChecker) mutexCall(e ast.Expr, deferred bool, block ast.Node) (lockOp, bool) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return lockOp{}, false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return lockOp{}, false
+	}
+	name := sel.Sel.Name
+	if name != "Lock" && name != "Unlock" && name != "RLock" && name != "RUnlock" {
+		return lockOp{}, false
+	}
+	tv, ok := c.pass.TypesInfo.Types[sel.X]
+	if !ok || tv.Type == nil {
+		return lockOp{}, false
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return lockOp{}, false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return lockOp{}, false
+	}
+	if obj.Name() != "Mutex" && obj.Name() != "RWMutex" {
+		return lockOp{}, false
+	}
+	return lockOp{
+		key:      exprString(c.pass.Fset, sel.X),
+		name:     name,
+		acquire:  name == "Lock" || name == "RLock",
+		read:     name == "RLock" || name == "RUnlock",
+		deferred: deferred,
+		pos:      call.Pos(),
+		block:    block,
+	}, true
+}
+
+// walkStmts interprets a statement list in order, maintaining the set
+// of mutex keys currently held. Branch bodies run on copies; a branch
+// that ends in return/panic/break/continue does not contribute its
+// exit state to the merge, and surviving branch states union with the
+// fallthrough state (conservative: held-anywhere counts as held).
+// Returns whether the list terminates abruptly.
+func (c *lockChecker) walkStmts(list []ast.Stmt, held map[string]bool) bool {
+	for _, stmt := range list {
+		switch s := stmt.(type) {
+		case *ast.ExprStmt:
+			if op, ok := c.mutexCall(s.X, false, nil); ok {
+				if op.acquire {
+					held[op.key] = true
+				} else {
+					delete(held, op.key)
+				}
+				continue
+			}
+			c.scanActions(s, held)
+		case *ast.DeferStmt:
+			// A deferred unlock keeps the region held through the rest
+			// of the unit (that is its point); a deferred closure is
+			// its own unit and runs at return time.
+			if _, ok := c.mutexCall(s.Call, true, nil); ok {
+				continue
+			}
+			c.scanActions(s.Call.Fun, held) // the args/fun expr evaluate now
+		case *ast.BlockStmt:
+			if c.walkStmts(s.List, held) {
+				return true
+			}
+		case *ast.IfStmt:
+			if s.Init != nil {
+				c.scanActions(s.Init, held)
+			}
+			c.scanActions(s.Cond, held)
+			bodyHeld := copyHeld(held)
+			bodyTerm := c.walkStmts(s.Body.List, bodyHeld)
+			elseHeld := copyHeld(held)
+			elseTerm := false
+			switch e := s.Else.(type) {
+			case *ast.BlockStmt:
+				elseTerm = c.walkStmts(e.List, elseHeld)
+			case *ast.IfStmt:
+				elseTerm = c.walkStmts([]ast.Stmt{e}, elseHeld)
+			case nil:
+				// fallthrough path: elseHeld stays a copy of held
+			}
+			merge(held, bodyHeld, bodyTerm, elseHeld, elseTerm)
+			if bodyTerm && elseTerm && s.Else != nil {
+				return true
+			}
+		case *ast.ForStmt:
+			if s.Init != nil {
+				c.scanActions(s.Init, held)
+			}
+			if s.Cond != nil {
+				c.scanActions(s.Cond, held)
+			}
+			bodyHeld := copyHeld(held)
+			c.walkStmts(s.Body.List, bodyHeld)
+			unionInto(held, bodyHeld)
+		case *ast.RangeStmt:
+			c.scanActions(s.X, held)
+			bodyHeld := copyHeld(held)
+			c.walkStmts(s.Body.List, bodyHeld)
+			unionInto(held, bodyHeld)
+		case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+			var body *ast.BlockStmt
+			if sw, ok := s.(*ast.SwitchStmt); ok {
+				body = sw.Body
+				if sw.Tag != nil {
+					c.scanActions(sw.Tag, held)
+				}
+			} else {
+				body = s.(*ast.TypeSwitchStmt).Body
+			}
+			for _, cc := range body.List {
+				if cl, ok := cc.(*ast.CaseClause); ok {
+					caseHeld := copyHeld(held)
+					if !c.walkStmts(cl.Body, caseHeld) {
+						unionInto(held, caseHeld)
+					}
+				}
+			}
+		case *ast.SelectStmt:
+			if len(held) > 0 {
+				c.pass.Reportf(s.Pos(), "select while %s is held blocks every contender on the lock", heldDesc(held))
+			}
+			for _, cc := range s.Body.List {
+				if cl, ok := cc.(*ast.CommClause); ok {
+					caseHeld := copyHeld(held)
+					c.walkStmts(cl.Body, caseHeld)
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range s.Results {
+				c.scanActions(r, held)
+			}
+			return true
+		case *ast.BranchStmt:
+			return true
+		case *ast.LabeledStmt:
+			if c.walkStmts([]ast.Stmt{s.Stmt}, held) {
+				return true
+			}
+		case *ast.GoStmt:
+			c.scanActions(s.Call.Fun, held)
+		default:
+			c.scanActions(stmt, held)
+			if isPanicStmt(stmt) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func isPanicStmt(stmt ast.Stmt) bool {
+	es, ok := stmt.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+func copyHeld(held map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(held))
+	for k := range held {
+		out[k] = true
+	}
+	return out
+}
+
+func unionInto(dst, src map[string]bool) {
+	for k := range src {
+		dst[k] = true
+	}
+}
+
+// merge computes the post-if held set from the two branch exit states,
+// ignoring branches that terminated abruptly.
+func merge(held, bodyHeld map[string]bool, bodyTerm bool, elseHeld map[string]bool, elseTerm bool) {
+	for k := range held {
+		delete(held, k)
+	}
+	if !bodyTerm {
+		unionInto(held, bodyHeld)
+	}
+	if !elseTerm {
+		unionInto(held, elseHeld)
+	}
+}
+
+func heldDesc(held map[string]bool) string {
+	keys := make([]string, 0, len(held))
+	for k := range held {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, ", ")
+}
+
+// scanActions flags blocking or caller-controlled work inside node
+// while a lock is held. Nested function literals are skipped — they
+// are separate units and do not execute here.
+func (c *lockChecker) scanActions(node ast.Node, held map[string]bool) {
+	if len(held) == 0 || node == nil {
+		return
+	}
+	ast.Inspect(node, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SendStmt:
+			c.pass.Reportf(x.Pos(), "channel send while %s is held", heldDesc(held))
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				c.pass.Reportf(x.Pos(), "channel receive while %s is held", heldDesc(held))
+			}
+		case *ast.CallExpr:
+			obj := calleeObject(c.pass.TypesInfo, x)
+			if obj == nil {
+				return true
+			}
+			if c.params[obj] {
+				c.pass.Reportf(x.Pos(),
+					"caller-supplied callback %s invoked while %s is held; run it after the unlock or document the contract with //lint:ignore lockscope",
+					obj.Name(), heldDesc(held))
+				return true
+			}
+			if fn, ok := obj.(*types.Func); ok && fn.Pkg() != nil && ioPackages[fn.Pkg().Path()] {
+				c.pass.Reportf(x.Pos(), "I/O call %s.%s while %s is held", fn.Pkg().Name(), fn.Name(), heldDesc(held))
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,46 @@
+package lint
+
+import "go/ast"
+
+// deprecatedSnapshots are the whole-store accessors PR 3 deprecated in
+// favor of the allocation-free Range walks.
+var deprecatedSnapshots = map[string]bool{
+	"Users":    true,
+	"URLs":     true,
+	"Comments": true,
+	"Follows":  true,
+}
+
+// RangeWalk forbids the deprecated DB.Users/URLs/Comments/Follows
+// snapshot accessors everywhere except internal/platform itself (the
+// package that owns and will eventually delete them). Each snapshot
+// copies the whole entity slice per call; the Range walks visit the
+// same records without allocating. Test files are checked too — test
+// helpers were the last snapshot holdouts.
+var RangeWalk = &Analyzer{
+	Name: "rangewalk",
+	Doc:  "forbid deprecated DB snapshot accessors (Users/URLs/Comments/Follows) outside internal/platform",
+	Run:  runRangeWalk,
+}
+
+func runRangeWalk(pass *Pass) error {
+	if pkgPathHasSuffix(pass.Pkg, "internal/platform") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			obj := calleeObject(pass.TypesInfo, call)
+			if obj != nil && isMethodOn(obj, "internal/platform", "DB", deprecatedSnapshots) {
+				pass.Reportf(call.Pos(),
+					"deprecated snapshot accessor DB.%s copies the whole entity slice; walk DB.Range%s instead",
+					obj.Name(), obj.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,48 @@
+package platform
+
+import (
+	"os"
+	"sync"
+)
+
+type box struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	ch chan int
+	v  int
+}
+
+// do runs a caller's callback while holding the lock.
+func (b *box) do(f func()) {
+	b.mu.Lock()
+	f() // want `caller-supplied callback f invoked while b\.mu is held`
+	b.mu.Unlock()
+}
+
+// send performs channel traffic and I/O under a defer-matched lock.
+func (b *box) send() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.ch <- 1   // want `channel send while b\.mu is held`
+	v := <-b.ch // want `channel receive while b\.mu is held`
+	b.v = v
+	os.Remove("x") // want `I/O call os\.Remove while b\.mu is held`
+}
+
+// branch leaks the lock on the untaken path.
+func (b *box) branch(cond bool) {
+	b.mu.Lock() // want `b\.mu\.Lock has no defer-matched or same-block Unlock`
+	if cond {
+		b.mu.Unlock()
+	}
+}
+
+// readBranch does the same with a read lock.
+func (b *box) readBranch(cond bool) int {
+	b.rw.RLock() // want `b\.rw\.RLock has no defer-matched or same-block RUnlock`
+	if cond {
+		b.rw.RUnlock()
+		return 0
+	}
+	return b.v
+}

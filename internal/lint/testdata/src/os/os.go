@@ -1,0 +1,7 @@
+// Package os is a typecheck-only stub for lint fixtures: the lockscope
+// analyzer matches I/O callees by package path.
+package os
+
+func Remove(name string) error { return nil }
+
+func Getenv(key string) string { return "" }

@@ -1,0 +1,13 @@
+package bad
+
+import "dissenter/internal/platform"
+
+func count(db *platform.DB) int {
+	return len(db.Users()) + len(db.URLs()) // want `deprecated snapshot accessor DB\.Users` `deprecated snapshot accessor DB\.URLs`
+}
+
+func tally(db *platform.DB) int {
+	n := len(db.Comments()) // want `deprecated snapshot accessor DB\.Comments.*RangeComments`
+	n += len(db.Follows())  // want `deprecated snapshot accessor DB\.Follows`
+	return n
+}

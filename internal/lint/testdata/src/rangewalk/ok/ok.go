@@ -1,0 +1,10 @@
+package ok
+
+import "dissenter/internal/platform"
+
+func count(db *platform.DB) int {
+	n := 0
+	db.RangeUsers(func(*platform.User) bool { n++; return true })
+	db.RangeComments(func(*platform.Comment) bool { n++; return true })
+	return n
+}

@@ -1,0 +1,16 @@
+// Package sync is a typecheck-only stub of the real sync package for
+// lint fixtures: the lockscope analyzer matches mutexes by package
+// path "sync" and type name, never by behavior.
+package sync
+
+type Mutex struct{ state int32 }
+
+func (m *Mutex) Lock()   {}
+func (m *Mutex) Unlock() {}
+
+type RWMutex struct{ state int32 }
+
+func (m *RWMutex) Lock()    {}
+func (m *RWMutex) Unlock()  {}
+func (m *RWMutex) RLock()   {}
+func (m *RWMutex) RUnlock() {}

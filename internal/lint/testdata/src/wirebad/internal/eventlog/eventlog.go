@@ -1,0 +1,5 @@
+package eventlog
+
+import "dissenter/internal/platform" // want `field 1 is Username where the lockfile has Email` `locked field Legacy \(index 2\) removed` `locked wire struct platform\.Gone no longer exists`
+
+var _ platform.User

@@ -1,0 +1,7 @@
+package eventlog
+
+// The lockfile pins only User's first field; the source's extra
+// Username field is an APPEND relative to it, which is wire-legal.
+import "dissenter/internal/platform"
+
+var _ platform.User

@@ -1,0 +1,155 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// viewForbidden are the DB methods that re-enter the store's
+// write/dispatch pipeline. A platform.View's Apply already runs inside
+// dispatch (and Rebuild inside RegisterView), so calling any of these
+// from view code recurses into the event pipeline under its own locks.
+var viewForbidden = map[string]bool{
+	"AddUser":      true,
+	"SubmitURL":    true,
+	"AddComment":   true,
+	"AddFollow":    true,
+	"Vote":         true,
+	"RegisterView": true,
+	"ApplyEvent":   true,
+}
+
+// ViewPurity checks every Apply/Rebuild method on a type implementing
+// platform.View — and every function in the same package reachable
+// from one through direct calls — for calls into the DB write path.
+// Views must be pure derivations of the event they are handed and the
+// store's read surface. Test files are exempt (tests may drive the
+// pipeline deliberately); the production seam is what the rule guards.
+var ViewPurity = &Analyzer{
+	Name: "viewpurity",
+	Doc:  "forbid DB mutation and RegisterView calls inside platform.View Apply/Rebuild implementations",
+	Run:  runViewPurity,
+}
+
+func runViewPurity(pass *Pass) error {
+	platformPkg := pass.Pkg
+	if !pkgPathHasSuffix(platformPkg, "internal/platform") {
+		platformPkg = importWithSuffix(pass.Pkg, "internal/platform")
+	}
+	if platformPkg == nil {
+		return nil // package does not use the platform store
+	}
+	viewObj := platformPkg.Scope().Lookup("View")
+	if viewObj == nil {
+		return nil
+	}
+	iface, ok := viewObj.Type().Underlying().(*types.Interface)
+	if !ok {
+		return nil
+	}
+
+	type badCall struct {
+		pos  token.Pos
+		name string
+	}
+	type fnInfo struct {
+		calls []*types.Func // same-package direct callees
+		bad   []badCall     // direct write-path calls
+	}
+
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f) {
+			continue
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				decls[fn] = fd
+			}
+		}
+	}
+
+	infos := map[*types.Func]*fnInfo{}
+	for fn, fd := range decls {
+		fi := &fnInfo{}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			obj := calleeObject(pass.TypesInfo, call)
+			if obj == nil {
+				return true
+			}
+			if isMethodOn(obj, "internal/platform", "DB", viewForbidden) {
+				fi.bad = append(fi.bad, badCall{call.Pos(), obj.Name()})
+				return true
+			}
+			if callee, ok := obj.(*types.Func); ok {
+				if _, declared := decls[callee]; declared {
+					fi.calls = append(fi.calls, callee)
+				}
+			}
+			return true
+		})
+		infos[fn] = fi
+	}
+
+	// Roots: Apply/Rebuild methods on View implementations.
+	type work struct {
+		fn   *types.Func
+		root string
+	}
+	var queue []work
+	for fn := range decls {
+		if fn.Name() != "Apply" && fn.Name() != "Rebuild" {
+			continue
+		}
+		sig := fn.Type().(*types.Signature)
+		if sig.Recv() == nil {
+			continue
+		}
+		base := sig.Recv().Type()
+		if p, ok := base.(*types.Pointer); ok {
+			base = p.Elem()
+		}
+		if !types.Implements(base, iface) && !types.Implements(types.NewPointer(base), iface) {
+			continue
+		}
+		name := base.String()
+		if named, ok := base.(*types.Named); ok {
+			name = named.Obj().Name()
+		}
+		queue = append(queue, work{fn, "(" + name + ")." + fn.Name()})
+	}
+
+	seen := map[*types.Func]bool{}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if seen[cur.fn] {
+			continue
+		}
+		seen[cur.fn] = true
+		fi := infos[cur.fn]
+		if fi == nil {
+			continue
+		}
+		for _, b := range fi.bad {
+			pass.Reportf(b.pos,
+				"DB.%s re-enters the store's write/dispatch pipeline from view code (reachable from %s); views must derive, never write",
+				b.name, cur.root)
+		}
+		for _, callee := range fi.calls {
+			if !seen[callee] {
+				queue = append(queue, work{callee, cur.root})
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,115 @@
+package lint
+
+import (
+	"encoding/json"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// wireSchemaFile mirrors the JSON lockfile genschema emits
+// (internal/eventlog/testdata/wire_schema.json). The struct is
+// duplicated here rather than imported so the analyzer reads the
+// committed contract, not the live code it is checking.
+type wireSchemaFile struct {
+	Format  int `json:"format"`
+	Structs []struct {
+		Event  string `json:"event,omitempty"`
+		Struct string `json:"struct"`
+		Fields []struct {
+			Name string `json:"name"`
+			Type string `json:"type"`
+		} `json:"fields"`
+	} `json:"structs"`
+}
+
+// WireCompat compares the platform structs the eventlog codec encodes
+// against the committed wire-schema lockfile. The codec derives wire
+// layout from declared field order (field writes and the flag
+// bit-packing both follow it), so renaming, retyping, reordering, or
+// removing a locked field is a breaking wire change — a replica
+// decoding yesterday's log with today's code would shear. Appending
+// fields is legal; the lockfile then needs regenerating, which
+// TestWireSchemaUpToDate enforces separately.
+var WireCompat = &Analyzer{
+	Name: "wirecompat",
+	Doc:  "event structs must not remove, retype, or reorder fields relative to the committed wire-schema lockfile",
+	Run:  runWireCompat,
+}
+
+func runWireCompat(pass *Pass) error {
+	if !pkgPathHasSuffix(pass.Pkg, "internal/eventlog") {
+		return nil
+	}
+	platformPkg := importWithSuffix(pass.Pkg, "internal/platform")
+	if platformPkg == nil {
+		return nil
+	}
+
+	// Anchor diagnostics on the platform import: the one line every
+	// eventlog file touching these structs shares.
+	anchor := pass.Files[0].Package
+	for _, f := range pass.Files {
+		found := false
+		for _, imp := range f.Imports {
+			if path, err := strconv.Unquote(imp.Path.Value); err == nil && strings.HasSuffix(path, "internal/platform") {
+				anchor = imp.Pos()
+				found = true
+				break
+			}
+		}
+		if found {
+			break
+		}
+	}
+
+	dir := filepath.Dir(pass.Fset.Position(pass.Files[0].Pos()).Filename)
+	lockPath := filepath.Join(dir, "testdata", "wire_schema.json")
+	data, err := os.ReadFile(lockPath)
+	if err != nil {
+		pass.Reportf(anchor, "wire-schema lockfile missing (%v); run go generate ./internal/eventlog", err)
+		return nil
+	}
+	var schema wireSchemaFile
+	if err := json.Unmarshal(data, &schema); err != nil {
+		pass.Reportf(anchor, "wire-schema lockfile %s unreadable: %v", lockPath, err)
+		return nil
+	}
+
+	qual := func(p *types.Package) string { return p.Name() }
+	for _, sd := range schema.Structs {
+		obj := platformPkg.Scope().Lookup(sd.Struct)
+		if obj == nil {
+			pass.Reportf(anchor, "locked wire struct platform.%s no longer exists — wire format break", sd.Struct)
+			continue
+		}
+		st, ok := obj.Type().Underlying().(*types.Struct)
+		if !ok {
+			pass.Reportf(anchor, "locked wire type platform.%s is no longer a struct — wire format break", sd.Struct)
+			continue
+		}
+		for i, fd := range sd.Fields {
+			if i >= st.NumFields() {
+				pass.Reportf(anchor,
+					"wire struct platform.%s: locked field %s (index %d) removed — wire format break; only appends are compatible",
+					sd.Struct, fd.Name, i)
+				continue
+			}
+			f := st.Field(i)
+			if f.Name() != fd.Name {
+				pass.Reportf(anchor,
+					"wire struct platform.%s: field %d is %s where the lockfile has %s — renames and reorders break the wire format",
+					sd.Struct, i, f.Name(), fd.Name)
+				continue
+			}
+			if got := types.TypeString(f.Type(), qual); got != fd.Type {
+				pass.Reportf(anchor,
+					"wire struct platform.%s: field %s retyped %s -> %s — wire format break",
+					sd.Struct, fd.Name, fd.Type, got)
+			}
+		}
+	}
+	return nil
+}

@@ -64,6 +64,7 @@ func (s *shardedMap[K, V]) set(k K, v V) {
 func (s *shardedMap[K, V]) update(k K, f func(V) V) {
 	sh := s.shard(k)
 	sh.mu.Lock()
+	//lint:ignore lockscope update's contract: f runs under the shard lock so the replace is atomic; it must be fast and touch no other shard
 	sh.m[k] = f(sh.m[k])
 	sh.mu.Unlock()
 }
@@ -78,6 +79,7 @@ func (s *shardedMap[K, V]) forEach(f func(K, V) bool) {
 		sh := &s.shards[i]
 		sh.mu.RLock()
 		for k, v := range sh.m {
+			//lint:ignore lockscope forEach's contract: f runs under the shard read lock and must not touch the same map
 			if !f(k, v) {
 				sh.mu.RUnlock()
 				return
@@ -113,6 +115,7 @@ func (s *shardedMap[K, V]) getOrCreate(k K, create func() V) (V, bool) {
 	if v, ok := sh.m[k]; ok {
 		return v, false
 	}
+	//lint:ignore lockscope getOrCreate's contract: create runs under the shard write lock so at most one caller creates per key
 	v := create()
 	sh.m[k] = v
 	return v, true

@@ -235,6 +235,7 @@ func (c *Cache[V]) Update(key string, f func(V) V) bool {
 	if !ok || s.now().After(e.expires) {
 		return false
 	}
+	//lint:ignore lockscope Update's contract: f patches the entry under the shard lock so racing patches serialize; it must be fast and not re-enter the cache
 	e.val = f(e.val)
 	return true
 }
