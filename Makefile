@@ -7,10 +7,13 @@ GO ?= go
 # (events.go, trendindex, voteindex, followindex); rankheap covers both
 # the bounded TopK and the non-monotone Exact structure; eventlog and
 # replica cover the durability/replication layer (WAL group commit,
-# streaming apply, snapshot bootstrap).
+# streaming apply, snapshot bootstrap); faultinject/httpguard/chaos
+# cover the fault seams and the degradation machinery they exercise.
 RACE_PKGS = ./internal/platform/... ./internal/respcache/... \
             ./internal/rankheap/... \
             ./internal/eventlog/... ./internal/replica/... \
+            ./internal/faultinject/... ./internal/httpguard/... \
+            ./internal/chaos/... \
             ./internal/gabapi/... ./internal/dissenterweb/... \
             ./internal/crawlkit/... ./internal/dissentercrawl/...
 
@@ -22,7 +25,7 @@ TRENDS_ALLOC_BUDGET = 64
 LEADER_ALLOC_BUDGET = 64
 DISC_ALLOC_BUDGET = 64
 
-.PHONY: build test race crash-recovery bench bench-budget bench-compare lint fuzz-smoke fmt ci
+.PHONY: build test race chaos crash-recovery bench bench-budget bench-compare lint fuzz-smoke fmt ci
 
 build:
 	$(GO) build ./...
@@ -32,6 +35,14 @@ test:
 
 race:
 	$(GO) test -race $(RACE_PKGS)
+
+# The scripted fault-injection suite (internal/chaos): six
+# deterministic schedules — disk full during rotation, sticky fsync
+# flipping /readyz, partition mid-stream, flapping primary during
+# bootstrap, serve-stale, drain-flushes-WAL — each asserting no event
+# loss and byte-identical convergence. Also part of `race`.
+chaos:
+	$(GO) test -race -count=1 -v ./internal/chaos/
 
 # The out-of-process crash-recovery proof on its own (it also runs as
 # part of `test`): kill -9 a replica child process mid-stream, restart
@@ -97,4 +108,4 @@ fuzz-smoke:
 fmt:
 	gofmt -w .
 
-ci: build lint test race bench bench-budget fuzz-smoke
+ci: build lint test race chaos bench bench-budget fuzz-smoke

@@ -30,6 +30,15 @@
 //	/reddit/... /api/user/...   Pushshift-style Reddit API
 //	/replication/events         replication stream (internal/replica.Publisher)
 //	/replication/snapshot       replication bootstrap snapshot
+//	/healthz /readyz            liveness / traffic-steering readiness
+//
+// Operations: /healthz answers 200 whenever the process is up; /readyz
+// flips to 503 when the persister has failed sticky or a shutdown
+// drain has begun. Requests (outside the health and replication
+// mounts) pass admission control — past -max-inflight concurrent
+// requests they are shed with 503 + Retry-After rather than queued.
+// SIGINT/SIGTERM drain gracefully: readiness flips first, in-flight
+// requests finish, then the persister flushes its WAL and exits.
 //
 // Three sessions are pre-registered: "nsfw-probe" (NSFW view enabled)
 // and "off-probe" (offensive view enabled) for the differential crawl,
@@ -38,17 +47,23 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
+	"time"
 
 	"dissenter/internal/dissenterweb"
 	"dissenter/internal/eventlog"
 	"dissenter/internal/gabapi"
+	"dissenter/internal/httpguard"
 	"dissenter/internal/perspective"
 	"dissenter/internal/pushshift"
 	"dissenter/internal/replica"
@@ -62,11 +77,15 @@ func main() {
 	gabLimit := flag.Int("gab-rate-limit", 0, "Gab API requests per 5-minute window (0 = unlimited)")
 	urlLimit := flag.Int("url-rate-limit", 0, "Dissenter per-URL requests per minute (0 = unlimited; platform used 10)")
 	dataDir := flag.String("data", "", "persistence directory (restore on start, WAL+snapshot while running; empty = in-memory only)")
+	maxInflight := flag.Int("max-inflight", 1024, "admission control: concurrent requests before shedding with 503 (0 = unbounded)")
 	flag.Parse()
 
 	log.Printf("generating corpus at scale %.5f (seed %d)...", *scale, *seed)
 	out := synth.Generate(synth.NewConfig(*scale, *seed))
 	db := out.DB
+
+	health := httpguard.NewHealth()
+	var pers *eventlog.Persister
 	if *dataDir != "" {
 		restored, skipped, err := eventlog.RestoreDir(*dataDir)
 		if err != nil {
@@ -76,11 +95,18 @@ func main() {
 			db = restored
 			log.Printf("restored store from %s at seq %d (%d unknown records skipped)", *dataDir, db.EventSeq(), skipped)
 		}
-		pers, err := eventlog.StartPersister(db, *dataDir, eventlog.Options{})
+		pers, err = eventlog.StartPersister(db, *dataDir, eventlog.Options{
+			OnError: func(err error, sticky bool) {
+				log.Printf("persist (sticky=%v): %v", sticky, err)
+			},
+		})
 		if err != nil {
 			log.Fatalf("start persister: %v", err)
 		}
-		defer pers.Close()
+		// Readiness tracks durability: a sticky persister failure means
+		// this instance is acking writes it can no longer persist — pull
+		// it from rotation while it keeps serving what it has.
+		health.AddCheck(httpguard.Check{Name: "persister", Probe: pers.Err})
 		log.Printf("persisting events to %s", *dataDir)
 	}
 	census := db.Census()
@@ -95,7 +121,7 @@ func main() {
 	}
 	gab := gabapi.NewServer(db, gabOpts...)
 
-	webOpts := []dissenterweb.Option{}
+	webOpts := []dissenterweb.Option{dissenterweb.WithHealth(health)}
 	if *urlLimit >= 0 {
 		webOpts = append(webOpts, dissenterweb.WithURLRateLimit(*urlLimit, 60*1e9))
 	}
@@ -132,7 +158,6 @@ func main() {
 	mux.Handle("/v1/comments:analyze", perspective.Handler(0))
 	mux.Handle("/reddit/", reddit)
 	mux.Handle("/api/user/", reddit)
-	mux.Handle("/replication/", &replica.Publisher{DB: db, Logf: log.Printf})
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
@@ -143,8 +168,36 @@ func main() {
 		fmt.Fprintf(w, "max Gab ID: %d\n%s\n", db.MaxGabID(), sessionBanner)
 	})
 
+	// Admission bounds the simulated surfaces; the health endpoints
+	// (the load balancer must always reach them) and the replication
+	// stream (replicas falling behind make everything worse) stay
+	// outside it.
+	root := http.NewServeMux()
+	root.HandleFunc("/healthz", health.Healthz)
+	root.HandleFunc("/readyz", health.Readyz)
+	root.Handle("/replication/", &replica.Publisher{DB: db, Logf: log.Printf})
+	root.Handle("/", httpguard.Admission(*maxInflight, time.Second, mux))
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	log.Printf("serving on %s (max Gab ID %d)", *addr, db.MaxGabID())
-	if err := http.ListenAndServe(*addr, mux); err != nil {
+	err := httpguard.ListenAndServe(ctx, *addr, root, httpguard.ServeOptions{
+		Health: health,
+		Logf:   log.Printf,
+	})
+	// HTTP is drained; flush the WAL before exiting so the last acked
+	// batch is durable.
+	if pers != nil {
+		if cerr := pers.Close(); cerr != nil {
+			log.Printf("persister close: %v", cerr)
+			if err == nil {
+				err = cerr
+			}
+		} else {
+			log.Printf("persister flushed and closed (durable is current)")
+		}
+	}
+	if err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		fmt.Fprintln(os.Stderr, strings.TrimSpace(err.Error()))
 		os.Exit(1)
 	}

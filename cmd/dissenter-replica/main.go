@@ -15,7 +15,17 @@
 // Routes: the Dissenter web app's read surface (/user/..., /discussion,
 // /comment/..., /trends, /leaderboard); the mutating endpoints answer
 // 403 (write on the primary). /replication-status reports the applied
-// and durable sequence numbers as JSON.
+// and durable sequence numbers, connection state, and last-seen
+// primary head as JSON. /healthz answers liveness; /readyz answers 503
+// once the replica has been disconnected longer than -stale-after, is
+// lagging the primary's head by more than -max-lag events, or its
+// local persistence has failed sticky.
+//
+// A not-ready replica KEEPS SERVING reads — stale answers beat shed
+// ones for this read-mostly corpus — readiness only steers the load
+// balancer; degraded responses carry an X-Served-Stale: 1 header so
+// callers can tell. SIGINT/SIGTERM drain in-flight requests, then
+// flush the local WAL before exit.
 //
 // The probe sessions "nsfw-probe" and "off-probe" are pre-registered
 // with the same view settings as the primary's, so differential crawls
@@ -36,6 +46,7 @@ import (
 	"time"
 
 	"dissenter/internal/dissenterweb"
+	"dissenter/internal/httpguard"
 	"dissenter/internal/platform"
 	"dissenter/internal/replica"
 )
@@ -45,6 +56,8 @@ func main() {
 	primary := flag.String("primary", "http://localhost:8080/replication", "primary's replication mount")
 	dir := flag.String("dir", "./replica-data", "local persistence directory")
 	urlLimit := flag.Int("url-rate-limit", 0, "per-URL requests per minute (0 = unlimited)")
+	staleAfter := flag.Duration("stale-after", 30*time.Second, "readiness: how long a disconnected replica still counts as ready (0 = never fails this check)")
+	maxLag := flag.Uint64("max-lag", 65536, "readiness: maximum events behind the primary's last-seen head (0 = unchecked)")
 	flag.Parse()
 
 	// The serving stack is rebuilt whenever the replica (re)binds its
@@ -72,20 +85,33 @@ func main() {
 	if err != nil {
 		log.Fatalf("open replica: %v", err)
 	}
+	ready := func() error { return rep.Ready(*staleAfter, *maxLag) }
+	health := httpguard.NewHealth(httpguard.Check{Name: "replication", Probe: ready})
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	runDone := make(chan struct{})
 	go func() {
 		rep.Run(ctx)
-		rep.Close()
-		os.Exit(0)
+		close(runDone)
 	}()
 
 	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", health.Healthz)
+	mux.HandleFunc("/readyz", health.Readyz)
 	mux.HandleFunc("/replication-status", func(w http.ResponseWriter, r *http.Request) {
+		s := rep.Status()
 		w.Header().Set("Content-Type", "application/json")
-		fmt.Fprintf(w, `{"applied":%d,"durable":%d}`+"\n", rep.Seq(), rep.Durable())
+		fmt.Fprintf(w, `{"applied":%d,"durable":%d,"connected":%v,"head":%d}`+"\n",
+			s.Applied, s.Durable, s.Connected, s.LastHead)
 	})
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		// Serve-stale: degraded replication never sheds reads, it just
+		// labels them, so callers (and tests) can tell a fresh page
+		// from a possibly-behind one.
+		if ready() != nil {
+			w.Header().Set("X-Served-Stale", "1")
+		}
 		if r.URL.Path == "/" {
 			c := rep.DB().Census()
 			fmt.Fprintf(w, "dissenter-replica: seq %d (durable %d), %d Gab users, %d comments on %d URLs\n",
@@ -96,8 +122,19 @@ func main() {
 	})
 
 	log.Printf("replica of %s serving read-only on %s (data in %s)", *primary, *addr, *dir)
-	if err := http.ListenAndServe(*addr, mux); err != nil {
-		fmt.Fprintln(os.Stderr, strings.TrimSpace(err.Error()))
+	serveErr := httpguard.ListenAndServe(ctx, *addr, mux, httpguard.ServeOptions{
+		Health: health,
+		Logf:   log.Printf,
+	})
+	stop() // end the replication loop even when Serve failed on its own
+	<-runDone
+	if err := rep.Close(); err != nil {
+		log.Printf("replica close: %v", err)
+	} else {
+		log.Printf("replica flushed and closed (durable is current)")
+	}
+	if serveErr != nil {
+		fmt.Fprintln(os.Stderr, strings.TrimSpace(serveErr.Error()))
 		os.Exit(1)
 	}
 }

@@ -1,0 +1,21 @@
+// Package chaos holds the scripted fault-injection suite for the
+// durability, replication, and serving stack (run via `make chaos`).
+//
+// Every scenario is a deterministic schedule over internal/faultinject
+// seams — no random kills, no timing races. Each pins one recovery
+// invariant:
+//
+//   - disk full during rotation: group commits keep landing on the old
+//     WAL, rotation retries once space returns, nothing acked is lost
+//   - torn/sticky fsync: transient faults are absorbed by bounded
+//     retry; a sticky one flips /readyz while /healthz stays 200
+//   - partition mid-stream: a replica cut mid-frame reconnects with
+//     backoff and converges byte-identically once the fault clears
+//   - flapping primary during bootstrap: the 410→snapshot path
+//     survives dropped connections and converges
+//   - disconnected replica: readiness fails, reads keep serving stale
+//   - drain: shutdown finishes in-flight requests and flushes the WAL
+//
+// The package has no non-test API; this file exists so the directory
+// is a buildable package.
+package chaos

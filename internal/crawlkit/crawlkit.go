@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	neturl "net/url"
 	"strconv"
@@ -102,8 +103,9 @@ func (f *Fetcher) do(ctx context.Context, method, url, payload string) (Result, 
 	var lastErr error
 	for attempt := 0; attempt <= f.maxRetries; attempt++ {
 		if attempt > 0 {
-			wait := time.Duration(attempt) * f.retryDelay
+			wait := retryWait(attempt, f.retryDelay)
 			if w, ok := retryAfter(lastErr); ok {
+				// The server named a time; honor it exactly.
 				wait = w
 			}
 			select {
@@ -122,6 +124,19 @@ func (f *Fetcher) do(ctx context.Context, method, url, payload string) (Result, 
 		lastErr = err
 	}
 	return Result{}, fmt.Errorf("%w: %s: %v", ErrGaveUp, url, lastErr)
+}
+
+// retryWait is the delay before retry #attempt: linear in the attempt
+// number, jittered over [d/2, d] so a worker pool whose requests failed
+// together (a rate-limit window, a server restart) doesn't retry
+// together and fail together again.
+func retryWait(attempt int, base time.Duration) time.Duration {
+	d := time.Duration(attempt) * base
+	if d <= 1 {
+		return d
+	}
+	half := d / 2
+	return half + rand.N(half+1)
 }
 
 // retryableError marks a response that should be retried, optionally

@@ -221,3 +221,31 @@ func TestRateGateCancel(t *testing.T) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }
+
+func TestRetryWaitJitterBounds(t *testing.T) {
+	base := 100 * time.Millisecond
+	for attempt := 1; attempt <= 4; attempt++ {
+		linear := time.Duration(attempt) * base
+		lo, hi := linear, linear/2
+		for i := 0; i < 200; i++ {
+			w := retryWait(attempt, base)
+			if w < linear/2 || w > linear {
+				t.Fatalf("attempt %d: wait %v outside [%v, %v]", attempt, w, linear/2, linear)
+			}
+			if w < lo {
+				lo = w
+			}
+			if w > hi {
+				hi = w
+			}
+		}
+		// 200 draws over a 50ms+ span must actually spread: a fetcher
+		// fleet retrying in lockstep is exactly what jitter prevents.
+		if lo == hi {
+			t.Fatalf("attempt %d: 200 draws all landed on %v — no jitter", attempt, lo)
+		}
+	}
+	if w := retryWait(0, base); w != 0 {
+		t.Fatalf("attempt 0 wait = %v, want 0", w)
+	}
+}

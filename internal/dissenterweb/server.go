@@ -42,6 +42,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dissenter/internal/httpguard"
 	"dissenter/internal/ids"
 	"dissenter/internal/platform"
 	"dissenter/internal/respcache"
@@ -74,6 +75,11 @@ type Server struct {
 	// servers fronting a replica store, where writes arrive from the
 	// replication stream, not from handlers.
 	readOnly bool
+
+	// health, when set (WithHealth), serves /healthz and /readyz from
+	// this handler, so a standalone web mount carries its own
+	// operational surface.
+	health *httpguard.Health
 
 	// Every request consults the session table and (on rate-limited
 	// endpoints) the per-URL hit counters; they used to share one mutex,
@@ -157,6 +163,15 @@ func WithResponseCache(size int, ttl time.Duration) Option {
 	return func(s *Server) {
 		s.cache = respcache.New[page](size, ttl)
 		s.cacheConfigured = true
+	}
+}
+
+// WithHealth routes /healthz (liveness, always 200) and /readyz
+// (traffic steering: 503 while any registered check fails or a drain
+// is underway) through this server, sharing the process's Health.
+func WithHealth(h *httpguard.Health) Option {
+	return func(s *Server) {
+		s.health = h
 	}
 }
 
@@ -368,6 +383,10 @@ func writeInt(b *bytes.Buffer, n int) {
 // ServeHTTP routes the app's pages.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	switch {
+	case s.health != nil && r.URL.Path == "/healthz":
+		s.health.Healthz(w, r)
+	case s.health != nil && r.URL.Path == "/readyz":
+		s.health.Readyz(w, r)
 	case strings.HasPrefix(r.URL.Path, "/user/"):
 		s.handleHome(w, r, strings.TrimPrefix(r.URL.Path, "/user/"))
 	case r.URL.Path == "/discussion":

@@ -1,6 +1,7 @@
 package eventlog
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -9,7 +10,9 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"dissenter/internal/faultinject"
 	"dissenter/internal/platform"
 )
 
@@ -37,8 +40,8 @@ func parseSeq(name, prefix, suffix string) (uint64, bool) {
 
 // listSeqs returns the sequence points of all matching files in dir,
 // ascending.
-func listSeqs(dir, prefix, suffix string) ([]uint64, error) {
-	entries, err := os.ReadDir(dir)
+func listSeqs(fsys faultinject.FS, dir, prefix, suffix string) ([]uint64, error) {
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
@@ -54,8 +57,8 @@ func listSeqs(dir, prefix, suffix string) ([]uint64, error) {
 
 // syncDir fsyncs the directory itself, making renames and creates
 // durable.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
+func syncDir(fsys faultinject.FS, dir string) error {
+	d, err := fsys.OpenFile(dir, os.O_RDONLY, 0)
 	if err != nil {
 		return err
 	}
@@ -68,43 +71,48 @@ func syncDir(dir string) error {
 
 // writeSnapshotFile writes cp durably: tmp file, fsync, rename into
 // place, fsync the directory.
-func writeSnapshotFile(dir string, cp platform.Checkpoint) error {
+func writeSnapshotFile(fsys faultinject.FS, dir string, cp platform.Checkpoint) error {
 	path := snapPath(dir, cp.Seq)
 	tmp := path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	f, err := fsys.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return err
 	}
 	if err := WriteSnapshot(f, cp); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return err
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return err
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return err
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
+	if err := fsys.Rename(tmp, path); err != nil {
+		fsys.Remove(tmp)
 		return err
 	}
-	return syncDir(dir)
+	return syncDir(fsys, dir)
 }
 
 // RestoreDir rebuilds a store from a persistence directory: the newest
-// readable snapshot (FromCheckpoint), then its WAL tail replayed
-// through the normal write paths (DB.ApplyEvent), with any torn tail
-// truncated. A directory with no state (or that does not exist)
-// returns (nil, 0, nil) — the caller starts from whatever seed it has.
-// skipped counts WAL records dropped because their event type or codec
-// version is unknown.
+// readable snapshot (FromCheckpoint), then the WAL tail past it
+// replayed through the normal write paths (DB.ApplyEvent), with any
+// torn tail truncated. A directory with no state (or that does not
+// exist) returns (nil, 0, nil) — the caller starts from whatever seed
+// it has. skipped counts WAL records dropped because their event type
+// or codec version is unknown.
 func RestoreDir(dir string) (db *platform.DB, skipped int, err error) {
-	snaps, err := listSeqs(dir, "snap-", ".snap")
+	return RestoreDirFS(faultinject.OS, dir)
+}
+
+// RestoreDirFS is RestoreDir through an injectable filesystem.
+func RestoreDirFS(fsys faultinject.FS, dir string) (db *platform.DB, skipped int, err error) {
+	snaps, err := listSeqs(fsys, dir, "snap-", ".snap")
 	if err != nil {
 		if os.IsNotExist(err) {
 			return nil, 0, nil
@@ -117,7 +125,7 @@ func RestoreDir(dir string) (db *platform.DB, skipped int, err error) {
 	// prevents) or the disk corrupted it.
 	var base uint64
 	for i := len(snaps) - 1; i >= 0; i-- {
-		b, rerr := os.ReadFile(snapPath(dir, snaps[i]))
+		b, rerr := fsys.ReadFile(snapPath(dir, snaps[i]))
 		if rerr != nil {
 			continue
 		}
@@ -129,28 +137,58 @@ func RestoreDir(dir string) (db *platform.DB, skipped int, err error) {
 		base = cp.Seq
 		break
 	}
-	if db == nil {
-		if len(snaps) > 0 {
-			return nil, 0, fmt.Errorf("eventlog: %s: no readable snapshot among %d", dir, len(snaps))
+	if db == nil && len(snaps) > 0 {
+		return nil, 0, fmt.Errorf("eventlog: %s: no readable snapshot among %d", dir, len(snaps))
+	}
+
+	// Pick the newest WAL starting at or before the snapshot. At steady
+	// state that is the snapshot's own WAL; after a rotation that made
+	// its snapshot durable but died before creating the fresh WAL, it is
+	// the previous WAL, whose tail past the snapshot still holds durable
+	// events that must not be lost. Records the snapshot already covers
+	// are skipped by sequence number. A WAL whose header never became
+	// whole (a crash inside CreateWAL) never accepted an append, so it
+	// is skipped in favor of the next older one.
+	wals, err := listSeqs(fsys, dir, "wal-", ".wal")
+	if err != nil {
+		return nil, 0, err
+	}
+	var cands []uint64
+	for _, seq := range wals {
+		if seq <= base {
+			cands = append(cands, seq)
+		}
+	}
+	fresh := db == nil
+	if fresh {
+		if len(cands) == 0 {
+			return nil, 0, nil
 		}
 		// No snapshot was ever cut; a WAL from sequence 0 alone is a
 		// complete history for a store born empty.
-		if _, statErr := os.Stat(walPath(dir, 0)); statErr != nil {
-			return nil, 0, nil
-		}
 		db = platform.New(nil, nil, nil, nil)
 	}
 
-	if _, statErr := os.Stat(walPath(dir, base)); statErr == nil {
-		w, skip, werr := OpenWAL(walPath(dir, base), func(rec Record) error {
-			db.ApplyEvent(rec.Event)
+	opened := false
+	for i := len(cands) - 1; i >= 0 && !opened; i-- {
+		w, skip, werr := OpenWALFS(fsys, walPath(dir, cands[i]), func(rec Record) error {
+			if rec.Seq > base {
+				db.ApplyEvent(rec.Event)
+			}
 			return nil
 		})
 		if werr != nil {
+			if errors.Is(werr, errBadWALHeader) {
+				continue
+			}
 			return nil, 0, werr
 		}
 		skipped = skip
 		w.Close()
+		opened = true
+	}
+	if fresh && !opened {
+		return nil, 0, nil
 	}
 	return db, skipped, nil
 }
@@ -161,7 +199,30 @@ type Options struct {
 	// Persister cuts a snapshot, starts a fresh WAL, and compacts the
 	// in-memory log. Default 4096.
 	RotateEvery int
+	// FS is the filesystem every durability operation goes through.
+	// Nil means the real filesystem; tests pass an Injector-wrapped FS
+	// to script disk faults.
+	FS faultinject.FS
+	// RetryLimit bounds how many times a failed group commit is
+	// retried (reopening the WAL between attempts) before the loop
+	// goes sticky-failed. 0 means the default (4); negative disables
+	// retries entirely.
+	RetryLimit int
+	// RetryWait is the base delay between commit retries; each retry
+	// doubles it, capped at 32x. 0 means the default (25ms).
+	RetryWait time.Duration
+	// OnError observes durability failures as they happen: transient
+	// commit errors about to be retried and rotation failures the loop
+	// absorbs arrive with sticky=false; the terminal error that stops
+	// the loop arrives with sticky=true. Called from the persister
+	// goroutine — keep it fast and non-blocking.
+	OnError func(err error, sticky bool)
 }
+
+// errLogCompacted means the in-memory log no longer reaches back to
+// the durable point — unrecoverable by retrying, since the events are
+// simply gone.
+var errLogCompacted = errors.New("eventlog: event log compacted past the durable point")
 
 // Persister is the write-behind durability loop for one DB: it tails
 // the in-memory event log, group-commits batches to the WAL, and
@@ -172,14 +233,29 @@ type Options struct {
 // a measurement simulation, not a bank), and a REPLICA never loses
 // anything, because its source of truth is the primary's stream, which
 // it re-fetches from its durable offset on restart.
+//
+// Transient I/O errors do not kill the loop: a failed group commit is
+// retried up to Options.RetryLimit times with capped exponential
+// backoff, reopening the WAL between attempts (the buffered writer
+// holds sticky errors; reopening also repairs any torn tail the
+// failure left). Only after the retry budget is spent does the
+// Persister fail sticky — observable via Err and the OnError hook, so
+// a serving layer can flip readiness instead of silently dropping
+// durability.
 type Persister struct {
-	db      *platform.DB
-	dir     string
-	rotate  uint64
-	wal     *WAL
-	durable atomic.Uint64
-	stop    chan struct{}
-	done    chan struct{}
+	db        *platform.DB
+	dir       string
+	fs        faultinject.FS
+	rotate    uint64
+	retries   int
+	retryWait time.Duration
+	onError   func(err error, sticky bool)
+
+	wal       *WAL
+	walBroken bool
+	durable   atomic.Uint64
+	stop      chan struct{}
+	done      chan struct{}
 
 	mu  sync.Mutex
 	err error
@@ -191,52 +267,76 @@ type Persister struct {
 // before db's current head, and start at db's compaction base.
 // An empty directory gets an initial snapshot of db's current state
 // (covering any construction-time seed, which the event stream alone
-// would not), so the directory is self-contained from the start.
+// would not), so the directory is self-contained from the start. A
+// degraded directory (snapshot without its WAL, from a crashed
+// rotation) is healed the same way: fresh snapshot, fresh WAL,
+// superseded files removed.
 func StartPersister(db *platform.DB, dir string, opt Options) (*Persister, error) {
 	if opt.RotateEvery <= 0 {
 		opt.RotateEvery = 4096
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if opt.FS == nil {
+		opt.FS = faultinject.OS
+	}
+	if opt.RetryLimit == 0 {
+		opt.RetryLimit = 4
+	} else if opt.RetryLimit < 0 {
+		opt.RetryLimit = 0
+	}
+	if opt.RetryWait <= 0 {
+		opt.RetryWait = 25 * time.Millisecond
+	}
+	if err := opt.FS.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
 	p := &Persister{
-		db:     db,
-		dir:    dir,
-		rotate: uint64(opt.RotateEvery),
-		stop:   make(chan struct{}),
-		done:   make(chan struct{}),
+		db:        db,
+		dir:       dir,
+		fs:        opt.FS,
+		rotate:    uint64(opt.RotateEvery),
+		retries:   opt.RetryLimit,
+		retryWait: opt.RetryWait,
+		onError:   opt.OnError,
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
 	}
 
 	base := db.EventBase()
-	if _, err := os.Stat(walPath(dir, base)); err == nil {
+	if _, err := p.fs.Stat(walPath(dir, base)); err == nil {
 		// Resuming a directory the store was restored from: scan the
 		// WAL (no replay — db already reflects it) to find the durable
-		// point and position for append.
-		w, _, err := OpenWAL(walPath(dir, base), nil)
-		if err != nil {
+		// point and position for append. A never-completed header (a
+		// crash inside CreateWAL) falls through to the healing branch.
+		w, _, err := OpenWALFS(p.fs, walPath(dir, base), nil)
+		if err != nil && !errors.Is(err, errBadWALHeader) {
 			return nil, err
 		}
-		if head := db.EventSeq(); w.LastSeq() > head {
-			w.Close()
-			return nil, fmt.Errorf("eventlog: %s: WAL ends at %d beyond the store head %d — restore the store from this directory first", dir, w.LastSeq(), head)
+		if w != nil {
+			if head := db.EventSeq(); w.LastSeq() > head {
+				w.Close()
+				return nil, fmt.Errorf("eventlog: %s: WAL ends at %d beyond the store head %d — restore the store from this directory first", dir, w.LastSeq(), head)
+			}
+			p.wal = w
 		}
-		p.wal = w
-	} else {
-		// Fresh directory: cut an initial snapshot so the seed entities
-		// are covered, then open the WAL right after it.
+	}
+	if p.wal == nil {
+		// Fresh or degraded directory: cut an initial snapshot so the
+		// current state (seed entities included) is covered, open the
+		// WAL right after it, then drop anything superseded.
 		cp := db.Checkpoint()
-		if err := writeSnapshotFile(dir, cp); err != nil {
+		if err := writeSnapshotFile(p.fs, dir, cp); err != nil {
 			return nil, err
 		}
-		w, err := CreateWAL(walPath(dir, cp.Seq), cp.Seq)
+		w, err := CreateWALFS(p.fs, walPath(dir, cp.Seq), cp.Seq)
 		if err != nil {
 			return nil, err
 		}
-		if err := syncDir(dir); err != nil {
+		if err := syncDir(p.fs, dir); err != nil {
 			w.Close()
 			return nil, err
 		}
 		p.wal = w
+		p.removeBelow(cp.Seq)
 		db.CompactLog(cp.Seq)
 	}
 	p.durable.Store(p.wal.LastSeq())
@@ -262,6 +362,12 @@ func (p *Persister) fail(err error) {
 	p.mu.Unlock()
 }
 
+func (p *Persister) notify(err error, sticky bool) {
+	if p.onError != nil {
+		p.onError(err, sticky)
+	}
+}
+
 // Close drains outstanding events to the WAL, fsyncs, and stops the
 // loop. It returns the loop's sticky error, if any.
 func (p *Persister) Close() error {
@@ -270,25 +376,38 @@ func (p *Persister) Close() error {
 	return p.Err()
 }
 
+type commitResult int
+
+const (
+	commitOK commitResult = iota
+	commitStopped
+	commitFailed
+)
+
 func (p *Persister) loop() {
 	defer close(p.done)
 	for {
 		if !p.db.AwaitEvents(p.durable.Load(), p.stop) {
 			p.drain()
-			if p.wal != nil {
-				if err := p.wal.Close(); err != nil {
-					p.fail(err)
-				}
-			}
+			p.closeWAL()
 			return
 		}
-		if !p.commitBatch() {
+		switch p.commitRetry() {
+		case commitStopped:
+			p.drain()
+			p.closeWAL()
+			return
+		case commitFailed:
+			p.closeWAL()
 			return
 		}
 		if p.durable.Load()-p.wal.Base() >= p.rotate {
 			if err := p.rotateFiles(); err != nil {
-				p.fail(err)
-				return
+				// Rotation failing is degradation, not death: the old
+				// WAL keeps group-committing, and because its base has
+				// not advanced the threshold re-fires on the next
+				// batch, so rotation retries naturally.
+				p.notify(fmt.Errorf("eventlog: rotation failed (will retry): %w", err), false)
 			}
 		}
 	}
@@ -297,76 +416,164 @@ func (p *Persister) loop() {
 // commitBatch appends everything past the durable point and fsyncs
 // once — the group commit. Events dispatched while the fsync runs ride
 // in the next batch.
-func (p *Persister) commitBatch() bool {
+func (p *Persister) commitBatch() error {
 	durable := p.durable.Load()
 	evs, ok := p.db.EventsSince(durable)
 	if !ok {
 		// Only this loop compacts, always at or below the durable
 		// point, so a missing prefix means the DB was compacted behind
 		// our back.
-		p.fail(fmt.Errorf("eventlog: event log compacted past the durable point %d", durable))
-		return false
+		return fmt.Errorf("%w: %d", errLogCompacted, durable)
 	}
 	for i, ev := range evs {
 		if err := p.wal.Append(Record{Seq: durable + 1 + uint64(i), Event: ev}); err != nil {
-			p.fail(err)
-			return false
+			return err
 		}
 	}
 	if err := p.wal.Sync(); err != nil {
-		p.fail(err)
-		return false
+		return err
 	}
 	p.durable.Store(durable + uint64(len(evs)))
-	return true
+	return nil
 }
 
-// drain is commitBatch at shutdown: best-effort, errors recorded.
+// commitRetry is commitBatch with the retry policy wrapped around it:
+// on failure the WAL is marked broken (its buffered writer holds
+// sticky errors and the file may end in a torn frame), and each
+// attempt first repairs it by reopening. Backoff doubles per attempt,
+// capped at 32x the base wait; the stop channel cuts the wait short.
+func (p *Persister) commitRetry() commitResult {
+	wait := p.retryWait
+	for attempt := 0; ; attempt++ {
+		err := p.recoverIfBroken()
+		if err == nil {
+			if err = p.commitBatch(); err == nil {
+				return commitOK
+			}
+			if errors.Is(err, errLogCompacted) {
+				// Not an I/O fault — the events are gone. Retrying
+				// cannot help.
+				p.fail(err)
+				p.notify(err, true)
+				return commitFailed
+			}
+			p.walBroken = true
+		}
+		if attempt >= p.retries {
+			err = fmt.Errorf("eventlog: group commit failed after %d attempts: %w", attempt+1, err)
+			p.fail(err)
+			p.notify(err, true)
+			return commitFailed
+		}
+		p.notify(fmt.Errorf("eventlog: group commit failed (attempt %d of %d, retrying): %w", attempt+1, p.retries+1, err), false)
+		select {
+		case <-p.stop:
+			return commitStopped
+		case <-time.After(wait):
+		}
+		if wait < 32*p.retryWait {
+			wait *= 2
+		}
+	}
+}
+
+// recoverIfBroken repairs the WAL after a failed commit: close the
+// handle (ignoring its own errors — the writer is sticky), reopen with
+// torn-tail truncation, fsync what survived, and reset the durable
+// point to the recovered tail. Recovered frames that were flushed but
+// never synced become durable here, so the durable point only moves
+// forward.
+func (p *Persister) recoverIfBroken() error {
+	if !p.walBroken {
+		return nil
+	}
+	p.wal.abort()
+	w, _, err := OpenWALFS(p.fs, p.wal.Path(), nil)
+	if err != nil {
+		return err
+	}
+	if err := w.Sync(); err != nil {
+		w.abort()
+		return err
+	}
+	p.wal = w
+	p.durable.Store(w.LastSeq())
+	p.walBroken = false
+	return nil
+}
+
+// drain is the shutdown commit: one repair attempt, one batch,
+// failures recorded for Close to report.
 func (p *Persister) drain() {
 	if p.wal == nil {
 		return
 	}
-	p.commitBatch()
+	if err := p.recoverIfBroken(); err != nil {
+		p.fail(err)
+		return
+	}
+	if err := p.commitBatch(); err != nil {
+		p.walBroken = true
+		p.fail(err)
+	}
+}
+
+func (p *Persister) closeWAL() {
+	if p.wal == nil {
+		return
+	}
+	if p.walBroken {
+		p.wal.abort()
+		return
+	}
+	if err := p.wal.Close(); err != nil {
+		p.fail(err)
+	}
+}
+
+// removeBelow deletes snapshots and WALs superseded by the sequence
+// point seq. Best-effort: leftovers cost disk, not correctness.
+func (p *Persister) removeBelow(seq uint64) {
+	if snaps, err := listSeqs(p.fs, p.dir, "snap-", ".snap"); err == nil {
+		for _, s := range snaps {
+			if s < seq {
+				p.fs.Remove(snapPath(p.dir, s))
+			}
+		}
+	}
+	if wals, err := listSeqs(p.fs, p.dir, "wal-", ".wal"); err == nil {
+		for _, s := range wals {
+			if s < seq {
+				p.fs.Remove(walPath(p.dir, s))
+			}
+		}
+	}
 }
 
 // rotateFiles cuts a checkpoint, makes it durable, starts a fresh WAL
 // at its sequence point, removes the superseded files, and compacts
-// the in-memory log. A crash between any two steps leaves a directory
-// RestoreDir still reads correctly: the newest snapshot plus its WAL
-// (possibly not yet created — then the snapshot alone) cover
-// everything the old pair did.
+// the in-memory log. A crash or fault between any two steps leaves a
+// directory RestoreDir still reads correctly: the newest snapshot plus
+// the newest WAL at or before it cover everything the old pair did.
 func (p *Persister) rotateFiles() error {
 	cp := p.db.Checkpoint()
-	if err := writeSnapshotFile(p.dir, cp); err != nil {
+	if err := writeSnapshotFile(p.fs, p.dir, cp); err != nil {
 		return err
 	}
-	newWAL, err := CreateWAL(walPath(p.dir, cp.Seq), cp.Seq)
+	newWAL, err := CreateWALFS(p.fs, walPath(p.dir, cp.Seq), cp.Seq)
 	if err != nil {
 		return err
 	}
-	if err := syncDir(p.dir); err != nil {
+	if err := syncDir(p.fs, p.dir); err != nil {
 		newWAL.Close()
+		p.fs.Remove(newWAL.Path())
 		return err
 	}
 	oldWAL := p.wal
 	p.wal = newWAL
 	p.durable.Store(cp.Seq)
 	oldWAL.Close()
-	os.Remove(oldWAL.Path())
-	if snaps, err := listSeqs(p.dir, "snap-", ".snap"); err == nil {
-		for _, seq := range snaps {
-			if seq < cp.Seq {
-				os.Remove(snapPath(p.dir, seq))
-			}
-		}
-	}
-	if wals, err := listSeqs(p.dir, "wal-", ".wal"); err == nil {
-		for _, seq := range wals {
-			if seq < cp.Seq {
-				os.Remove(walPath(p.dir, seq))
-			}
-		}
-	}
+	p.removeBelow(cp.Seq)
 	p.db.CompactLog(cp.Seq)
 	return nil
 }

@@ -3,15 +3,23 @@ package eventlog
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"os"
+
+	"dissenter/internal/faultinject"
 )
 
 // WALVersion is the WAL header layout version.
 const WALVersion = 1
 
 var walMagic = [4]byte{'D', 'W', 'A', 'L'}
+
+// errBadWALHeader marks a file whose header never became whole — a
+// crash or fault inside CreateWAL before its sync. Such a file never
+// accepted an append, so recovery may skip past it to an older WAL.
+var errBadWALHeader = errors.New("WAL header never completed")
 
 // WAL is an append-only record file: a header naming the base sequence
 // point, then the frames base+1, base+2, ... in order. Appends are
@@ -20,7 +28,7 @@ var walMagic = [4]byte{'D', 'W', 'A', 'L'}
 // locking.
 type WAL struct {
 	path string
-	f    *os.File
+	f    faultinject.File
 	w    *bufio.Writer
 	base uint64
 	last uint64
@@ -37,16 +45,23 @@ func walHeader(base uint64) []byte {
 // base, with the header already durable. An existing file at path is
 // replaced (a crashed rotation can leave one behind).
 func CreateWAL(path string, base uint64) (*WAL, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	return CreateWALFS(faultinject.OS, path, base)
+}
+
+// CreateWALFS is CreateWAL through an injectable filesystem.
+func CreateWALFS(fsys faultinject.FS, path string, base uint64) (*WAL, error) {
+	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return nil, err
 	}
 	if _, err := f.Write(walHeader(base)); err != nil {
 		f.Close()
+		fsys.Remove(path)
 		return nil, err
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
+		fsys.Remove(path)
 		return nil, err
 	}
 	return &WAL{path: path, f: f, w: bufio.NewWriter(f), base: base, last: base}, nil
@@ -62,20 +77,25 @@ func CreateWAL(path string, base uint64) (*WAL, error) {
 // advance the sequence cursor but are not applied; SkippedOnOpen
 // reports how many.
 func OpenWAL(path string, apply func(Record) error) (*WAL, int, error) {
-	b, err := os.ReadFile(path)
+	return OpenWALFS(faultinject.OS, path, apply)
+}
+
+// OpenWALFS is OpenWAL through an injectable filesystem.
+func OpenWALFS(fsys faultinject.FS, path string, apply func(Record) error) (*WAL, int, error) {
+	b, err := fsys.ReadFile(path)
 	if err != nil {
 		return nil, 0, err
 	}
 	hdr := walHeader(0)
 	if len(b) < len(hdr)-1 || [4]byte(b[:4]) != walMagic {
-		return nil, 0, fmt.Errorf("eventlog: %s: not a WAL file", path)
+		return nil, 0, fmt.Errorf("eventlog: %s: not a WAL file: %w", path, errBadWALHeader)
 	}
 	if ver := b[4]; ver == 0 || ver > WALVersion {
 		return nil, 0, fmt.Errorf("eventlog: %s: unknown WAL version %d", path, ver)
 	}
 	base, n := binary.Uvarint(b[5:])
 	if n <= 0 {
-		return nil, 0, fmt.Errorf("eventlog: %s: malformed WAL header", path)
+		return nil, 0, fmt.Errorf("eventlog: %s: malformed WAL header: %w", path, errBadWALHeader)
 	}
 	off := 5 + n
 
@@ -115,7 +135,7 @@ func OpenWAL(path string, apply func(Record) error) (*WAL, int, error) {
 		good = off
 	}
 
-	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	f, err := fsys.OpenFile(path, os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, skipped, err
 	}
@@ -180,4 +200,11 @@ func (w *WAL) Close() error {
 		return err
 	}
 	return w.f.Close()
+}
+
+// abort closes the file handle without flushing — the recovery path
+// after a failed append or sync, where the buffered writer may hold a
+// sticky error and a torn tail is repaired by reopening.
+func (w *WAL) abort() {
+	w.f.Close()
 }

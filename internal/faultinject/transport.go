@@ -1,0 +1,145 @@
+package faultinject
+
+import (
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"time"
+)
+
+// ErrInjected is the default transport-level failure when a fired
+// rule has no Err of its own.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// ErrCut is the error a cut stream reports once its byte budget is
+// spent — the reader sees a mid-frame tear, not a clean EOF.
+var ErrCut = errors.New("faultinject: stream cut")
+
+// Transport wraps base (nil = http.DefaultTransport) so outgoing
+// requests consult the schedule. OpRoundTrip rules fire per request —
+// an Err refuses the connection, a Delay stalls it. OpBodyRead rules
+// fire per response and shape its body: CutAfter tears the stream
+// after that many bytes, Delay stalls every read (a slow-loris body),
+// Err without CutAfter fails the first read.
+func (inj *Injector) Transport(base http.RoundTripper) http.RoundTripper {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &faultTransport{inj: inj, base: base}
+}
+
+type faultTransport struct {
+	inj  *Injector
+	base http.RoundTripper
+}
+
+func (t *faultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	d := t.inj.check(OpRoundTrip, req.URL.Path)
+	d.sleep()
+	if d.err != nil {
+		return nil, d.err
+	}
+	resp, err := t.base.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	bd := t.inj.check(OpBodyRead, req.URL.Path)
+	if bd.err != nil || bd.cut > 0 || bd.delay > 0 {
+		if bd.err == nil {
+			bd.err = ErrCut
+		}
+		resp.Body = &cutBody{body: resp.Body, d: bd}
+	}
+	return resp, nil
+}
+
+// cutBody shapes one response body per its directive: every read is
+// delayed by d.delay, and after d.cut bytes (or immediately, when cut
+// is 0) reads fail with d.err and the underlying body is closed so
+// the connection is genuinely torn down, not drained.
+type cutBody struct {
+	body io.ReadCloser
+	d    directive
+	read int64
+}
+
+func (c *cutBody) Read(p []byte) (int, error) {
+	if c.d.delay > 0 {
+		time.Sleep(c.d.delay)
+	}
+	remain := c.d.cut - c.read
+	if remain <= 0 {
+		c.body.Close()
+		return 0, c.d.err
+	}
+	if int64(len(p)) > remain {
+		p = p[:remain]
+	}
+	n, err := c.body.Read(p)
+	c.read += int64(n)
+	return n, err
+}
+
+func (c *cutBody) Close() error { return c.body.Close() }
+
+// Listener wraps base for the server side of the seam. OpAccept rules
+// fire per accepted connection — an Err closes it immediately (the
+// client sees a connection reset: a flapping primary), a Delay stalls
+// the accept. OpConnWrite rules also fire per accepted connection and
+// tear its write side after CutAfter bytes, cutting an established
+// stream mid-frame.
+func (inj *Injector) Listener(base net.Listener) net.Listener {
+	return &faultListener{inj: inj, base: base}
+}
+
+type faultListener struct {
+	inj  *Injector
+	base net.Listener
+}
+
+func (l *faultListener) Accept() (net.Conn, error) {
+	for {
+		conn, err := l.base.Accept()
+		if err != nil {
+			return nil, err
+		}
+		d := l.inj.check(OpAccept, l.base.Addr().String())
+		d.sleep()
+		if d.err != nil {
+			conn.Close()
+			continue // drop this client, keep listening
+		}
+		if wd := l.inj.check(OpConnWrite, l.base.Addr().String()); wd.err != nil || wd.cut > 0 {
+			if wd.err == nil {
+				wd.err = ErrCut
+			}
+			return &cutConn{Conn: conn, d: wd}, nil
+		}
+		return conn, nil
+	}
+}
+
+func (l *faultListener) Close() error   { return l.base.Close() }
+func (l *faultListener) Addr() net.Addr { return l.base.Addr() }
+
+// cutConn tears a connection's write side after its byte budget.
+type cutConn struct {
+	net.Conn
+	d       directive
+	written int64
+}
+
+func (c *cutConn) Write(p []byte) (int, error) {
+	remain := c.d.cut - c.written
+	if remain <= 0 {
+		c.Conn.Close()
+		return 0, c.d.err
+	}
+	if int64(len(p)) > remain {
+		p = p[:remain]
+	}
+	n, err := c.Conn.Write(p)
+	c.written += int64(n)
+	return n, err
+}

@@ -1,0 +1,243 @@
+// Package httpguard is the serving stack's degradation layer: health
+// and readiness endpoints, admission control, and graceful shutdown,
+// shared by the primary and replica binaries.
+//
+// The split it enforces:
+//
+//   - /healthz is LIVENESS: "the process is up and can answer HTTP".
+//     It stays 200 through every degraded state — a persister that
+//     went sticky, a replica cut off from its primary — because
+//     restarting the process fixes none of those.
+//
+//   - /readyz is TRAFFIC STEERING: "send me requests". It flips to
+//     503 the moment any registered check fails or a drain begins, so
+//     a load balancer rotates the instance out while it keeps serving
+//     whatever it still can (a degraded replica answers stale reads).
+//
+// Admission bounds in-flight work instead of queueing it: past the
+// limit, requests get an immediate 503 with Retry-After, which keeps
+// latency bounded and tells well-behaved clients when to come back.
+//
+// Serve/ListenAndServe wrap http.Server with operational timeouts and
+// a context-driven drain: readiness flips first, in-flight requests
+// get DrainTimeout to finish, then the server closes. Long-lived
+// streams that must outlive the server's WriteTimeout bump their own
+// write deadlines per write (http.ResponseController), as the
+// replication publisher does.
+package httpguard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Check is one named readiness probe. Probe returns nil when healthy.
+type Check struct {
+	Name  string
+	Probe func() error
+}
+
+// Health serves /healthz and /readyz for one process.
+type Health struct {
+	mu       sync.Mutex
+	checks   []Check
+	draining bool
+}
+
+// NewHealth builds a Health over the given readiness checks.
+func NewHealth(checks ...Check) *Health {
+	return &Health{checks: checks}
+}
+
+// AddCheck registers another readiness check.
+func (h *Health) AddCheck(c Check) {
+	h.mu.Lock()
+	h.checks = append(h.checks, c)
+	h.mu.Unlock()
+}
+
+// SetDraining flips the draining state; a draining process reports
+// not-ready (so the load balancer stops sending new work) while
+// in-flight requests finish.
+func (h *Health) SetDraining(v bool) {
+	h.mu.Lock()
+	h.draining = v
+	h.mu.Unlock()
+}
+
+// Failing runs every check and returns the failures as "name: error"
+// lines, sorted by name ("draining" first when a drain has begun).
+func (h *Health) Failing() []string {
+	h.mu.Lock()
+	checks := append([]Check(nil), h.checks...)
+	draining := h.draining
+	h.mu.Unlock()
+	var fails []string
+	for _, c := range checks {
+		if err := c.Probe(); err != nil {
+			fails = append(fails, fmt.Sprintf("%s: %v", c.Name, err))
+		}
+	}
+	sort.Strings(fails)
+	if draining {
+		fails = append([]string{"draining"}, fails...)
+	}
+	return fails
+}
+
+// Healthz answers liveness: 200 whenever the process can serve at all.
+func (h *Health) Healthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}
+
+// Readyz answers traffic-steering readiness: 200 "ready" when every
+// check passes and no drain is underway, else 503 listing what failed.
+func (h *Health) Readyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fails := h.Failing()
+	if len(fails) == 0 {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ready")
+		return
+	}
+	w.WriteHeader(http.StatusServiceUnavailable)
+	for _, f := range fails {
+		fmt.Fprintln(w, f)
+	}
+}
+
+// Admission bounds concurrent in-flight requests through next. Past
+// the limit, requests are shed immediately with 503 and a Retry-After
+// hint rather than queued — bounded latency over bounded loss. Wrap
+// only the surfaces that should shed; health endpoints and the
+// replication stream are typically mounted outside it.
+func Admission(limit int, retryAfter time.Duration, next http.Handler) http.Handler {
+	if limit <= 0 {
+		return next
+	}
+	if retryAfter <= 0 {
+		retryAfter = time.Second
+	}
+	secs := int(retryAfter / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	sem := make(chan struct{}, limit)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case sem <- struct{}{}:
+			defer func() { <-sem }()
+			next.ServeHTTP(w, r)
+		default:
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+			http.Error(w, "server at capacity, retry later", http.StatusServiceUnavailable)
+		}
+	})
+}
+
+// ServeOptions tunes Serve/ListenAndServe.
+type ServeOptions struct {
+	// ReadHeaderTimeout (default 5s), ReadTimeout (default 30s),
+	// WriteTimeout (default 60s), and IdleTimeout (default 2m) are the
+	// http.Server operational timeouts. Handlers that legitimately
+	// outlive WriteTimeout (streams) must bump their own deadlines via
+	// http.ResponseController.
+	ReadHeaderTimeout time.Duration
+	ReadTimeout       time.Duration
+	WriteTimeout      time.Duration
+	IdleTimeout       time.Duration
+	// DrainTimeout bounds graceful shutdown: how long in-flight
+	// requests get to finish once ctx ends (default 10s).
+	DrainTimeout time.Duration
+	// Health, when set, is flipped to draining the moment shutdown
+	// starts, so /readyz goes 503 before connections close.
+	Health *Health
+	// BaseContext, when set, becomes every request's base context; it
+	// is NOT the shutdown signal (that is Serve's ctx argument).
+	BaseContext context.Context
+	// Logf, when set, receives serve/drain diagnostics.
+	Logf func(format string, args ...any)
+}
+
+func (o *ServeOptions) fill() {
+	if o.ReadHeaderTimeout <= 0 {
+		o.ReadHeaderTimeout = 5 * time.Second
+	}
+	if o.ReadTimeout <= 0 {
+		o.ReadTimeout = 30 * time.Second
+	}
+	if o.WriteTimeout <= 0 {
+		o.WriteTimeout = 60 * time.Second
+	}
+	if o.IdleTimeout <= 0 {
+		o.IdleTimeout = 2 * time.Minute
+	}
+	if o.DrainTimeout <= 0 {
+		o.DrainTimeout = 10 * time.Second
+	}
+}
+
+// ListenAndServe is Serve over a fresh TCP listener on addr.
+func ListenAndServe(ctx context.Context, addr string, h http.Handler, opt ServeOptions) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return Serve(ctx, ln, h, opt)
+}
+
+// Serve runs an http.Server with operational timeouts over ln until
+// ctx ends, then drains gracefully: readiness flips to draining,
+// in-flight requests get DrainTimeout to finish, stragglers are cut.
+// It returns nil after a clean drain, the serve error otherwise.
+func Serve(ctx context.Context, ln net.Listener, h http.Handler, opt ServeOptions) error {
+	opt.fill()
+	srv := &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: opt.ReadHeaderTimeout,
+		ReadTimeout:       opt.ReadTimeout,
+		WriteTimeout:      opt.WriteTimeout,
+		IdleTimeout:       opt.IdleTimeout,
+	}
+	if opt.BaseContext != nil {
+		srv.BaseContext = func(net.Listener) context.Context { return opt.BaseContext }
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	if opt.Health != nil {
+		opt.Health.SetDraining(true)
+	}
+	if opt.Logf != nil {
+		opt.Logf("httpguard: draining (up to %v)", opt.DrainTimeout)
+	}
+	dctx, cancel := context.WithTimeout(context.Background(), opt.DrainTimeout)
+	defer cancel()
+	err := srv.Shutdown(dctx)
+	if err != nil {
+		// Stragglers (or long-lived streams) outlasted the drain
+		// window; cut them.
+		srv.Close()
+		if opt.Logf != nil {
+			opt.Logf("httpguard: drain incomplete: %v", err)
+		}
+	}
+	if serr := <-errc; serr != nil && !errors.Is(serr, http.ErrServerClosed) {
+		return serr
+	}
+	return err
+}

@@ -1,0 +1,237 @@
+package httpguard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHealthzAlwaysOK pins the liveness/readiness split: /healthz
+// stays 200 even when every readiness check fails and a drain is
+// underway — restarting the process would fix nothing.
+func TestHealthzAlwaysOK(t *testing.T) {
+	h := NewHealth(Check{Name: "disk", Probe: func() error { return errors.New("gone") }})
+	h.SetDraining(true)
+	rec := httptest.NewRecorder()
+	h.Healthz(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthz = %d, want 200", rec.Code)
+	}
+}
+
+// TestReadyzReflectsChecks pins readiness transitions: ready while
+// checks pass, 503 naming each failure, back to ready when they clear.
+func TestReadyzReflectsChecks(t *testing.T) {
+	var mu sync.Mutex
+	var fail error
+	h := NewHealth(Check{Name: "persister", Probe: func() error {
+		mu.Lock()
+		defer mu.Unlock()
+		return fail
+	}})
+	get := func() (int, string) {
+		rec := httptest.NewRecorder()
+		h.Readyz(rec, httptest.NewRequest("GET", "/readyz", nil))
+		return rec.Code, rec.Body.String()
+	}
+	if code, body := get(); code != http.StatusOK || !strings.Contains(body, "ready") {
+		t.Fatalf("healthy readyz = %d %q", code, body)
+	}
+	mu.Lock()
+	fail = errors.New("wal sync failed")
+	mu.Unlock()
+	if code, body := get(); code != http.StatusServiceUnavailable || !strings.Contains(body, "persister: wal sync failed") {
+		t.Fatalf("failing readyz = %d %q, want 503 naming the check", code, body)
+	}
+	mu.Lock()
+	fail = nil
+	mu.Unlock()
+	if code, _ := get(); code != http.StatusOK {
+		t.Fatalf("recovered readyz = %d, want 200", code)
+	}
+}
+
+// TestReadyzDraining pins that a drain flips readiness regardless of
+// check state.
+func TestReadyzDraining(t *testing.T) {
+	h := NewHealth()
+	h.SetDraining(true)
+	rec := httptest.NewRecorder()
+	h.Readyz(rec, httptest.NewRequest("GET", "/readyz", nil))
+	if rec.Code != http.StatusServiceUnavailable || !strings.Contains(rec.Body.String(), "draining") {
+		t.Fatalf("draining readyz = %d %q", rec.Code, rec.Body.String())
+	}
+}
+
+// TestAdmissionSheds pins the bounded-in-flight contract: with the
+// limit saturated, the next request is shed immediately with 503 and
+// a Retry-After hint; once a slot frees, requests flow again.
+func TestAdmissionSheds(t *testing.T) {
+	enter := make(chan struct{}, 8) // buffered: the post-release request enters with nobody receiving
+	release := make(chan struct{})
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		enter <- struct{}{}
+		<-release
+		fmt.Fprint(w, "done")
+	})
+	srv := httptest.NewServer(Admission(2, 7*time.Second, inner))
+	defer srv.Close()
+
+	// Saturate both slots.
+	errc := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			resp, err := http.Get(srv.URL)
+			if err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+			errc <- err
+		}()
+	}
+	<-enter
+	<-enter
+
+	// Third request: shed, not queued.
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("saturated request = %d %q, want 503", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "7" {
+		t.Fatalf("Retry-After = %q, want \"7\"", got)
+	}
+
+	// Release the slots; capacity returns.
+	close(release)
+	for i := 0; i < 2; i++ {
+		if err := <-errc; err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp, err = http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-release request = %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestServeDrainsInFlight pins graceful shutdown: cancelling the serve
+// context flips readiness to draining, lets the in-flight request
+// finish and deliver its body, and then Serve returns cleanly.
+func TestServeDrainsInFlight(t *testing.T) {
+	health := NewHealth()
+	inFlight := make(chan struct{})
+	proceed := make(chan struct{})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/readyz", health.Readyz)
+	mux.HandleFunc("/slow", func(w http.ResponseWriter, r *http.Request) {
+		close(inFlight)
+		<-proceed
+		fmt.Fprint(w, "finished")
+	})
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	serveDone := make(chan error, 1)
+	go func() {
+		serveDone <- Serve(ctx, ln, mux, ServeOptions{Health: health, DrainTimeout: 5 * time.Second})
+	}()
+	base := "http://" + ln.Addr().String()
+
+	bodyc := make(chan string, 1)
+	go func() {
+		resp, err := http.Get(base + "/slow")
+		if err != nil {
+			bodyc <- "error: " + err.Error()
+			return
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		bodyc <- string(b)
+	}()
+	<-inFlight
+
+	// Shutdown begins with the request still in flight.
+	cancel()
+	// Readiness must flip even though the old connection still drains.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(base + "/readyz")
+		if err != nil {
+			break // listener closed to new connections: also a valid "not ready"
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusServiceUnavailable && strings.Contains(string(body), "draining") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("readyz never went draining: %d %q", resp.StatusCode, body)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	close(proceed)
+	if got := <-bodyc; got != "finished" {
+		t.Fatalf("in-flight request got %q, want %q", got, "finished")
+	}
+	if err := <-serveDone; err != nil {
+		t.Fatalf("Serve = %v, want nil after clean drain", err)
+	}
+}
+
+// TestServeCutsStragglers pins the drain bound: a request that ignores
+// the drain window is cut instead of pinning shutdown forever.
+func TestServeCutsStragglers(t *testing.T) {
+	inFlight := make(chan struct{})
+	hang := make(chan struct{})
+	defer close(hang)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/hang", func(w http.ResponseWriter, r *http.Request) {
+		close(inFlight)
+		select {
+		case <-hang:
+		case <-r.Context().Done():
+		}
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	serveDone := make(chan error, 1)
+	go func() {
+		serveDone <- Serve(ctx, ln, mux, ServeOptions{DrainTimeout: 50 * time.Millisecond})
+	}()
+	go http.Get("http://" + ln.Addr().String() + "/hang")
+	<-inFlight
+	cancel()
+	select {
+	case err := <-serveDone:
+		if err == nil {
+			t.Fatal("Serve = nil, want the drain-timeout error for a cut straggler")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve hung on a straggler past its drain timeout")
+	}
+}

@@ -215,13 +215,24 @@ func TestReplicaCrashRecovery(t *testing.T) {
 	corpus(t, primary, 7, 25)
 	c1.waitCaughtUp(t, primary.EventSeq(), true)
 
-	// Phase 2: kill -9 while a second batch is mid-flight.
+	// Phase 2: kill -9 while a second batch is mid-flight. Poll the
+	// child's status until it has applied at least one event of the new
+	// batch — a verified mid-stream kill, not a sleep guessing at one.
+	batchStart := primary.EventSeq()
 	writing := make(chan struct{})
 	go func() {
 		defer close(writing)
 		corpus(t, primary, 8, 20)
 	}()
-	time.Sleep(3 * time.Millisecond) // land the kill inside the batch
+	killBy := time.Now().Add(10 * time.Second)
+	for {
+		if applied, _ := c1.status(t); applied > batchStart {
+			break
+		}
+		if time.Now().After(killBy) {
+			t.Fatalf("child never started applying the second batch past %d", batchStart)
+		}
+	}
 	c1.cmd.Process.Kill()
 	c1.cmd.Wait()
 	<-writing

@@ -64,4 +64,26 @@
 // the primary's by the skipped count. Mixed-version replication is
 // therefore read-your-stream consistent only within a connection;
 // upgrade replicas before primaries.
+//
+// Degradation. Reconnects back off exponentially with jitter — waits
+// double from Options.ReconnectWait up to MaxReconnectWait, spread
+// over [d/2, d] so a replica fleet cut by the same fault doesn't
+// reconnect in lockstep — and any progress (an applied event or a
+// clean stream close) resets the wait to base. Status reports the
+// connection state, applied/durable cursors, last-seen primary head
+// (from the stream's X-Replication-Head header), and time since
+// disconnect; Ready folds those into a single readiness verdict
+// (stale-after and max-lag thresholds, plus the local persister's
+// sticky error). Readiness is load-balancer advice, not an admission
+// gate: a not-ready replica keeps serving its last-applied state —
+// stale answers beat shed ones for this read-mostly corpus (see
+// cmd/dissenter-replica, which labels them X-Served-Stale: 1).
+//
+// Fault seams. Options.Client accepts any http.Client, so a
+// faultinject.Transport can script connection refusals, mid-frame
+// stream cuts, and stalls; Options.FS threads a faultinject.FS into
+// the replica's local persistence. The scripted schedules live in
+// internal/chaos (partition mid-stream, flapping primary during
+// bootstrap, serve-stale) and in this package's fan-out and
+// crash-recovery tests.
 package replica

@@ -1,0 +1,94 @@
+package replica
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"dissenter/internal/eventlog"
+	"dissenter/internal/faultinject"
+	"dissenter/internal/platform"
+)
+
+// TestReplicaFanOut pins one primary feeding several replicas at once:
+// three replicas tail the same publisher concurrently while the
+// primary's persister compacts its log, and one is partitioned early —
+// its first stream torn mid-frame, every reconnect refused — so
+// compaction passes its cursor and forces it through the 410→snapshot
+// bootstrap path mid-run while the others stay on the plain stream.
+// All three must converge.
+func TestReplicaFanOut(t *testing.T) {
+	primary := platform.New(nil, nil, nil, nil)
+	pers, err := eventlog.StartPersister(primary, t.TempDir(), eventlog.Options{RotateEvery: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pers.Close()
+	urls := corpus(t, primary, 7, 12)
+	srv := httptest.NewServer(&Publisher{DB: primary})
+	t.Cleanup(srv.Close)
+
+	// Replicas A and B stream clean; C's schedule is fixed before it
+	// connects (the body directive binds per response, at round-trip
+	// time): its first catch-up stream tears after 256 bytes, and every
+	// reconnect to /events is refused. /snapshot stays reachable so the
+	// eventual bootstrap can proceed.
+	inj := faultinject.NewInjector(
+		faultinject.Rule{Op: faultinject.OpBodyRead, Path: "/events", Count: 1, CutAfter: 256},
+		faultinject.Rule{Op: faultinject.OpRoundTrip, Path: "/events", After: 1, Err: faultinject.ErrInjected},
+	)
+	repA := startReplica(t, t.TempDir(), srv.URL, Options{})
+	repB := startReplica(t, t.TempDir(), srv.URL, Options{})
+	var bootstraps int
+	var mu sync.Mutex
+	repC := startReplica(t, t.TempDir(), srv.URL, Options{
+		Client:  &http.Client{Transport: inj.Transport(nil)},
+		OnState: func(*platform.DB) { mu.Lock(); bootstraps++; mu.Unlock() },
+	})
+
+	waitSeq(t, repA, primary.EventSeq())
+	waitSeq(t, repB, primary.EventSeq())
+	// C is wedged once its first stream has been torn and a reconnect
+	// refused; only then is its cursor final.
+	deadlineCut := time.Now().Add(10 * time.Second)
+	for inj.FireCount(faultinject.OpBodyRead) < 1 || inj.FireCount(faultinject.OpRoundTrip) < 1 {
+		if time.Now().After(deadlineCut) {
+			t.Fatalf("partition never engaged: cuts=%d refusals=%d",
+				inj.FireCount(faultinject.OpBodyRead), inj.FireCount(faultinject.OpRoundTrip))
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Write until compaction passes C's torn-off cursor — from then on
+	// its resume point is gone and only a bootstrap can bring it back.
+	more := corpus(t, primary, 8, 20)
+	cursorC := repC.Seq()
+	deadline := time.Now().Add(10 * time.Second)
+	for primary.EventBase() <= cursorC {
+		if time.Now().After(deadline) {
+			t.Fatalf("primary never compacted past %d (base %d)", cursorC, primary.EventBase())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The healthy replicas track the live tail throughout.
+	all := append(urls, more...)
+	waitSeq(t, repA, primary.EventSeq())
+	waitSeq(t, repB, primary.EventSeq())
+	assertConverged(t, primary, repA.DB(), all)
+	assertConverged(t, primary, repB.DB(), all)
+
+	// Partition heals; C's since=cursor request gets 410 and the
+	// bootstrap rebinds its store (Open counted one OnState already).
+	inj.Clear()
+	waitSeq(t, repC, primary.EventSeq())
+	assertConverged(t, primary, repC.DB(), all)
+	mu.Lock()
+	n := bootstraps
+	mu.Unlock()
+	if n < 2 {
+		t.Fatalf("OnState fired %d times; partitioned replica never took the bootstrap path", n)
+	}
+}

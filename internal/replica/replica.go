@@ -4,12 +4,14 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
-	"os"
+	"strconv"
 	"sync"
 	"time"
 
 	"dissenter/internal/eventlog"
+	"dissenter/internal/faultinject"
 	"dissenter/internal/platform"
 )
 
@@ -17,13 +19,21 @@ import (
 type Options struct {
 	// Client is the HTTP client used against the primary (default
 	// http.DefaultClient). Streams are long-lived; do not set a
-	// client-level timeout.
+	// client-level timeout. Tests inject transport faults by setting a
+	// client whose Transport is faultinject.Injector.Transport.
 	Client *http.Client
 	// RotateEvery is passed to the replica's local Persister.
 	RotateEvery int
-	// ReconnectWait is the pause between stream attempts after a
-	// failure (default 250ms).
+	// ReconnectWait is the BASE pause between stream attempts after a
+	// failure (default 250ms). Consecutive failures double the pause
+	// up to MaxReconnectWait, with jitter so a fleet of replicas does
+	// not reconnect in lockstep; any progress resets it to the base.
 	ReconnectWait time.Duration
+	// MaxReconnectWait caps the backoff (default 32x ReconnectWait).
+	MaxReconnectWait time.Duration
+	// FS is the filesystem the replica's local persistence goes
+	// through (default the real one); tests script disk faults here.
+	FS faultinject.FS
 	// OnState is called with the replica's DB when it is (re)bound: once
 	// during Open and again after every snapshot bootstrap, which
 	// REPLACES the DB instance. A serving layer holding the old pointer
@@ -42,16 +52,34 @@ type Replica struct {
 	primary string // publisher mount, e.g. http://host:port/replication
 	opt     Options
 	client  *http.Client
+	fs      faultinject.FS
 
-	mu     sync.Mutex
-	db     *platform.DB
-	pers   *eventlog.Persister
-	closed bool
+	mu             sync.Mutex
+	db             *platform.DB
+	pers           *eventlog.Persister
+	closed         bool
+	streaming      bool
+	lastHead       uint64
+	disconnectedAt time.Time
 }
 
 func (r *Replica) logf(format string, args ...any) {
 	if r.opt.Logf != nil {
 		r.opt.Logf(format, args...)
+	}
+}
+
+// persistOpts threads the replica's FS and diagnostics into its local
+// durability loop. Sticky persister failures stay visible through
+// Status/Ready, so a load balancer can rotate a disk-dead replica out
+// while it keeps serving stale reads.
+func (r *Replica) persistOpts() eventlog.Options {
+	return eventlog.Options{
+		RotateEvery: r.opt.RotateEvery,
+		FS:          r.fs,
+		OnError: func(err error, sticky bool) {
+			r.logf("replica: persist (sticky=%v): %v", sticky, err)
+		},
 	}
 }
 
@@ -64,11 +92,18 @@ func Open(dir, primaryURL string, opt Options) (*Replica, error) {
 	if opt.ReconnectWait <= 0 {
 		opt.ReconnectWait = 250 * time.Millisecond
 	}
+	if opt.MaxReconnectWait <= 0 {
+		opt.MaxReconnectWait = 32 * opt.ReconnectWait
+	}
 	client := opt.Client
 	if client == nil {
 		client = http.DefaultClient
 	}
-	db, skipped, err := eventlog.RestoreDir(dir)
+	fsys := opt.FS
+	if fsys == nil {
+		fsys = faultinject.OS
+	}
+	db, skipped, err := eventlog.RestoreDirFS(fsys, dir)
 	if err != nil {
 		return nil, fmt.Errorf("replica: restore %s: %w", dir, err)
 	}
@@ -78,22 +113,24 @@ func Open(dir, primaryURL string, opt Options) (*Replica, error) {
 		// Skipped WAL records mean our local history has holes the
 		// primary's does not; our sequence cursor would lie. Bootstrap.
 		db = platform.New(nil, nil, nil, nil)
-		if err := os.RemoveAll(dir); err != nil {
+		if err := fsys.RemoveAll(dir); err != nil {
 			return nil, err
 		}
 	}
-	pers, err := eventlog.StartPersister(db, dir, eventlog.Options{RotateEvery: opt.RotateEvery})
+	r := &Replica{
+		dir:            dir,
+		primary:        trimSlash(primaryURL),
+		opt:            opt,
+		client:         client,
+		fs:             fsys,
+		db:             db,
+		disconnectedAt: time.Now(),
+	}
+	pers, err := eventlog.StartPersister(db, dir, r.persistOpts())
 	if err != nil {
 		return nil, err
 	}
-	r := &Replica{
-		dir:     dir,
-		primary: trimSlash(primaryURL),
-		opt:     opt,
-		client:  client,
-		db:      db,
-		pers:    pers,
-	}
+	r.pers = pers
 	if opt.OnState != nil {
 		opt.OnState(db)
 	}
@@ -131,6 +168,66 @@ func (r *Replica) Durable() uint64 {
 	return r.pers.Durable()
 }
 
+// Status is a point-in-time view of the replica's replication health.
+type Status struct {
+	// Connected reports whether an /events stream is open right now.
+	Connected bool
+	// LastHead is the primary's event head as of the last successful
+	// stream connect (the X-Replication-Head header); 0 before any
+	// stream has connected.
+	LastHead uint64
+	// Applied is the replica's own cursor.
+	Applied uint64
+	// Durable is the local WAL's on-disk guarantee.
+	Durable uint64
+	// Disconnected is how long the replica has been without a stream
+	// (zero while connected; measured from Open before the first one).
+	Disconnected time.Duration
+	// PersistErr is the local durability loop's sticky error, if any.
+	PersistErr error
+}
+
+// Status snapshots the replica's replication health.
+func (r *Replica) Status() Status {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Status{
+		Connected: r.streaming,
+		LastHead:  r.lastHead,
+		Applied:   r.db.EventSeq(),
+	}
+	if r.pers != nil {
+		s.Durable = r.pers.Durable()
+		s.PersistErr = r.pers.Err()
+	}
+	if !r.streaming {
+		s.Disconnected = time.Since(r.disconnectedAt)
+	}
+	return s
+}
+
+// Ready reports whether the replica should advertise itself to a load
+// balancer: nil when healthy, otherwise an error naming the first
+// failing check. staleAfter bounds how long a disconnected replica
+// still counts as ready; maxLag bounds how far behind the primary's
+// last-seen head the applied cursor may fall. Zero disables either
+// check. A not-ready replica keeps serving reads — stale answers beat
+// shed ones for this read-mostly corpus — readiness only steers the
+// load balancer.
+func (r *Replica) Ready(staleAfter time.Duration, maxLag uint64) error {
+	s := r.Status()
+	if s.PersistErr != nil {
+		return fmt.Errorf("local persistence failed: %w", s.PersistErr)
+	}
+	if staleAfter > 0 && !s.Connected && s.Disconnected > staleAfter {
+		return fmt.Errorf("disconnected from primary for %v (limit %v)", s.Disconnected.Round(time.Millisecond), staleAfter)
+	}
+	if maxLag > 0 && s.LastHead > s.Applied && s.LastHead-s.Applied > maxLag {
+		return fmt.Errorf("replication lag %d events (limit %d)", s.LastHead-s.Applied, maxLag)
+	}
+	return nil
+}
+
 // Close stops the local durability loop, draining outstanding events
 // to the WAL first. Cancel Run's context before (or concurrently with)
 // calling Close.
@@ -146,20 +243,43 @@ func (r *Replica) Close() error {
 	return pers.Close()
 }
 
+// jitter spreads d over [d/2, d] so a fleet of replicas does not
+// hammer a recovering primary in lockstep.
+func jitter(d time.Duration) time.Duration {
+	if d <= 1 {
+		return d
+	}
+	half := d / 2
+	return half + rand.N(half+1)
+}
+
 // Run drives the replication loop until ctx ends: stream, apply,
 // reconnect on failure, bootstrap from a snapshot when the primary
 // answers 410 Gone. It returns ctx.Err() and never gives up on
 // transient failures — a replica's job is to be caught up whenever the
-// primary is reachable.
+// primary is reachable. Repeated failures without progress back off
+// exponentially (jittered, capped at Options.MaxReconnectWait); any
+// applied event or clean stream close resets the backoff.
 func (r *Replica) Run(ctx context.Context) error {
+	wait := r.opt.ReconnectWait
 	for {
-		if err := r.streamOnce(ctx); err != nil && ctx.Err() == nil {
-			r.logf("replica: stream: %v (reconnecting)", err)
+		before := r.Seq()
+		err := r.streamOnce(ctx)
+		if err != nil && ctx.Err() == nil {
+			r.logf("replica: stream: %v (reconnecting in ~%v)", err, wait)
+		}
+		if err == nil || r.Seq() > before {
+			wait = r.opt.ReconnectWait
 		}
 		select {
 		case <-ctx.Done():
 			return ctx.Err()
-		case <-time.After(r.opt.ReconnectWait):
+		case <-time.After(jitter(wait)):
+		}
+		if err != nil {
+			if wait *= 2; wait > r.opt.MaxReconnectWait {
+				wait = r.opt.MaxReconnectWait
+			}
 		}
 	}
 }
@@ -201,6 +321,20 @@ func (r *Replica) streamOnce(ctx context.Context) error {
 		return fmt.Errorf("replica: /events: unexpected status %s", resp.Status)
 	}
 	defer resp.Body.Close()
+
+	head, _ := strconv.ParseUint(resp.Header.Get("X-Replication-Head"), 10, 64)
+	r.mu.Lock()
+	r.streaming = true
+	if head > r.lastHead {
+		r.lastHead = head
+	}
+	r.mu.Unlock()
+	defer func() {
+		r.mu.Lock()
+		r.streaming = false
+		r.disconnectedAt = time.Now()
+		r.mu.Unlock()
+	}()
 
 	dec := eventlog.NewDecoder(resp.Body)
 	skipped := 0
@@ -262,14 +396,17 @@ func (r *Replica) bootstrap(ctx context.Context) error {
 	oldPers := r.pers
 	r.db = db
 	r.pers = nil
+	if cp.Seq > r.lastHead {
+		r.lastHead = cp.Seq
+	}
 	r.mu.Unlock()
 	if oldPers != nil {
 		oldPers.Close()
 	}
-	if err := os.RemoveAll(r.dir); err != nil {
+	if err := r.fs.RemoveAll(r.dir); err != nil {
 		return err
 	}
-	pers, err := eventlog.StartPersister(db, r.dir, eventlog.Options{RotateEvery: r.opt.RotateEvery})
+	pers, err := eventlog.StartPersister(db, r.dir, r.persistOpts())
 	if err != nil {
 		return err
 	}
