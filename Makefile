@@ -20,10 +20,14 @@ RACE_PKGS = ./internal/platform/... ./internal/respcache/... \
 # Allocation budgets for one cache-miss render of the write-maintained
 # rankings (both measured ~15) and of a discussion page served from the
 # fragment view (measured ~11, constant in comments-per-URL; headroom
-# for noise). A regression past these fails bench-budget.
+# for noise). A regression past these fails bench-budget. The HIT
+# budget is exact: a cache hit serves composed bytes and must allocate
+# NOTHING — the benchmark rounds its MemStats delta to the nearest
+# integer, so there is no noise to leave headroom for.
 TRENDS_ALLOC_BUDGET = 64
 LEADER_ALLOC_BUDGET = 64
 DISC_ALLOC_BUDGET = 64
+HIT_ALLOC_BUDGET = 0
 
 .PHONY: build test race chaos crash-recovery bench bench-budget bench-compare lint fuzz-smoke fmt ci
 
@@ -53,10 +57,17 @@ crash-recovery:
 # Smoke-run every benchmark once so bench code can never rot; use
 # `go test -bench=Concurrent -cpu 1,2,4,8 .` for real numbers. The
 # serving-path benchmarks also emit a machine-readable baseline
-# (BENCH_serve.json: ns/op, allocs/op, cache hit rate).
+# (BENCH_serve.json: ns/op, allocs/op, cache hit rate). The second
+# invocation sweeps the in-process cache-hit benchmarks across -cpu
+# 1,2,4 (each parallelism records its own .../cpu=N baseline key);
+# BENCH_SERVE_MERGE makes that separate test process extend the file
+# the first invocation wrote instead of clobbering it, while the first
+# invocation stays non-merging so deleted benchmarks fall out.
 bench:
 	BENCH_SERVE_JSON=$(CURDIR)/BENCH_serve.json \
 		$(GO) test -run 'ProbablyNoSuchTest' -bench=. -benchtime=1x ./...
+	BENCH_SERVE_JSON=$(CURDIR)/BENCH_serve.json BENCH_SERVE_MERGE=1 \
+		$(GO) test -run 'ProbablyNoSuchTest' -bench 'Hit' -cpu 1,2,4 -benchtime=100x .
 
 # Budget assertions on the hot read paths: a cache-miss trends or
 # leaderboard render must stay under its allocation budget regardless
@@ -69,6 +80,8 @@ bench-budget:
 		$(GO) test -run 'ProbablyNoSuchTest' -bench BenchmarkLeaderboardRenderMiss -benchtime=200x .
 	BENCH_DISC_MAX_ALLOCS=$(DISC_ALLOC_BUDGET) \
 		$(GO) test -run 'ProbablyNoSuchTest' -bench BenchmarkDiscussionRenderMiss -benchtime=200x .
+	BENCH_HIT_MAX_ALLOCS=$(HIT_ALLOC_BUDGET) \
+		$(GO) test -run 'ProbablyNoSuchTest' -bench 'BenchmarkDiscussionHit$$|BenchmarkDiscussionHit304$$' -benchtime=200x .
 
 # Regression gate against the committed baseline: rerun the serving
 # benchmarks into a scratch file and diff it against BENCH_serve.json.
@@ -79,6 +92,8 @@ bench-budget:
 bench-compare:
 	BENCH_SERVE_JSON=$(CURDIR)/BENCH_serve.tmp.json \
 		$(GO) test -run 'ProbablyNoSuchTest' -bench=. -benchtime=1x ./...
+	BENCH_SERVE_JSON=$(CURDIR)/BENCH_serve.tmp.json BENCH_SERVE_MERGE=1 \
+		$(GO) test -run 'ProbablyNoSuchTest' -bench 'Hit' -cpu 1,2,4 -benchtime=100x .
 	$(GO) run ./cmd/bench-compare -baseline $(CURDIR)/BENCH_serve.json \
 		-current $(CURDIR)/BENCH_serve.tmp.json
 	rm -f $(CURDIR)/BENCH_serve.tmp.json

@@ -798,14 +798,23 @@ func BenchmarkViralDiscussionUnderMixedLoad(b *testing.B) {
 // --- machine-readable baseline ------------------------------------------
 
 var (
-	serveMetricsMu sync.Mutex
-	serveMetrics   = map[string]map[string]float64{}
+	serveMetricsMu     sync.Mutex
+	serveMetrics       = map[string]map[string]float64{}
+	serveMetricsLoaded bool
 )
 
 // recordServeMetrics accumulates serving-path benchmark results and,
 // when BENCH_SERVE_JSON names a file, rewrites it after every record —
 // `make bench` emits BENCH_serve.json this way, so the trajectory of
 // the serving layer is diffable run over run.
+//
+// With BENCH_SERVE_MERGE also set, the existing file's entries are
+// loaded before the first record instead of being discarded. The full
+// `-bench=.` invocation runs WITHOUT merge so benchmarks that no
+// longer exist fall out of the baseline; follow-up invocations in the
+// same `make bench` (the `-cpu 1,2,4` hit-path sweep is a separate
+// `go test` process) run WITH it so they extend the file rather than
+// clobbering it.
 func recordServeMetrics(name string, m map[string]float64) {
 	path := os.Getenv("BENCH_SERVE_JSON")
 	if path == "" {
@@ -813,6 +822,14 @@ func recordServeMetrics(name string, m map[string]float64) {
 	}
 	serveMetricsMu.Lock()
 	defer serveMetricsMu.Unlock()
+	if !serveMetricsLoaded {
+		serveMetricsLoaded = true
+		if os.Getenv("BENCH_SERVE_MERGE") != "" {
+			if blob, err := os.ReadFile(path); err == nil {
+				_ = json.Unmarshal(blob, &serveMetrics)
+			}
+		}
+	}
 	serveMetrics[name] = m
 	blob, err := json.MarshalIndent(serveMetrics, "", "  ")
 	if err == nil {

@@ -112,6 +112,14 @@ func BenchmarkReplicationLag(b *testing.B) {
 // while the primary keeps writing and the stream keeps applying — the
 // scale-out case the replica exists for. The event invalidator keeps
 // the response cache coherent, so the hit rate is reported too.
+//
+// Batched like the other under-load benchmarks (underLoadBatch): the
+// old single-request op meant the `make bench` 1x smoke run measured
+// exactly one guaranteed-cold fetch and recorded cache_hit_pct: 0 and
+// a ~14ms "read" into BENCH_serve.json — a stat-plumbing artifact.
+// Discussion reads cycle a small hot subset for the same reason the
+// primary-side load benchmarks do: crawler locality, not a uniform
+// sweep of the corpus. ns_per_req in the baseline is per REQUEST.
 func BenchmarkReplicaReadConcurrent(b *testing.B) {
 	primary := platform.New(nil, nil, nil, nil)
 	urls := replicaBenchCorpus(b, primary)
@@ -151,18 +159,21 @@ func BenchmarkReplicaReadConcurrent(b *testing.B) {
 	}()
 
 	client := benchClient()
+	hot := urls[:8]
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
 		i := 0
 		for pb.Next() {
-			i++
-			switch i % 4 {
-			case 0:
-				benchGet(b, client, srv.URL+"/trends")
-			case 1:
-				benchGet(b, client, srv.URL+"/leaderboard")
-			default:
-				benchGet(b, client, srv.URL+"/discussion?url="+url.QueryEscape(urls[i%len(urls)].URL))
+			for j := 0; j < underLoadBatch; j++ {
+				i++
+				switch i % 4 {
+				case 0:
+					benchGet(b, client, srv.URL+"/trends")
+				case 1:
+					benchGet(b, client, srv.URL+"/leaderboard")
+				default:
+					benchGet(b, client, srv.URL+"/discussion?url="+url.QueryEscape(hot[i%len(hot)].URL))
+				}
 			}
 		}
 	})
@@ -171,9 +182,10 @@ func BenchmarkReplicaReadConcurrent(b *testing.B) {
 	<-writerDone
 
 	m := map[string]float64{
-		"ns_per_read": float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+		"ns_per_req":  float64(b.Elapsed().Nanoseconds()) / float64(b.N*underLoadBatch),
 		"replica_lag": float64(primary.EventSeq() - rep.Seq()),
 	}
+	b.ReportMetric(m["ns_per_req"], "ns/req")
 	if hits, misses := handler.Load().(*dissenterweb.Server).CacheStats(); hits+misses > 0 {
 		pct := float64(hits) / float64(hits+misses) * 100
 		m["cache_hit_pct"] = pct

@@ -5,14 +5,23 @@
 //
 //	go run ./cmd/bench-compare -baseline BENCH_serve.json -current BENCH_serve.tmp.json
 //
-// Timing metrics (ns_per_op, ns_per_req) regress when they exceed
-// baseline*max-ratio; allocation counts (allocs_per_op) use the same
-// ratio (they are deterministic, so any growth is a real code change);
-// cache_hit_pct regresses when it falls more than -max-hit-drop
-// percentage points below the baseline. Benchmarks present in the
-// baseline but missing from the current run are reported too — a
-// silently deleted benchmark is a coverage regression, not a win.
-// Metrics and benchmarks only the current run has are informational.
+// Every baseline metric is printed as one delta line, sorted by
+// regression severity with the worst offender first, so the summary
+// reads as a ranked triage list rather than a bare pass/fail.
+// Severity is the threshold-normalized badness: how many times over
+// its allowed budget a metric landed (1.0 = exactly at the limit).
+//
+// Timing metrics (ns_per_op, ns_per_req, lag_ns_per_event) regress
+// when they exceed baseline*max-ratio; allocation counts
+// (allocs_per_op) use the same ratio when the baseline is nonzero —
+// and when the baseline is ZERO (the zero-allocation hit path), any
+// current value that rounds to one object or more regresses, because
+// no ratio can describe 0 -> n. cache_hit_pct regresses when it falls
+// more than -max-hit-drop percentage points below the baseline.
+// Benchmarks or metrics present in the baseline but MISSING from the
+// current run are hard failures with infinite severity, sorted first —
+// a silently deleted benchmark is a coverage regression, not a win.
+// Metrics only the current run has are informational.
 //
 // The default ratio is generous because `make bench-compare` runs the
 // benchmarks at -benchtime=1x on whatever machine it is invoked on,
@@ -27,10 +36,46 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
+	"sort"
 )
 
 type metrics = map[string]map[string]float64
+
+// Delta is one baseline-vs-current metric comparison. Severity is
+// normalized against the metric's own threshold so deltas of different
+// kinds (timing ratios, hit-rate drops, missing keys) sort on one
+// axis: > 1 means over budget, +Inf means the key vanished or a
+// zero-alloc baseline grew, <= 1 means within budget.
+type Delta struct {
+	Bench     string
+	Metric    string // "" when the whole benchmark is missing
+	Base, Cur float64
+	Severity  float64
+	Missing   bool
+	Regressed bool
+}
+
+func (d Delta) String() string {
+	switch {
+	case d.Missing && d.Metric == "":
+		return fmt.Sprintf("%s: benchmark missing from current run", d.Bench)
+	case d.Missing:
+		return fmt.Sprintf("%s: metric %s missing from current run", d.Bench, d.Metric)
+	case d.Metric == "cache_hit_pct":
+		return fmt.Sprintf("%s: cache_hit_pct %.1f -> %.1f (%+.1f points)",
+			d.Bench, d.Base, d.Cur, d.Cur-d.Base)
+	case d.Base == 0 && d.Regressed:
+		return fmt.Sprintf("%s: %s 0 -> %.4g (zero-alloc baseline grew)",
+			d.Bench, d.Metric, d.Cur)
+	case d.Base == 0:
+		return fmt.Sprintf("%s: %s 0 -> %.4g", d.Bench, d.Metric, d.Cur)
+	default:
+		return fmt.Sprintf("%s: %s %.4g -> %.4g (%.2fx)",
+			d.Bench, d.Metric, d.Base, d.Cur, d.Cur/d.Base)
+	}
+}
 
 func main() {
 	baselinePath := flag.String("baseline", "BENCH_serve.json", "committed baseline JSON")
@@ -47,16 +92,22 @@ func main() {
 	if err != nil {
 		fatal("read current run: %v", err)
 	}
-	regressions := Compare(baseline, current, *maxRatio, *maxHitDrop)
-	if len(regressions) == 0 {
-		fmt.Printf("bench-compare: %d benchmarks within thresholds (ratio %.2g, hit-drop %.3g)\n",
-			len(baseline), *maxRatio, *maxHitDrop)
-		return
+	deltas := Compare(baseline, current, *maxRatio, *maxHitDrop)
+	failed := 0
+	for _, d := range deltas {
+		if d.Regressed {
+			failed++
+			fmt.Fprintln(os.Stderr, "REGRESSION:", d)
+		} else {
+			fmt.Println("ok:", d)
+		}
 	}
-	for _, r := range regressions {
-		fmt.Fprintln(os.Stderr, "REGRESSION:", r)
+	if failed > 0 {
+		fatal("%d of %d metrics regressed (ratio %.2g, hit-drop %.3g)",
+			failed, len(deltas), *maxRatio, *maxHitDrop)
 	}
-	os.Exit(1)
+	fmt.Printf("bench-compare: %d metrics across %d benchmarks within thresholds (ratio %.2g, hit-drop %.3g)\n",
+		len(deltas), len(baseline), *maxRatio, *maxHitDrop)
 }
 
 func load(path string) (metrics, error) {
@@ -76,37 +127,57 @@ func fatal(format string, args ...any) {
 	os.Exit(1)
 }
 
-// Compare reports every regression of current against baseline, one
-// human-readable line each. Only metrics present in BOTH runs of a
-// benchmark are compared, so renaming a metric shows up as the missing
-// benchmark/metric it is rather than a spurious pass.
-func Compare(baseline, current metrics, maxRatio, maxHitDrop float64) []string {
-	var out []string
+// Compare scores every baseline metric against the current run and
+// returns the deltas sorted by severity, worst first (ties break on
+// benchmark then metric name, so output is deterministic). A baseline
+// key absent from the current run is itself a regression — deleting a
+// benchmark must be an explicit baseline refresh, never a silent skip.
+func Compare(baseline, current metrics, maxRatio, maxHitDrop float64) []Delta {
+	var out []Delta
 	for name, base := range baseline {
 		cur, ok := current[name]
 		if !ok {
-			out = append(out, fmt.Sprintf("%s: benchmark missing from current run", name))
+			out = append(out, Delta{
+				Bench: name, Severity: math.Inf(1), Missing: true, Regressed: true,
+			})
 			continue
 		}
 		for metric, b := range base {
 			c, ok := cur[metric]
 			if !ok {
-				out = append(out, fmt.Sprintf("%s: metric %s missing from current run", name, metric))
+				out = append(out, Delta{
+					Bench: name, Metric: metric,
+					Severity: math.Inf(1), Missing: true, Regressed: true,
+				})
 				continue
 			}
-			switch metric {
-			case "cache_hit_pct":
-				if c < b-maxHitDrop {
-					out = append(out, fmt.Sprintf("%s: cache_hit_pct %.1f -> %.1f (allowed drop %.3g points)",
-						name, b, c, maxHitDrop))
+			d := Delta{Bench: name, Metric: metric, Base: b, Cur: c}
+			switch {
+			case metric == "cache_hit_pct":
+				d.Severity = (b - c) / maxHitDrop
+			case b == 0:
+				// A zero baseline (the zero-allocation hit path) has no
+				// meaningful ratio: anything that rounds to >= 1 object/op
+				// is a real regression, fractional residue is measurement
+				// noise.
+				if math.Round(c) >= 1 {
+					d.Severity = math.Inf(1)
 				}
-			default: // ns_per_op, ns_per_req, allocs_per_op: lower is better
-				if b > 0 && c > b*maxRatio {
-					out = append(out, fmt.Sprintf("%s: %s %.4g -> %.4g (%.2fx, allowed %.2gx)",
-						name, metric, b, c, c/b, maxRatio))
-				}
+			default:
+				d.Severity = (c / b) / maxRatio
 			}
+			d.Regressed = d.Severity > 1
+			out = append(out, d)
 		}
 	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Severity != out[j].Severity {
+			return out[i].Severity > out[j].Severity
+		}
+		if out[i].Bench != out[j].Bench {
+			return out[i].Bench < out[j].Bench
+		}
+		return out[i].Metric < out[j].Metric
+	})
 	return out
 }

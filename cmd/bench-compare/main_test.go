@@ -1,47 +1,98 @@
 package main
 
 import (
+	"math"
 	"strings"
 	"testing"
 )
 
-func TestCompare(t *testing.T) {
+func TestCompareRanksWorstFirst(t *testing.T) {
 	baseline := metrics{
 		"DiscussionRenderMiss/comments=10k": {"ns_per_op": 2000, "allocs_per_op": 11},
 		"TrendsUnderWriteLoad/urls=1k":      {"ns_per_req": 100_000, "cache_hit_pct": 66},
+		"DiscussionHit/comments=10k":        {"ns_per_op": 500, "allocs_per_op": 0},
 		"Deleted/bench":                     {"ns_per_op": 10},
 	}
 	current := metrics{
-		"DiscussionRenderMiss/comments=10k": {"ns_per_op": 9000, "allocs_per_op": 11},
+		"DiscussionRenderMiss/comments=10k": {"ns_per_op": 12000, "allocs_per_op": 11},
 		"TrendsUnderWriteLoad/urls=1k":      {"ns_per_req": 120_000, "cache_hit_pct": 20},
+		"DiscussionHit/comments=10k":        {"ns_per_op": 510, "allocs_per_op": 2},
 		"Brand/new":                         {"ns_per_op": 1},
 	}
 	got := Compare(baseline, current, 2.5, 25)
-	want := []string{
-		"ns_per_op 2000 -> 9000",   // 4.5x > 2.5x
-		"cache_hit_pct 66.0 -> 20", // 46-point drop > 25
-		"Deleted/bench: benchmark missing",
+
+	// Every baseline metric yields a delta (4 + the missing benchmark);
+	// current-only benchmarks do not.
+	if len(got) != 7 {
+		t.Fatalf("Compare returned %d deltas, want 7:\n%s", len(got), render(got))
 	}
-	if len(got) != len(want) {
-		t.Fatalf("Compare returned %d regressions, want %d:\n%s", len(got), len(want), strings.Join(got, "\n"))
-	}
-	for _, frag := range want {
-		found := false
-		for _, line := range got {
-			if strings.Contains(line, frag) {
-				found = true
-			}
+
+	var regressed []Delta
+	for _, d := range got {
+		if d.Regressed {
+			regressed = append(regressed, d)
 		}
-		if !found {
-			t.Errorf("no regression line containing %q in:\n%s", frag, strings.Join(got, "\n"))
+	}
+	if len(regressed) != 4 {
+		t.Fatalf("got %d regressions, want 4:\n%s", len(regressed), render(got))
+	}
+
+	// Worst offenders first: the two infinite-severity failures (the
+	// deleted benchmark, the 0 -> 2 alloc growth) outrank the 6x
+	// timing blowout (severity 2.4), which outranks the 46-point hit
+	// drop (severity 1.84).
+	if !math.IsInf(regressed[0].Severity, 1) || !math.IsInf(regressed[1].Severity, 1) {
+		t.Fatalf("infinite-severity failures not ranked first:\n%s", render(got))
+	}
+	if regressed[2].Metric != "ns_per_op" || regressed[2].Bench != "DiscussionRenderMiss/comments=10k" {
+		t.Fatalf("worst finite regression = %s, want the 6x ns_per_op:\n%s", regressed[2], render(got))
+	}
+	if regressed[3].Metric != "cache_hit_pct" {
+		t.Fatalf("fourth regression = %s, want cache_hit_pct:\n%s", regressed[3], render(got))
+	}
+
+	for _, frag := range []string{
+		"Deleted/bench: benchmark missing",
+		"allocs_per_op 0 -> 2 (zero-alloc baseline grew)",
+		"ns_per_op 2000 -> 1.2e+04",
+		"cache_hit_pct 66.0 -> 20.0",
+	} {
+		if !strings.Contains(render(got), frag) {
+			t.Errorf("no delta line containing %q in:\n%s", frag, render(got))
 		}
 	}
 }
 
-func TestCompareClean(t *testing.T) {
-	baseline := metrics{"A": {"ns_per_op": 1000, "cache_hit_pct": 90}}
-	current := metrics{"A": {"ns_per_op": 2400, "cache_hit_pct": 70}}
-	if got := Compare(baseline, current, 2.5, 25); len(got) != 0 {
-		t.Fatalf("within-threshold drift flagged: %v", got)
+func TestCompareMissingMetricFails(t *testing.T) {
+	baseline := metrics{"A": {"ns_per_op": 1000, "allocs_per_op": 3}}
+	current := metrics{"A": {"ns_per_op": 1000}}
+	got := Compare(baseline, current, 2.5, 25)
+	if len(got) != 2 {
+		t.Fatalf("got %d deltas, want 2:\n%s", len(got), render(got))
 	}
+	first := got[0]
+	if !first.Regressed || !first.Missing || first.Metric != "allocs_per_op" {
+		t.Fatalf("missing metric not a ranked-first regression: %+v", first)
+	}
+}
+
+func TestCompareClean(t *testing.T) {
+	baseline := metrics{"A": {"ns_per_op": 1000, "cache_hit_pct": 90, "allocs_per_op": 0}}
+	// Within ratio, within hit-drop, and 0.2 allocs/op of background
+	// noise on a zero baseline rounds to 0 — none of it regresses.
+	current := metrics{"A": {"ns_per_op": 2400, "cache_hit_pct": 70, "allocs_per_op": 0.2}}
+	for _, d := range Compare(baseline, current, 2.5, 25) {
+		if d.Regressed {
+			t.Fatalf("within-threshold drift flagged: %s", d)
+		}
+	}
+}
+
+func render(ds []Delta) string {
+	var b strings.Builder
+	for _, d := range ds {
+		b.WriteString(d.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
 }

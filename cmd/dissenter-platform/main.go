@@ -31,6 +31,7 @@
 //	/replication/events         replication stream (internal/replica.Publisher)
 //	/replication/snapshot       replication bootstrap snapshot
 //	/healthz /readyz            liveness / traffic-steering readiness
+//	/debug/pprof/...            runtime profiling (only with -pprof)
 //
 // Operations: /healthz answers 200 whenever the process is up; /readyz
 // flips to 503 when the persister has failed sticky or a shutdown
@@ -78,6 +79,7 @@ func main() {
 	urlLimit := flag.Int("url-rate-limit", 0, "Dissenter per-URL requests per minute (0 = unlimited; platform used 10)")
 	dataDir := flag.String("data", "", "persistence directory (restore on start, WAL+snapshot while running; empty = in-memory only)")
 	maxInflight := flag.Int("max-inflight", 1024, "admission control: concurrent requests before shedding with 503 (0 = unbounded)")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (opt-in: exposes runtime internals)")
 	flag.Parse()
 
 	log.Printf("generating corpus at scale %.5f (seed %d)...", *scale, *seed)
@@ -176,6 +178,12 @@ func main() {
 	root.HandleFunc("/healthz", health.Healthz)
 	root.HandleFunc("/readyz", health.Readyz)
 	root.Handle("/replication/", &replica.Publisher{DB: db, Logf: log.Printf})
+	if *pprofOn {
+		// Like the health endpoints, profiling stays outside admission: a
+		// profile of a saturated process is the one worth taking.
+		httpguard.MountPprof(root)
+		log.Printf("pprof mounted at /debug/pprof/")
+	}
 	root.Handle("/", httpguard.Admission(*maxInflight, time.Second, mux))
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

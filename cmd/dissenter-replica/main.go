@@ -58,6 +58,7 @@ func main() {
 	urlLimit := flag.Int("url-rate-limit", 0, "per-URL requests per minute (0 = unlimited)")
 	staleAfter := flag.Duration("stale-after", 30*time.Second, "readiness: how long a disconnected replica still counts as ready (0 = never fails this check)")
 	maxLag := flag.Uint64("max-lag", 65536, "readiness: maximum events behind the primary's last-seen head (0 = unchecked)")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (opt-in: exposes runtime internals)")
 	flag.Parse()
 
 	// The serving stack is rebuilt whenever the replica (re)binds its
@@ -105,6 +106,10 @@ func main() {
 		fmt.Fprintf(w, `{"applied":%d,"durable":%d,"connected":%v,"head":%d}`+"\n",
 			s.Applied, s.Durable, s.Connected, s.LastHead)
 	})
+	if *pprofOn {
+		httpguard.MountPprof(mux)
+		log.Printf("pprof mounted at /debug/pprof/")
+	}
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		// Serve-stale: degraded replication never sheds reads, it just
 		// labels them, so callers (and tests) can tell a fresh page

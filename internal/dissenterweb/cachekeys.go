@@ -35,3 +35,29 @@ func HomeSubject(username string) string { return SubjectHome + username + "|" }
 // TrendsKey returns the exact cache key for the trends page as seen
 // by sess.
 func TrendsKey(sess Session) string { return SubjectTrends + viewKey(sess) }
+
+// appendSubjectKey composes "<prefix><subject>|<viewKey>" into dst —
+// the same bytes as DiscussionSubject(subject)+viewKey(sess) et al.,
+// but built into a caller-owned (stack) buffer so the serving hot path
+// can probe the cache (respcache.GetBytes) without allocating a key
+// string. Callers pass the Subject* constants as prefix, keeping the
+// cachecoherence analyzer's single-source-of-truth rule intact.
+func appendSubjectKey(dst []byte, prefix, subject string, sess Session) []byte {
+	dst = append(dst, prefix...)
+	dst = append(dst, subject...)
+	dst = append(dst, '|')
+	return appendViewKey(dst, sess)
+}
+
+// appendViewKey appends viewKey(sess) to dst without the string
+// conversion.
+func appendViewKey(dst []byte, sess Session) []byte {
+	n, o := byte('0'), byte('0')
+	if sess.ShowNSFW {
+		n = '1'
+	}
+	if sess.ShowOffensive {
+		o = '1'
+	}
+	return append(dst, n, o)
+}

@@ -25,9 +25,13 @@ import (
 //	disc|<url>|    PATCHED in place: each live view entry swaps in the
 //	               fragment view's grown comment stream (one appended
 //	               pre-escaped fragment) and fresh count — the page's
-//	               escaped HTML is never discarded. Views with no live
-//	               entry fall back to exact-key invalidation, whose
-//	               tombstone discards any fill racing the write
+//	               escaped HTML is never discarded. The patch advances
+//	               the entry's generation stamp and resets its composed
+//	               response, so the next serve re-composes (and
+//	               re-gzips) under a NEW ETag — a validator from before
+//	               the post can never 304. Views with no live entry
+//	               fall back to exact-key invalidation, whose tombstone
+//	               discards any fill racing the write
 //	               (refreshDiscussion).
 //	home|<author>| dropped: the posting author's profile listing
 //	               changed shape.
@@ -79,7 +83,7 @@ func (s *Server) handlePostComment(w http.ResponseWriter, r *http.Request) {
 	}
 	// Writes draw from the same per-URL budget as reads: the real
 	// platform throttled by request, not by method (§3.2).
-	if !s.rateLimit(w, "discussion:"+raw) {
+	if !s.rateLimit(w, "discussion:", raw) {
 		return
 	}
 	cu := s.db.URLByString(raw)

@@ -2,6 +2,8 @@ package dissenterweb
 
 import (
 	"net/http"
+
+	"dissenter/internal/respcache"
 )
 
 // The vote leaderboard: the most net-upvoted comment pages, Figure 5's
@@ -22,12 +24,27 @@ import (
 // backstops out-of-band store writes, as everywhere. The key itself is
 // SubjectLeaderboard (cachekeys.go), where every cache subject lives.
 
+// leaderKey is SubjectLeaderboard pre-converted for the GetBytes probe.
+var leaderKey = []byte(SubjectLeaderboard)
+
 // handleLeaderboard renders the net-vote leaderboard.
 func (s *Server) handleLeaderboard(w http.ResponseWriter, r *http.Request) {
-	p, _ := s.cache.GetOrFill(SubjectLeaderboard, func() page {
-		return page{simple: s.leaderboardBody()}
+	if s.cache == nil {
+		writePage(w, page{simple: s.leaderboardBody()})
+		return
+	}
+	// Same probe-then-fill shape as the keyed handlers; GetBytes leaves
+	// miss accounting to the GetOrFillRev fall-through.
+	if p, ok := s.cache.GetBytes(leaderKey); ok {
+		s.respond(w, r, p)
+		return
+	}
+	p, _ := s.cache.GetOrFillRev(SubjectLeaderboard, func(rev respcache.Rev) page {
+		p := page{simple: s.leaderboardBody(), rev: rev, resp: &respBox{}}
+		p.resp.composed(&p)
+		return p
 	})
-	writePage(w, p)
+	s.respond(w, r, p)
 }
 
 func (s *Server) leaderboardBody() string {

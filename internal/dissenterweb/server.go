@@ -26,6 +26,19 @@
 // out-of-band store writes. URL-keyed surfaces normalize the address
 // with urlkit.Normalize first, so trivially different encodings of one
 // address share a record, a cache subject, and a rate-limit bucket.
+//
+// On top of the cache sits a thin response layer (respond.go): every
+// cached entry lazily carries a COMPOSED form — final body bytes, a
+// write-time gzip variant, and a strong ETag minted from the entry's
+// respcache generation stamp — so a cache hit negotiates
+// Accept-Encoding, answers a matching If-None-Match with a bodyless
+// 304, and otherwise writes precomposed bytes, with zero allocations
+// end to end (session lookup, query extraction, and the cache-key
+// build are all allocation-free; BenchmarkDiscussionHit pins the
+// budget at exactly 0). Because every fill and every in-place patch
+// advances the generation, a validator issued before any mutation can
+// never produce a 304 — revalidation is exactly as fresh as a full
+// response.
 package dissenterweb
 
 import (
@@ -214,13 +227,15 @@ func (s *Server) RegisterSession(token string, sess Session) {
 }
 
 func (s *Server) session(r *http.Request) Session {
-	c, err := r.Cookie("session")
-	if err != nil {
+	// sessionToken (respond.go) rather than r.Cookie: same cookie, none
+	// of Cookie's per-call parse allocations on the serving hot path.
+	tok := sessionToken(r)
+	if tok == "" {
 		return Session{}
 	}
 	s.sessMu.RLock()
 	defer s.sessMu.RUnlock()
-	return s.sessions[c.Value]
+	return s.sessions[tok]
 }
 
 // visible reports whether a comment is rendered for the session.
@@ -279,12 +294,21 @@ func (s *Server) invalidateSubject(prefix string) {
 // view's pre-escaped comment stream — so a write can patch the span or
 // swap the stream without discarding the kilobytes that did not
 // change. A non-empty head marks a structured entry.
+// Both shapes additionally carry their content generation's identity
+// (rev, stamped by the cache) and a shared respBox that lazily holds
+// the composed response — final bytes, write-time gzip variant, ETag —
+// so cache hits shovel pre-built bytes instead of rendering (see
+// respond.go). Entries from a disabled cache leave both zero and are
+// streamed by writePage.
 type page struct {
 	simple string
 
 	head              string
 	ups, downs, count int
 	stream            []byte
+
+	rev  respcache.Rev
+	resp *respBox
 }
 
 // writePage sends a cached or freshly filled entry. Structured entries
@@ -299,17 +323,23 @@ func writePage(w http.ResponseWriter, p page) {
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
 	io.WriteString(w, p.head)
 	var a [160]byte
-	span := a[:0]
-	span = append(span, `<span class="votes" data-up="`...)
-	span = strconv.AppendInt(span, int64(p.ups), 10)
-	span = append(span, `" data-down="`...)
-	span = strconv.AppendInt(span, int64(p.downs), 10)
-	span = append(span, "\"></span>\n<span class=\"commentcount\">"...)
-	span = strconv.AppendInt(span, int64(p.count), 10)
-	span = append(span, "</span>\n</div>\n"...)
-	w.Write(span)
+	w.Write(appendVoteSpan(a[:0], p.ups, p.downs, p.count))
 	w.Write(p.stream)
 	io.WriteString(w, "</body></html>\n")
+}
+
+// appendVoteSpan renders the mutable vote/count span of a structured
+// discussion page into dst — the single source of those bytes for both
+// the streaming path (writePage) and the composed path (composeBody),
+// so the two can never drift apart.
+func appendVoteSpan(dst []byte, ups, downs, count int) []byte {
+	dst = append(dst, `<span class="votes" data-up="`...)
+	dst = strconv.AppendInt(dst, int64(ups), 10)
+	dst = append(dst, `" data-down="`...)
+	dst = strconv.AppendInt(dst, int64(downs), 10)
+	dst = append(dst, "\"></span>\n<span class=\"commentcount\">"...)
+	dst = strconv.AppendInt(dst, int64(count), 10)
+	return append(dst, "</span>\n</div>\n"...)
 }
 
 // refreshDiscussion folds a just-landed write (a vote, a posted
@@ -325,9 +355,17 @@ func (s *Server) refreshDiscussion(raw string, urlID ids.ObjectID) {
 	for _, vk := range allViewKeys {
 		key := DiscussionSubject(raw) + vk
 		showNSFW, showOffensive := vk[0] == '1', vk[1] == '1'
-		patched := s.cache.Update(key, func(p page) page {
+		patched := s.cache.UpdateRev(key, func(p page, rev respcache.Rev) page {
 			p.stream, p.count = s.db.CommentStream(urlID, showNSFW, showOffensive)
 			p.ups, p.downs = s.db.Votes(urlID)
+			// Adopt the fresh generation stamp and an empty composed box:
+			// the old ETag and pre-gzipped bytes die with the old
+			// generation, atomically with the patch, so a client
+			// revalidating with the stale ETag always gets the new body.
+			// Composing (gzip included) happens lazily on the next hit,
+			// never under the shard lock.
+			p.rev = rev
+			p.resp = &respBox{}
 			return p
 		})
 		if !patched {
@@ -434,11 +472,14 @@ func (s *Server) refuseWrite(w http.ResponseWriter) bool {
 // The request path only touches its own key under the limiter mutex;
 // the O(n) expiry sweep that keeps the map bounded is amortized onto a
 // background goroutine at most once per window, so no request ever
-// pays for it.
-func (s *Server) rateLimit(w http.ResponseWriter, key string) bool {
+// pays for it. The window key is passed as prefix+rest and only
+// concatenated past the disabled check, so an unlimited server (the
+// zero-allocation hit path) never builds the string.
+func (s *Server) rateLimit(w http.ResponseWriter, prefix, rest string) bool {
 	if s.urlLimit <= 0 {
 		return true
 	}
+	key := prefix + rest
 	now := time.Now()
 	if now.UnixNano()-s.lastSweep.Load() >= int64(s.urlWindow) {
 		s.sweepRateLimits(now)
@@ -516,11 +557,22 @@ func (s *Server) handleHome(w http.ResponseWriter, r *http.Request, username str
 		return
 	}
 	sess := s.session(r)
-	key := HomeSubject(username) + viewKey(sess)
-	p, _ := s.cache.GetOrFill(key, func() page {
-		return page{simple: s.homeBody(u, sess)}
+	if s.cache == nil {
+		writePage(w, page{simple: s.homeBody(u, sess)})
+		return
+	}
+	var kb [128]byte
+	key := appendSubjectKey(kb[:0], SubjectHome, username, sess)
+	if p, ok := s.cache.GetBytes(key); ok {
+		s.respond(w, r, p)
+		return
+	}
+	p, _ := s.cache.GetOrFillRev(string(key), func(rev respcache.Rev) page {
+		p := page{simple: s.homeBody(u, sess), rev: rev, resp: &respBox{}}
+		p.resp.composed(&p)
+		return p
 	})
-	writePage(w, p)
+	s.respond(w, r, p)
 }
 
 // homeBody assembles a home page from the write-maintained listing and
@@ -562,12 +614,15 @@ func (s *Server) homeRow(cu *platform.CommentURL) string {
 // view's pre-escaped concatenation (no render pass) — where the seed
 // render walked the page twice and escaped every comment.
 func (s *Server) handleDiscussion(w http.ResponseWriter, r *http.Request) {
-	raw := urlkit.Normalize(r.URL.Query().Get("url"))
+	// queryValue + the Normalize already-normal fast path keep the
+	// common ?url=https://... extraction allocation-free; escaped
+	// queries decode exactly as r.URL.Query().Get would.
+	raw := urlkit.Normalize(queryValue(r.URL.RawQuery, "url"))
 	if raw == "" {
 		http.Error(w, "missing url", http.StatusBadRequest)
 		return
 	}
-	if !s.rateLimit(w, "discussion:"+raw) {
+	if !s.rateLimit(w, "discussion:", raw) {
 		return
 	}
 	cu := s.db.URLByString(raw)
@@ -583,11 +638,26 @@ func (s *Server) handleDiscussion(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sess := s.session(r)
-	key := DiscussionSubject(raw) + viewKey(sess)
-	p, _ := s.cache.GetOrFill(key, func() page {
-		return s.discussionPage(cu, sess.ShowNSFW, sess.ShowOffensive)
+	if s.cache == nil {
+		writePage(w, s.discussionPage(cu, sess.ShowNSFW, sess.ShowOffensive))
+		return
+	}
+	var kb [512]byte
+	key := appendSubjectKey(kb[:0], SubjectDiscussion, raw, sess)
+	if p, ok := s.cache.GetBytes(key); ok {
+		s.respond(w, r, p)
+		return
+	}
+	p, _ := s.cache.GetOrFillRev(string(key), func(rev respcache.Rev) page {
+		p := s.discussionPage(cu, sess.ShowNSFW, sess.ShowOffensive)
+		p.rev = rev
+		p.resp = &respBox{}
+		// Compose eagerly: the response bytes and gzip variant are built
+		// once on fill, not on the first hit that happens to want them.
+		p.resp.composed(&p)
+		return p
 	})
-	writePage(w, p)
+	s.respond(w, r, p)
 }
 
 // discussionPage fills one structured discussion entry from the

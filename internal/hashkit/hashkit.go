@@ -17,6 +17,23 @@ func FNV1a(s string) uint64 {
 	return h
 }
 
+// FNV1aBytes hashes b with 64-bit FNV-1a. Equal bytes hash equal to
+// FNV1a of the same characters, so a sharded container can route a key
+// composed in a caller's scratch buffer to the same shard it would use
+// for the string form — the lookup never pays a []byte→string copy.
+func FNV1aBytes(b []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(b); i++ {
+		h ^= uint64(b[i])
+		h *= prime64
+	}
+	return h
+}
+
 // Mix64 finalizes an integer key (splitmix64 finalizer) so that
 // sequential IDs spread across shards instead of striping.
 func Mix64(x uint64) uint64 {

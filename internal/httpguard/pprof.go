@@ -1,0 +1,23 @@
+package httpguard
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// MountPprof registers the net/http/pprof profiling surface on mux
+// under /debug/pprof/. The handlers are wired explicitly rather than
+// relying on the package's DefaultServeMux init side effect (neither
+// binary serves DefaultServeMux), and the mount is opt-in — the
+// binaries expose it behind a -pprof flag — because the endpoints
+// reveal runtime internals and cost real CPU while a profile is being
+// sampled. Mount it on the operational mux, outside any Admission
+// gate: a profile of a saturated process is exactly the one you want,
+// and the gate would queue or shed it.
+func MountPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}

@@ -33,3 +33,17 @@ func (s *server) refresh() {
 		s.cache.Invalidate(subjectTrends + "00")
 	}
 }
+
+// handleVoteComposed mutates and patches through the composed-response
+// layer's stamped variants; the analyzer must count UpdateRev and
+// GetOrFillRev as coherence just like their unstamped forms.
+func (s *server) handleVoteComposed() {
+	s.db.Vote(2, 0, 1)
+	s.refreshComposed()
+}
+
+func (s *server) refreshComposed() {
+	if !s.cache.UpdateRev(subjectTrends+"01", func(v string, _ respcache.Rev) string { return v }) {
+		_, _ = s.cache.GetOrFillRev(subjectTrends+"01", func(respcache.Rev) string { return "" })
+	}
+}

@@ -58,6 +58,15 @@ import (
 // so even the rebuild escapes nothing. The oracle tests pin streams
 // and home lists byte-/order-identical to a full scan once writes
 // quiesce.
+//
+// This view is also what makes dissenterweb's write-time COMPOSED
+// responses cheap enough to rebuild per mutation: a cache-miss fill
+// concatenates the memoized head with one stream snapshot into the
+// entry's final body bytes, which are then gzipped and stamped with an
+// ETag exactly once (internal/respcache's composed-response entries).
+// The amortization stacks — per comment the escape happens once here,
+// per mutation the gzip happens once there, and per request the edge
+// does no rendering at all, just a variant pick and a Write.
 
 // AppendCommentRow appends the standard comment-row markup — the hot
 // inner fragment of the discussion and single-comment pages — to dst

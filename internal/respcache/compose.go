@@ -1,0 +1,55 @@
+package respcache
+
+import (
+	"bytes"
+	"compress/gzip"
+	"strconv"
+)
+
+// composeGzipMin is the body size below which the gzip variant is not
+// worth storing: tiny pages fit one MTU either way and the variant
+// would only add per-mutation CPU and resident bytes.
+const composeGzipMin = 256
+
+// Composed is the write-time-composed form of one response
+// generation: the final identity body, an optional gzip variant, and
+// the generation's strong ETag — everything a hit needs to answer a
+// request without rendering, compressing, or formatting anything.
+//
+// The *Hdr fields are single-value header slices precomputed so the
+// serving layer can assign them into an http.Header map directly
+// (h["Etag"] = c.ETagHdr) instead of calling Header.Set, which
+// allocates a fresh []string per call. They must be treated as
+// immutable by every consumer, exactly like Body and Gzip.
+type Composed struct {
+	Body []byte
+	Gzip []byte // nil when compression isn't worthwhile for this body
+	ETag string
+
+	ETagHdr    []string
+	BodyLenHdr []string
+	GzipLenHdr []string // nil iff Gzip is nil
+}
+
+// Compose builds the composed form of body for the generation rev.
+// The gzip variant is compressed once, here, with BestSpeed — per
+// mutation, not per request — and dropped when it would not shrink
+// the body. body must not be mutated after the call.
+func Compose(body []byte, rev Rev) *Composed {
+	c := &Composed{
+		Body:       body,
+		ETag:       rev.ETag(),
+		BodyLenHdr: []string{strconv.Itoa(len(body))},
+	}
+	c.ETagHdr = []string{c.ETag}
+	if len(body) >= composeGzipMin {
+		var buf bytes.Buffer
+		zw, _ := gzip.NewWriterLevel(&buf, gzip.BestSpeed)
+		_, _ = zw.Write(body)
+		if err := zw.Close(); err == nil && buf.Len() < len(body) {
+			c.Gzip = buf.Bytes()
+			c.GzipLenHdr = []string{strconv.Itoa(len(c.Gzip))}
+		}
+	}
+	return c
+}

@@ -30,12 +30,40 @@
 // the key, so a miss arriving AFTER the invalidation starts a fresh
 // fill instead of adopting the doomed one.
 //
+// # Composed-response entries
+//
+// For serving pre-composed response bytes (body + write-time gzip
+// variant + strong ETag) the cache stamps each content generation with
+// a Rev: the shard's invalidation epoch plus a shard-monotonic
+// sequence number, minted under the same lock acquisition that makes
+// the generation reachable. The lifecycle is:
+//
+//   - GetOrFillRev mints the Rev when the fill's flight is published;
+//     the fill composes the final response once (render, gzip, ETag
+//     from the Rev) and the composed form is cached with the entry.
+//   - UpdateRev patches the entry in place AND re-stamps it with a
+//     fresh Rev under the shard lock, so the patched generation gets a
+//     new ETag atomically with the content change — a client holding
+//     the previous ETag can never revalidate against the patched body.
+//   - Invalidate bumps the shard epoch, so any generation stamped
+//     before it carries a Rev that no later generation can repeat.
+//
+// Because the sequence number only moves forward, two distinct
+// generations of one key never share an ETag, which is the property
+// the HTTP layer's If-None-Match handling relies on: a 304 is only
+// ever issued when the client's validator equals the ETag of the
+// currently cached generation, and an invalidated epoch can never
+// produce that equality. GetBytes is the companion zero-allocation
+// read: it accepts the key as a scratch []byte so the serving hot path
+// can probe the cache without building a string key.
+//
 // Like the platform store it fronts, the cache is split across
 // independently locked shards by key hash, so concurrent hits on
 // different pages do not contend.
 package respcache
 
 import (
+	"strconv"
 	"sync"
 	"time"
 
@@ -71,6 +99,11 @@ type lruShard[V any] struct {
 	epoch     uint64
 	tomb      map[string]uint64
 	tombFloor uint64
+	// seq counts content generations stamped in this shard (fills and
+	// in-place patches). Together with epoch it forms the Rev identity
+	// of one generation; it never rewinds, so ETags derived from it
+	// never repeat across generations of any key in the shard.
+	seq uint64
 	// flights holds the in-progress GetOrFill per key: followers of a
 	// live flight wait on done instead of rendering.
 	flights map[string]*flight[V]
@@ -164,6 +197,39 @@ func (c *Cache[V]) GetOrFill(key string, fill func() V) (V, bool) {
 	if c == nil {
 		return fill(), false
 	}
+	return c.GetOrFillRev(key, func(Rev) V { return fill() })
+}
+
+// Rev identifies one content generation of one cache key: the shard's
+// invalidation epoch when the generation was stamped plus a
+// shard-monotonic sequence number. Two distinct generations never
+// share a Rev (Seq only moves forward), which makes ETag a sound
+// strong validator: byte-different bodies always carry different tags.
+// The zero Rev is reserved for unstamped renders (disabled cache,
+// panic-recovery fallback fills); stamped generations always have
+// Seq >= 1.
+type Rev struct {
+	Epoch, Seq uint64
+}
+
+// ETag renders the Rev as a strong HTTP entity tag.
+func (r Rev) ETag() string {
+	return `"` + strconv.FormatUint(r.Epoch, 16) + "-" + strconv.FormatUint(r.Seq, 16) + `"`
+}
+
+// GetOrFillRev is GetOrFill for fills that compose their response
+// bytes at write time: fill receives the Rev stamped for the
+// generation it is about to produce, minted under the same lock
+// acquisition that published the fill's flight. See the package
+// comment's composed-response lifecycle. On a nil cache, and for the
+// self-render fallback of a waiter whose flight leader panicked, fill
+// still receives a freshly minted (or zero, when nil) Rev so the
+// response it composes is internally consistent — it just is never
+// cached.
+func (c *Cache[V]) GetOrFillRev(key string, fill func(Rev) V) (V, bool) {
+	if c == nil {
+		return fill(Rev{}), false
+	}
 	s := c.shard(key)
 	s.mu.Lock()
 	if e, ok := s.items[key]; ok && !s.now().After(e.expires) {
@@ -179,14 +245,21 @@ func (c *Cache[V]) GetOrFill(key string, fill func() V) (V, bool) {
 		<-f.done
 		if f.failed {
 			// The leader's fill panicked; render for ourselves rather
-			// than serve a value that was never produced.
-			return fill(), false
+			// than serve a value that was never produced. Mint a real
+			// stamp so the self-render's ETag is not the shared zero.
+			s.mu.Lock()
+			s.seq++
+			rev := Rev{Epoch: s.epoch, Seq: s.seq}
+			s.mu.Unlock()
+			return fill(rev), false
 		}
 		return f.val, true
 	}
 	f := &flight[V]{done: make(chan struct{})}
 	s.flights[key] = f
-	epoch := s.epoch
+	s.seq++
+	rev := Rev{Epoch: s.epoch, Seq: s.seq}
+	epoch := rev.Epoch
 	s.misses++
 	s.mu.Unlock()
 
@@ -204,7 +277,7 @@ func (c *Cache[V]) GetOrFill(key string, fill func() V) (V, bool) {
 		close(f.done)
 	}()
 
-	v := fill()
+	v := fill(rev)
 	completed = true
 
 	s.mu.Lock()
@@ -228,6 +301,19 @@ func (c *Cache[V]) Update(key string, f func(V) V) bool {
 	if c == nil {
 		return false
 	}
+	return c.UpdateRev(key, func(v V, _ Rev) V { return f(v) })
+}
+
+// UpdateRev is Update for composed-response entries: f additionally
+// receives a fresh Rev, minted under the shard lock atomically with
+// the patch, which the patched value must adopt as its new generation
+// identity (re-derive the ETag, drop the stale composed bytes). The
+// re-stamp is what guarantees a client revalidating with the
+// pre-patch ETag gets a full 200 with the new body, never a 304.
+func (c *Cache[V]) UpdateRev(key string, f func(V, Rev) V) bool {
+	if c == nil {
+		return false
+	}
 	s := c.shard(key)
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -235,9 +321,39 @@ func (c *Cache[V]) Update(key string, f func(V) V) bool {
 	if !ok || s.now().After(e.expires) {
 		return false
 	}
-	//lint:ignore lockscope Update's contract: f patches the entry under the shard lock so racing patches serialize; it must be fast and not re-enter the cache
-	e.val = f(e.val)
+	s.seq++
+	//lint:ignore lockscope UpdateRev's contract: f patches the entry under the shard lock so racing patches serialize; it must be fast and not re-enter the cache
+	e.val = f(e.val, Rev{Epoch: s.epoch, Seq: s.seq})
 	return true
+}
+
+// GetBytes is Get with the key passed as a scratch []byte: the lookup
+// uses the compiler's non-allocating map-index-by-converted-bytes form
+// and hashes the bytes directly, so a caller that composes its key
+// into a stack buffer probes the cache with zero heap allocations.
+// Unlike Get, a miss here does NOT count in Stats — GetBytes is the
+// fast-path probe in front of GetOrFill(Rev), and the fall-through
+// call is the one that does the miss accounting (and possibly still
+// hits, via an entry or flight that appeared in between).
+func (c *Cache[V]) GetBytes(key []byte) (V, bool) {
+	var zero V
+	if c == nil {
+		return zero, false
+	}
+	s := &c.shards[hashkit.FNV1aBytes(key)%cacheShards]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.items[string(key)]
+	if !ok {
+		return zero, false
+	}
+	if s.now().After(e.expires) {
+		s.remove(e)
+		return zero, false
+	}
+	s.moveToFront(e)
+	s.hits++
+	return e.val, true
 }
 
 // Epoch returns the key's current invalidation epoch. Snapshot it

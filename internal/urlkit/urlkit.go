@@ -150,6 +150,9 @@ func CanonicalKey(rawurl string) string {
 // hostless, and userinfo-bearing URLs are returned unchanged, which
 // keeps arbitrary covert-channel anchors (§6) addressable verbatim.
 func Normalize(rawurl string) string {
+	if alreadyNormal(rawurl) {
+		return rawurl
+	}
 	u, err := url.Parse(rawurl)
 	if err != nil || u.Scheme == "" || u.Opaque != "" || u.Host == "" || u.User != nil {
 		return rawurl
@@ -176,6 +179,42 @@ func Normalize(rawurl string) string {
 		rest = rest[:i]
 	}
 	return scheme + "://" + host + rest
+}
+
+// alreadyNormal reports whether rawurl is provably already in
+// Normalize's output form, letting the serving hot path skip the
+// parse-and-rebuild (and its allocations) for the overwhelmingly
+// common case: a lowercase-scheme http(s) URL whose authority is a
+// bare lowercase host — no port (which also excludes bracketed IPv6
+// literals), no userinfo, no percent-escapes — and which carries no
+// fragment. For such input the slow path reproduces the input
+// byte-for-byte, so returning it unchanged is exact, not approximate.
+func alreadyNormal(rawurl string) bool {
+	rest := rawurl
+	switch {
+	case strings.HasPrefix(rest, "https://"):
+		rest = rest[len("https://"):]
+	case strings.HasPrefix(rest, "http://"):
+		rest = rest[len("http://"):]
+	default:
+		return false
+	}
+	i := 0
+	for ; i < len(rest); i++ {
+		c := rest[i]
+		if c == '/' || c == '?' || c == '#' {
+			break
+		}
+		if c == ':' || c == '@' || c == '%' || ('A' <= c && c <= 'Z') {
+			return false
+		}
+	}
+	if i == 0 {
+		// Empty host: the slow path's business (returned unchanged there,
+		// but keep a single source of truth for that decision).
+		return false
+	}
+	return strings.IndexByte(rest[i:], '#') < 0
 }
 
 func defaultPort(scheme, port string) bool {
