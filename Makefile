@@ -8,12 +8,13 @@ GO ?= go
 # the bounded TopK and the non-monotone Exact structure; eventlog and
 # replica cover the durability/replication layer (WAL group commit,
 # streaming apply, snapshot bootstrap); faultinject/httpguard/chaos
-# cover the fault seams and the degradation machinery they exercise.
+# cover the fault seams and the degradation machinery they exercise;
+# gateway covers the fleet front door (probing, failover, breakers).
 RACE_PKGS = ./internal/platform/... ./internal/respcache/... \
             ./internal/rankheap/... \
             ./internal/eventlog/... ./internal/replica/... \
             ./internal/faultinject/... ./internal/httpguard/... \
-            ./internal/chaos/... \
+            ./internal/gateway/... ./internal/chaos/... \
             ./internal/gabapi/... ./internal/dissenterweb/... \
             ./internal/crawlkit/... ./internal/dissentercrawl/...
 
@@ -40,11 +41,14 @@ test:
 race:
 	$(GO) test -race $(RACE_PKGS)
 
-# The scripted fault-injection suite (internal/chaos): six
+# The scripted fault-injection suite (internal/chaos): nine
 # deterministic schedules — disk full during rotation, sticky fsync
 # flipping /readyz, partition mid-stream, flapping primary during
-# bootstrap, serve-stale, drain-flushes-WAL — each asserting no event
-# loss and byte-identical convergence. Also part of `race`.
+# bootstrap, serve-stale, drain-flushes-WAL, plus three gateway
+# schedules (replica killed mid-request, primary flap during write
+# load, whole-pool lag excursion) — each asserting no event loss,
+# byte-identical convergence, and zero failed reads while any backend
+# is healthy. Also part of `race`.
 chaos:
 	$(GO) test -race -count=1 -v ./internal/chaos/
 

@@ -1,0 +1,62 @@
+// Gateway proxy-overhead benchmark: the same cached /trends hit served
+// directly by the web server versus through dissenter-gateway's read
+// path (probe bookkeeping, candidate selection, buffered body copy).
+// The delta is the per-read price of fleet routing; BENCH_serve.json
+// records both so bench-compare flags a regression in either.
+package dissenter_test
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"dissenter/internal/dissenterweb"
+	"dissenter/internal/gateway"
+	"dissenter/internal/replica"
+)
+
+// BenchmarkGatewayReadOverhead measures a proxied cached read against
+// the identical direct one. The backend is a real web server over the
+// 1k-URL trends fixture with the probe endpoints the gateway needs, so
+// the proxied path runs exactly as in production: probed backend,
+// fresh tier, buffered copy.
+func BenchmarkGatewayReadOverhead(b *testing.B) {
+	f := trendsBenchFixture(b, trendsScales[0])
+	web := dissenterweb.NewServer(f.db, dissenterweb.WithURLRateLimit(0, 0))
+	mux := http.NewServeMux()
+	mux.HandleFunc("/replication-status", func(w http.ResponseWriter, r *http.Request) {
+		replica.ServeStatus(w, replica.PrimaryStatus(f.db, 0, nil))
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) { fmt.Fprintln(w, "ready") })
+	mux.Handle("/", web)
+	backend := httptest.NewServer(mux)
+	defer backend.Close()
+
+	gw := gateway.New(backend.URL, nil, gateway.Options{})
+	gw.ProbeNow(context.Background())
+	front := httptest.NewServer(gw)
+	defer front.Close()
+
+	client := benchClient()
+	benchGet(b, client, backend.URL+"/trends") // warm the trends cache once
+
+	for _, bc := range []struct{ name, url string }{
+		{"direct", backend.URL + "/trends"},
+		{"proxied", front.URL + "/trends"},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					benchGet(b, client, bc.url)
+				}
+			})
+			b.StopTimer()
+			recordServeMetrics("GatewayReadOverhead/"+bc.name, map[string]float64{
+				"ns_per_req": float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+			})
+		})
+	}
+}

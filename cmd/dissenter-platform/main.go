@@ -30,6 +30,7 @@
 //	/reddit/... /api/user/...   Pushshift-style Reddit API
 //	/replication/events         replication stream (internal/replica.Publisher)
 //	/replication/snapshot       replication bootstrap snapshot
+//	/replication-status         fleet lag shape (replica.StatusJSON, role "primary")
 //	/healthz /readyz            liveness / traffic-steering readiness
 //	/debug/pprof/...            runtime profiling (only with -pprof)
 //
@@ -178,6 +179,17 @@ func main() {
 	root.HandleFunc("/healthz", health.Healthz)
 	root.HandleFunc("/readyz", health.Readyz)
 	root.Handle("/replication/", &replica.Publisher{DB: db, Logf: log.Printf})
+	root.HandleFunc("/replication-status", func(w http.ResponseWriter, r *http.Request) {
+		// The primary mirrors the replica's machine-readable lag shape
+		// so the gateway's prober decodes one struct across the fleet:
+		// role "primary", head == applied, lag 0.
+		var durable uint64
+		var perr error
+		if pers != nil {
+			durable, perr = pers.Durable(), pers.Err()
+		}
+		replica.ServeStatus(w, replica.PrimaryStatus(db, durable, perr))
+	})
 	if *pprofOn {
 		// Like the health endpoints, profiling stays outside admission: a
 		// profile of a saturated process is the one worth taking.

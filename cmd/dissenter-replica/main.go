@@ -14,9 +14,11 @@
 //
 // Routes: the Dissenter web app's read surface (/user/..., /discussion,
 // /comment/..., /trends, /leaderboard); the mutating endpoints answer
-// 403 (write on the primary). /replication-status reports the applied
-// and durable sequence numbers, connection state, and last-seen
-// primary head as JSON. /healthz answers liveness; /readyz answers 503
+// 403 (write on the primary). /replication-status reports the
+// machine-readable lag shape (replica.StatusJSON: role, head, applied,
+// lag, durable, connection state, persister health) that the gateway's
+// prober consumes; the primary mirrors the same shape.
+// /healthz answers liveness; /readyz answers 503
 // once the replica has been disconnected longer than -stale-after, is
 // lagging the primary's head by more than -max-lag events, or its
 // local persistence has failed sticky.
@@ -101,10 +103,10 @@ func main() {
 	mux.HandleFunc("/healthz", health.Healthz)
 	mux.HandleFunc("/readyz", health.Readyz)
 	mux.HandleFunc("/replication-status", func(w http.ResponseWriter, r *http.Request) {
-		s := rep.Status()
-		w.Header().Set("Content-Type", "application/json")
-		fmt.Fprintf(w, `{"applied":%d,"durable":%d,"connected":%v,"head":%d}`+"\n",
-			s.Applied, s.Durable, s.Connected, s.LastHead)
+		// The machine-readable lag shape the gateway's prober consumes;
+		// the primary mirrors the same shape, so the prober decodes one
+		// struct for the whole fleet.
+		replica.ServeStatus(w, rep.StatusJSON())
 	})
 	if *pprofOn {
 		httpguard.MountPprof(mux)

@@ -15,6 +15,13 @@
 //     survives dropped connections and converges
 //   - disconnected replica: readiness fails, reads keep serving stale
 //   - drain: shutdown finishes in-flight requests and flushes the WAL
+//   - replica killed mid-request: the gateway's buffered failover hides
+//     a mid-body tear, ejects the dead backend, and re-admits it only
+//     through the half-open probe — zero failed reads
+//   - primary flap during write load: writes fail fast (never replayed)
+//     and stay shed until the probe re-admits; reads never fail
+//   - whole-pool lag excursion: reads degrade to stale-labeled 200s
+//     from the pool, the primary's read surface takes zero requests
 //
 // The package has no non-test API; this file exists so the directory
 // is a buildable package.

@@ -1,0 +1,479 @@
+package gateway
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dissenter/internal/httpguard"
+)
+
+// Role names a backend's place in the fleet.
+type Role uint8
+
+const (
+	// RolePrimary takes every write and is the read backend of last
+	// resort.
+	RolePrimary Role = iota
+	// RoleReplica serves reads only.
+	RoleReplica
+)
+
+func (r Role) String() string {
+	if r == RolePrimary {
+		return "primary"
+	}
+	return "replica"
+}
+
+// writePaths are the app's GET-shaped mutating endpoints: method alone
+// cannot route them (the vote endpoint mutates via a GET), so the
+// gateway pins them to the primary by path.
+var writePaths = map[string]bool{
+	"/discussion/begin":   true,
+	"/discussion/vote":    true,
+	"/discussion/comment": true,
+}
+
+// Options tunes a Gateway.
+type Options struct {
+	// Transport carries every proxied request and probe (default
+	// http.DefaultTransport). Tests inject faults by passing a
+	// faultinject Injector.Transport here.
+	Transport http.RoundTripper
+	// ProbeInterval is Run's pause between probe rounds (default 1s).
+	// Tests usually skip Run entirely and call ProbeNow at scripted
+	// points instead.
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds each probe request (default 2s).
+	ProbeTimeout time.Duration
+	// MaxLag is the staleness bound for read routing: a replica whose
+	// fleet-computed lag exceeds it is routed to only when no fresh
+	// replica exists, and its responses carry X-Served-Stale: 1.
+	// 0 means any lag counts as fresh.
+	MaxLag uint64
+	// EjectAfter is how many CONSECUTIVE failures (probe or proxy)
+	// eject a backend from rotation (default 3). Re-admission happens
+	// only through a successful probe — the half-open trial.
+	EjectAfter int
+	// RetryAttempts caps total attempts per read, first try included
+	// (default 3).
+	RetryAttempts int
+	// RetryBudgetRatio and RetryBudgetBurst bound GLOBAL retry volume:
+	// retries spent may not exceed Burst + Ratio × reads admitted
+	// (defaults 0.1 and 10). The budget keeps a fleet-wide outage from
+	// amplifying every user request into len(backends) requests.
+	RetryBudgetRatio float64
+	RetryBudgetBurst int
+	// Logf, when set, receives routing diagnostics (ejections,
+	// re-admissions, budget exhaustion).
+	Logf func(format string, args ...any)
+}
+
+func (o *Options) fill() {
+	if o.Transport == nil {
+		o.Transport = http.DefaultTransport
+	}
+	if o.ProbeInterval <= 0 {
+		o.ProbeInterval = time.Second
+	}
+	if o.ProbeTimeout <= 0 {
+		o.ProbeTimeout = 2 * time.Second
+	}
+	if o.EjectAfter <= 0 {
+		o.EjectAfter = 3
+	}
+	if o.RetryAttempts <= 0 {
+		o.RetryAttempts = 3
+	}
+	if o.RetryBudgetRatio <= 0 {
+		o.RetryBudgetRatio = 0.1
+	}
+	if o.RetryBudgetBurst <= 0 {
+		o.RetryBudgetBurst = 10
+	}
+}
+
+// Gateway routes client traffic across a primary and a replica pool.
+// See the package documentation for the routing and ejection rules.
+type Gateway struct {
+	opt      Options
+	primary  *backend
+	replicas []*backend
+	all      []*backend // primary first, then replicas
+	rr       atomic.Uint64
+	budget   retryBudget
+	bufs     sync.Pool
+}
+
+// New builds a gateway over the primary's base URL and the replicas'.
+// Base URLs are scheme://host[:port] — the gateway appends each
+// request's path and query. An unparseable URL panics: the fleet is
+// static configuration, not runtime input.
+func New(primaryURL string, replicaURLs []string, opt Options) *Gateway {
+	opt.fill()
+	g := &Gateway{opt: opt}
+	g.bufs.New = func() any { return new(bytes.Buffer) }
+	g.primary = newBackend("primary", primaryURL, RolePrimary)
+	g.all = append(g.all, g.primary)
+	for i, u := range replicaURLs {
+		b := newBackend(fmt.Sprintf("replica%d", i+1), u, RoleReplica)
+		g.replicas = append(g.replicas, b)
+		g.all = append(g.all, b)
+	}
+	return g
+}
+
+func (g *Gateway) logf(format string, args ...any) {
+	if g.opt.Logf != nil {
+		g.opt.Logf(format, args...)
+	}
+}
+
+// backend is one member of the fleet plus the gateway's view of it.
+type backend struct {
+	name string
+	role Role
+	base *url.URL // scheme + host only
+
+	mu          sync.Mutex
+	ejected     bool
+	consecFails int
+	probed      bool // at least one successful probe round
+	ready       bool // last /readyz verdict
+	applied     uint64
+	head        uint64 // backend's self-reported head
+	lag         uint64 // fleet-computed at the last probe round
+	persistOK   bool
+	lastErr     string
+	served      uint64 // successful proxied responses
+	failures    uint64 // failed attempts (probe + proxy)
+}
+
+func newBackend(name, baseURL string, role Role) *backend {
+	u, err := url.Parse(baseURL)
+	if err != nil || u.Scheme == "" || u.Host == "" {
+		panic(fmt.Sprintf("gateway: bad backend URL %q: %v", baseURL, err))
+	}
+	return &backend{
+		name: name,
+		role: role,
+		base: &url.URL{Scheme: u.Scheme, Host: u.Host},
+	}
+}
+
+func (b *backend) admitted() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return !b.ejected
+}
+
+// recordFailure feeds one failed interaction into the breaker and
+// reports whether this failure caused an ejection.
+func (b *backend) recordFailure(ejectAfter int, err error) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures++
+	b.consecFails++
+	if err != nil {
+		b.lastErr = err.Error()
+	}
+	if !b.ejected && b.consecFails >= ejectAfter {
+		b.ejected = true
+		return true
+	}
+	return false
+}
+
+// recordSuccess feeds one successful PROXIED response into the
+// breaker. It resets the consecutive-failure counter but never clears
+// an ejection — while ejected a backend gets no proxied traffic, and
+// re-admission is the probe's job alone.
+func (b *backend) recordSuccess() {
+	b.mu.Lock()
+	b.consecFails = 0
+	b.served++
+	b.lastErr = ""
+	b.mu.Unlock()
+}
+
+// tier classifies a replica for read routing.
+type tier uint8
+
+const (
+	tierFresh tier = iota
+	tierUnknown
+	tierStale
+)
+
+func (b *backend) readTier(maxLag uint64) tier {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.probed {
+		return tierUnknown
+	}
+	if b.ready && (maxLag == 0 || b.lag <= maxLag) {
+		return tierFresh
+	}
+	return tierStale
+}
+
+// retryBudget gates global retry volume. It is a pure function of the
+// request sequence — no clocks — so fault schedules over it are
+// deterministic.
+type retryBudget struct {
+	mu       sync.Mutex
+	requests uint64 // reads admitted
+	retries  uint64 // retries spent
+	denied   uint64 // retries refused by the budget
+}
+
+func (b *retryBudget) addRequest() {
+	b.mu.Lock()
+	b.requests++
+	b.mu.Unlock()
+}
+
+func (b *retryBudget) allowRetry(ratio float64, burst int) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	// Admit the retry only if spending it keeps the total within the
+	// limit — retries NEVER exceed burst + ratio × requests.
+	if float64(b.retries+1) <= float64(burst)+ratio*float64(b.requests) {
+		b.retries++
+		return true
+	}
+	b.denied++
+	return false
+}
+
+func (b *retryBudget) snapshot() (requests, retries, denied uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.requests, b.retries, b.denied
+}
+
+// ServeHTTP routes one client request per the package rules.
+func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if isWrite(r) {
+		g.serveWrite(w, r)
+		return
+	}
+	g.serveRead(w, r)
+}
+
+func isWrite(r *http.Request) bool {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		return true
+	}
+	return writePaths[r.URL.Path]
+}
+
+// serveWrite proxies one mutating request to the primary, exactly
+// once: a write that may have reached the store must never be
+// replayed, so there is no failover and no retry here. The response —
+// success, app error, or shed — streams through unbuffered.
+func (g *Gateway) serveWrite(w http.ResponseWriter, r *http.Request) {
+	b := g.primary
+	if !b.admitted() {
+		g.unavailable(w, "primary ejected")
+		return
+	}
+	resp, err := g.opt.Transport.RoundTrip(g.outbound(b, r))
+	if err != nil {
+		if b.recordFailure(g.opt.EjectAfter, err) {
+			g.logf("gateway: %s ejected after %d consecutive failures (%v)", b.name, g.opt.EjectAfter, err)
+		}
+		http.Error(w, "primary unreachable", http.StatusBadGateway)
+		return
+	}
+	defer resp.Body.Close()
+	// A 5xx (the primary's admission shed, or a dying process) feeds
+	// the breaker but is still relayed: the backend DID answer, and
+	// its Retry-After hint is the client's to honor.
+	if resp.StatusCode >= 500 {
+		if b.recordFailure(g.opt.EjectAfter, fmt.Errorf("status %s", resp.Status)) {
+			g.logf("gateway: %s ejected after %d consecutive failures (status %s)", b.name, g.opt.EjectAfter, resp.Status)
+		}
+	} else {
+		b.recordSuccess()
+	}
+	copyHeader(w.Header(), resp.Header)
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+}
+
+// serveRead proxies one read, failing over across the candidate order
+// until an attempt succeeds, the per-request attempt cap is reached,
+// or the global retry budget runs dry.
+func (g *Gateway) serveRead(w http.ResponseWriter, r *http.Request) {
+	g.budget.addRequest()
+	cands, stale := g.readCandidates()
+	if len(cands) == 0 {
+		g.unavailable(w, "no admitted backend")
+		return
+	}
+	attempts := g.opt.RetryAttempts
+	if attempts > len(cands) {
+		attempts = len(cands)
+	}
+	for i := 0; i < attempts; i++ {
+		if i > 0 && !g.budget.allowRetry(g.opt.RetryBudgetRatio, g.opt.RetryBudgetBurst) {
+			g.logf("gateway: retry budget exhausted, failing read without failover")
+			break
+		}
+		b := cands[i]
+		status, header, body, err := g.fetch(b, r)
+		if err != nil {
+			if b.recordFailure(g.opt.EjectAfter, err) {
+				g.logf("gateway: %s ejected after %d consecutive failures (%v)", b.name, g.opt.EjectAfter, err)
+			}
+			continue
+		}
+		if status >= 500 {
+			if b.recordFailure(g.opt.EjectAfter, fmt.Errorf("status %d", status)) {
+				g.logf("gateway: %s ejected after %d consecutive failures (status %d)", b.name, g.opt.EjectAfter, status)
+			}
+			g.bufs.Put(body)
+			continue
+		}
+		b.recordSuccess()
+		copyHeader(w.Header(), header)
+		if stale[i] {
+			// The gateway KNOWINGLY routed past the staleness bound;
+			// label the response even when the backend itself (which may
+			// believe it is fresh, its stream head being stale) did not.
+			w.Header().Set("X-Served-Stale", "1")
+		}
+		w.WriteHeader(status)
+		_, _ = w.Write(body.Bytes())
+		g.bufs.Put(body)
+		return
+	}
+	g.unavailable(w, "no backend answered")
+}
+
+// fetch performs one buffered read attempt against b. The whole body
+// is read before anything is committed to the client, so a backend
+// dying mid-response is a retryable failure, not a torn client read.
+func (g *Gateway) fetch(b *backend, r *http.Request) (status int, header http.Header, body *bytes.Buffer, err error) {
+	resp, err := g.opt.Transport.RoundTrip(g.outbound(b, r))
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	defer resp.Body.Close()
+	buf := g.bufs.Get().(*bytes.Buffer)
+	buf.Reset()
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		g.bufs.Put(buf)
+		return 0, nil, nil, fmt.Errorf("body from %s: %w", b.name, err)
+	}
+	return resp.StatusCode, resp.Header, buf, nil
+}
+
+// outbound rebuilds r as a request to b, preserving method, path,
+// query, headers, and body.
+func (g *Gateway) outbound(b *backend, r *http.Request) *http.Request {
+	out := r.Clone(r.Context())
+	out.URL = &url.URL{
+		Scheme:   b.base.Scheme,
+		Host:     b.base.Host,
+		Path:     r.URL.Path,
+		RawPath:  r.URL.RawPath,
+		RawQuery: r.URL.RawQuery,
+	}
+	out.Host = ""
+	out.RequestURI = ""
+	stripHopByHop(out.Header)
+	return out
+}
+
+// readCandidates builds the failover order for one read: fresh
+// replicas, then never-probed ones, then stale ones (marked), then
+// the primary — round-robin within each tier, ejected backends
+// excluded everywhere. stale[i] reports whether serving from cands[i]
+// must carry X-Served-Stale.
+func (g *Gateway) readCandidates() (cands []*backend, stale []bool) {
+	var fresh, unknown, staleTier []*backend
+	for _, b := range g.replicas {
+		if !b.admitted() {
+			continue
+		}
+		switch b.readTier(g.opt.MaxLag) {
+		case tierFresh:
+			fresh = append(fresh, b)
+		case tierUnknown:
+			unknown = append(unknown, b)
+		default:
+			staleTier = append(staleTier, b)
+		}
+	}
+	rot := g.rr.Add(1)
+	for _, tier := range [][]*backend{rotate(fresh, rot), rotate(unknown, rot)} {
+		for _, b := range tier {
+			cands = append(cands, b)
+			stale = append(stale, false)
+		}
+	}
+	for _, b := range rotate(staleTier, rot) {
+		cands = append(cands, b)
+		stale = append(stale, true)
+	}
+	if g.primary.admitted() {
+		cands = append(cands, g.primary)
+		stale = append(stale, false)
+	}
+	return cands, stale
+}
+
+// rotate returns s rotated by n — round-robin spreading without
+// mutating the tier slices.
+func rotate(s []*backend, n uint64) []*backend {
+	if len(s) < 2 {
+		return s
+	}
+	k := int(n % uint64(len(s)))
+	if k == 0 {
+		return s
+	}
+	out := make([]*backend, 0, len(s))
+	out = append(out, s[k:]...)
+	return append(out, s[:k]...)
+}
+
+// unavailable answers a request no backend could take. The hint is
+// jittered for the same reason the admission shed's is: synchronized
+// client retries would re-arrive as a thundering herd.
+func (g *Gateway) unavailable(w http.ResponseWriter, why string) {
+	w.Header().Set("Retry-After", strconv.Itoa(httpguard.JitterSeconds(2)))
+	http.Error(w, "gateway: "+why, http.StatusServiceUnavailable)
+}
+
+// hopByHop are the connection-scoped headers a proxy must not
+// forward (RFC 7230 §6.1).
+var hopByHop = []string{
+	"Connection", "Keep-Alive", "Proxy-Authenticate",
+	"Proxy-Authorization", "Proxy-Connection", "Te", "Trailer",
+	"Transfer-Encoding", "Upgrade",
+}
+
+func stripHopByHop(h http.Header) {
+	for _, k := range hopByHop {
+		h.Del(k)
+	}
+}
+
+func copyHeader(dst, src http.Header) {
+	for k, vv := range src {
+		for _, v := range vv {
+			dst.Add(k, v)
+		}
+	}
+	stripHopByHop(dst)
+}

@@ -1,0 +1,416 @@
+package gateway
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"dissenter/internal/replica"
+)
+
+// fake is one scriptable fleet member: probe endpoints driven by
+// atomics, an app surface that counts hits and can be failed on demand.
+type fake struct {
+	name    string
+	srv     *httptest.Server
+	applied atomic.Uint64
+	head    atomic.Uint64
+	ready   atomic.Bool
+	fail    atomic.Bool  // app requests answer 500
+	hits    atomic.Int64 // app (non-probe) requests served
+}
+
+func newFake(t *testing.T, name, role string) *fake {
+	t.Helper()
+	f := &fake{name: name}
+	f.ready.Store(true)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/replication-status", func(w http.ResponseWriter, r *http.Request) {
+		st := replica.StatusJSON{
+			Role: role, Head: f.head.Load(), Applied: f.applied.Load(),
+			Connected: true, PersistOK: true,
+		}
+		if st.Head > st.Applied {
+			st.Lag = st.Head - st.Applied
+		}
+		replica.ServeStatus(w, st)
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if f.ready.Load() {
+			fmt.Fprintln(w, "ready")
+			return
+		}
+		http.Error(w, "not ready", http.StatusServiceUnavailable)
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		f.hits.Add(1)
+		if f.fail.Load() {
+			http.Error(w, "boom", http.StatusInternalServerError)
+			return
+		}
+		fmt.Fprintf(w, "%s:%s", f.name, r.URL.Path)
+	})
+	f.srv = httptest.NewServer(mux)
+	t.Cleanup(f.srv.Close)
+	return f
+}
+
+func newTestGateway(t *testing.T, primary *fake, reps []*fake, opt Options) *Gateway {
+	t.Helper()
+	var urls []string
+	for _, r := range reps {
+		urls = append(urls, r.srv.URL)
+	}
+	return New(primary.srv.URL, urls, opt)
+}
+
+// do drives one request through the gateway handler directly.
+func do(g *Gateway, method, target string) *httptest.ResponseRecorder {
+	rec := httptest.NewRecorder()
+	g.ServeHTTP(rec, httptest.NewRequest(method, target, nil))
+	return rec
+}
+
+func backendStatus(t *testing.T, g *Gateway, name string) BackendStatus {
+	t.Helper()
+	for _, b := range g.Stats().Backends {
+		if b.Name == name {
+			return b
+		}
+	}
+	t.Fatalf("no backend named %q in stats", name)
+	return BackendStatus{}
+}
+
+// TestWriteRouting pins the write/read split: non-GET methods and the
+// GET-shaped mutating paths go to the primary; plain reads go to the
+// replica pool.
+func TestWriteRouting(t *testing.T) {
+	primary := newFake(t, "p", "primary")
+	rep := newFake(t, "r1", "replica")
+	g := newTestGateway(t, primary, []*fake{rep}, Options{})
+	g.ProbeNow(context.Background())
+
+	for _, c := range []struct {
+		method, target string
+		wantBackend    string
+	}{
+		{"POST", "/discussion/comment", "p"},
+		{"GET", "/discussion/vote?url=https%3A%2F%2Fx.test&dir=up", "p"},
+		{"GET", "/discussion/begin?url=https%3A%2F%2Fx.test", "p"},
+		{"GET", "/trends", "r1"},
+		{"GET", "/leaderboard", "r1"},
+	} {
+		rec := do(g, c.method, c.target)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("%s %s = %d, want 200", c.method, c.target, rec.Code)
+		}
+		if got := rec.Body.String(); !strings.HasPrefix(got, c.wantBackend+":") {
+			t.Fatalf("%s %s served by %q, want %s", c.method, c.target, got, c.wantBackend)
+		}
+	}
+	if primary.hits.Load() != 3 || rep.hits.Load() != 2 {
+		t.Fatalf("hit split primary=%d replica=%d, want 3/2", primary.hits.Load(), rep.hits.Load())
+	}
+}
+
+// TestWriteSingleAttempt pins the no-replay rule: a failing write is
+// relayed as the primary's own 500 — never retried, never failed over
+// to a replica.
+func TestWriteSingleAttempt(t *testing.T) {
+	primary := newFake(t, "p", "primary")
+	rep := newFake(t, "r1", "replica")
+	g := newTestGateway(t, primary, []*fake{rep}, Options{})
+	g.ProbeNow(context.Background())
+
+	primary.fail.Store(true)
+	rec := do(g, "POST", "/discussion/comment")
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("failing write = %d, want the primary's 500 relayed", rec.Code)
+	}
+	if primary.hits.Load() != 1 {
+		t.Fatalf("primary saw %d attempts, want exactly 1 (writes are never replayed)", primary.hits.Load())
+	}
+	if rep.hits.Load() != 0 {
+		t.Fatalf("replica saw %d write attempts, want 0", rep.hits.Load())
+	}
+}
+
+// TestReadFailover pins mid-request failover: with one replica
+// failing, every read still answers 200 from a healthy backend, and
+// the failing replica is ejected after EjectAfter consecutive
+// failures.
+func TestReadFailover(t *testing.T) {
+	primary := newFake(t, "p", "primary")
+	bad := newFake(t, "r1", "replica")
+	good := newFake(t, "r2", "replica")
+	g := newTestGateway(t, primary, []*fake{bad, good}, Options{EjectAfter: 2})
+	g.ProbeNow(context.Background())
+
+	bad.fail.Store(true)
+	for i := 0; i < 10; i++ {
+		rec := do(g, "GET", "/trends")
+		if rec.Code != http.StatusOK {
+			t.Fatalf("read %d = %d with a healthy replica in the pool, want 200", i, rec.Code)
+		}
+		if got := rec.Body.String(); !strings.HasPrefix(got, "r2:") {
+			t.Fatalf("read %d served by %q, want the healthy r2", i, got)
+		}
+	}
+	if st := backendStatus(t, g, "replica1"); !st.Ejected {
+		t.Fatalf("failing replica not ejected after 10 reads: %+v", st)
+	}
+	if st := backendStatus(t, g, "replica2"); st.Ejected || st.Served == 0 {
+		t.Fatalf("healthy replica in a bad state: %+v", st)
+	}
+}
+
+// TestRetryBudget pins the global budget: with every backend failing,
+// retries stop at burst + ratio × requests no matter how many reads
+// arrive, and the excess is counted as denied.
+func TestRetryBudget(t *testing.T) {
+	primary := newFake(t, "p", "primary")
+	r1 := newFake(t, "r1", "replica")
+	r2 := newFake(t, "r2", "replica")
+	g := newTestGateway(t, primary, []*fake{r1, r2}, Options{
+		EjectAfter:       1000, // keep everything in rotation: isolate the budget
+		RetryAttempts:    3,
+		RetryBudgetRatio: 1e-9,
+		RetryBudgetBurst: 2,
+	})
+	g.ProbeNow(context.Background())
+	for _, f := range []*fake{primary, r1, r2} {
+		f.fail.Store(true)
+	}
+
+	const reads = 20
+	for i := 0; i < reads; i++ {
+		if rec := do(g, "GET", "/trends"); rec.Code != http.StatusServiceUnavailable {
+			t.Fatalf("read %d = %d with the whole fleet failing, want 503", i, rec.Code)
+		}
+	}
+	st := g.Stats()
+	if st.Requests != reads {
+		t.Fatalf("requests = %d, want %d", st.Requests, reads)
+	}
+	if st.Retries > 2 {
+		t.Fatalf("retries = %d, want ≤ burst(2): the budget must bound global retry volume", st.Retries)
+	}
+	if st.RetriesDenied == 0 {
+		t.Fatal("denied = 0, want the budget to have refused failovers")
+	}
+	// Total backend attempts = reads + retries spent, never reads × attempts.
+	attempts := primary.hits.Load() + r1.hits.Load() + r2.hits.Load()
+	if want := int64(reads) + int64(st.Retries); attempts != want {
+		t.Fatalf("backend attempts = %d, want %d (reads + budgeted retries)", attempts, want)
+	}
+}
+
+// TestEjectionAndHalfOpenReadmit pins the breaker's one re-admission
+// path: passive successes never clear an ejection; only a successful
+// probe round does.
+func TestEjectionAndHalfOpenReadmit(t *testing.T) {
+	primary := newFake(t, "p", "primary")
+	rep := newFake(t, "r1", "replica")
+	g := newTestGateway(t, primary, []*fake{rep}, Options{EjectAfter: 1})
+	g.ProbeNow(context.Background())
+
+	rep.fail.Store(true)
+	if rec := do(g, "GET", "/trends"); rec.Code != http.StatusOK || !strings.HasPrefix(rec.Body.String(), "p:") {
+		t.Fatalf("read during replica failure = %d %q, want 200 from the primary", rec.Code, rec.Body.String())
+	}
+	if !backendStatus(t, g, "replica1").Ejected {
+		t.Fatal("replica not ejected after EjectAfter=1 failure")
+	}
+
+	// The replica recovers — but WITHOUT a probe it must stay ejected
+	// and receive no proxied traffic, however many reads flow.
+	rep.fail.Store(false)
+	before := rep.hits.Load()
+	for i := 0; i < 5; i++ {
+		if rec := do(g, "GET", "/trends"); rec.Code != http.StatusOK {
+			t.Fatalf("read %d = %d, want 200 via the primary", i, rec.Code)
+		}
+	}
+	if got := rep.hits.Load(); got != before {
+		t.Fatalf("ejected replica served %d reads, want 0 (re-admission is the probe's job alone)", got-before)
+	}
+
+	// The half-open trial: one successful probe round re-admits.
+	g.ProbeNow(context.Background())
+	if backendStatus(t, g, "replica1").Ejected {
+		t.Fatal("replica still ejected after a successful probe round")
+	}
+	if rec := do(g, "GET", "/trends"); !strings.HasPrefix(rec.Body.String(), "r1:") {
+		t.Fatalf("post-readmit read served by %q, want r1", rec.Body.String())
+	}
+}
+
+// TestLagAwareRouting pins the staleness tiers: fresh replicas are
+// preferred; when the whole pool is past -max-lag, reads degrade to
+// stale-labeled 200s from the POOL — the primary is shielded, not
+// promoted — and the gateway's fleet-head computation overrides a lagging
+// replica's too-optimistic self-report.
+func TestLagAwareRouting(t *testing.T) {
+	primary := newFake(t, "p", "primary")
+	fresh := newFake(t, "r1", "replica")
+	lagging := newFake(t, "r2", "replica")
+	primary.applied.Store(100)
+	primary.head.Store(100)
+	fresh.applied.Store(100)
+	fresh.head.Store(100)
+	// The lagging replica lost its stream at seq 50: its self-report
+	// (head==applied, lag 0, ready) looks perfect. Only the gateway's
+	// fleet head (100, from the primary) exposes the 50-event gap.
+	lagging.applied.Store(50)
+	lagging.head.Store(50)
+	g := newTestGateway(t, primary, []*fake{fresh, lagging}, Options{MaxLag: 10})
+	g.ProbeNow(context.Background())
+
+	if st := backendStatus(t, g, "replica2"); st.Lag != 50 {
+		t.Fatalf("fleet-computed lag for the lagging replica = %d, want 50", st.Lag)
+	}
+	for i := 0; i < 6; i++ {
+		rec := do(g, "GET", "/trends")
+		if !strings.HasPrefix(rec.Body.String(), "r1:") {
+			t.Fatalf("read %d served by %q, want the fresh r1", i, rec.Body.String())
+		}
+		if rec.Header().Get("X-Served-Stale") != "" {
+			t.Fatalf("fresh read %d carries X-Served-Stale", i)
+		}
+	}
+
+	// Whole-pool lag excursion: the fresh replica falls behind too.
+	fresh.applied.Store(60)
+	fresh.head.Store(60)
+	g.ProbeNow(context.Background())
+	pBefore := primary.hits.Load()
+	for i := 0; i < 6; i++ {
+		rec := do(g, "GET", "/trends")
+		if rec.Code != http.StatusOK {
+			t.Fatalf("stale-pool read %d = %d, want a degraded 200, never a 5xx", i, rec.Code)
+		}
+		if rec.Header().Get("X-Served-Stale") != "1" {
+			t.Fatalf("stale-pool read %d missing X-Served-Stale: 1", i)
+		}
+		if strings.HasPrefix(rec.Body.String(), "p:") {
+			t.Fatalf("stale-pool read %d reached the primary; stale replicas must shield it", i)
+		}
+	}
+	if got := primary.hits.Load(); got != pBefore {
+		t.Fatalf("primary took %d reads during the lag excursion, want 0", got-pBefore)
+	}
+
+	// Pool catches up: routing goes fresh again without restarts.
+	fresh.applied.Store(100)
+	fresh.head.Store(100)
+	lagging.applied.Store(100)
+	lagging.head.Store(100)
+	g.ProbeNow(context.Background())
+	if rec := do(g, "GET", "/trends"); rec.Header().Get("X-Served-Stale") != "" {
+		t.Fatal("caught-up pool still serving stale-labeled reads")
+	}
+}
+
+// TestNotReadyReplicaIsStaleTier pins the /readyz probe's effect: a
+// replica answering 503 on /readyz is steered around (stale tier), not
+// ejected — it still serves labeled reads when it is all that's left.
+func TestNotReadyReplicaIsStaleTier(t *testing.T) {
+	primary := newFake(t, "p", "primary")
+	rep := newFake(t, "r1", "replica")
+	g := newTestGateway(t, primary, []*fake{rep}, Options{})
+	rep.ready.Store(false)
+	g.ProbeNow(context.Background())
+
+	st := backendStatus(t, g, "replica1")
+	if st.Ejected {
+		t.Fatal("not-ready replica was ejected; readiness steers, only failures eject")
+	}
+	if st.Ready {
+		t.Fatal("probe did not record the not-ready verdict")
+	}
+	rec := do(g, "GET", "/trends")
+	if rec.Code != http.StatusOK || !strings.HasPrefix(rec.Body.String(), "r1:") {
+		t.Fatalf("read = %d %q, want stale-tier 200 from r1 (it still shields the primary)", rec.Code, rec.Body.String())
+	}
+	if rec.Header().Get("X-Served-Stale") != "1" {
+		t.Fatal("not-ready replica's response missing X-Served-Stale: 1")
+	}
+}
+
+// TestAllEjected pins the floor: with the whole fleet ejected the
+// gateway sheds with 503 + a jittered Retry-After, and its own
+// ReadyCheck fails so a fronting balancer rotates IT out too.
+func TestAllEjected(t *testing.T) {
+	primary := newFake(t, "p", "primary")
+	rep := newFake(t, "r1", "replica")
+	g := newTestGateway(t, primary, []*fake{rep}, Options{EjectAfter: 1})
+	g.ProbeNow(context.Background())
+	if err := g.ReadyCheck(); err != nil {
+		t.Fatalf("healthy fleet, ReadyCheck = %v", err)
+	}
+
+	primary.srv.Close()
+	rep.srv.Close()
+	g.ProbeNow(context.Background())
+	if err := g.ReadyCheck(); err == nil {
+		t.Fatal("whole fleet dead, want ReadyCheck failure")
+	}
+	rec := do(g, "GET", "/trends")
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("read with no admitted backend = %d, want 503", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("shed response missing Retry-After hint")
+	}
+	// Probe-driven requests must not leak into the proxied-body path.
+	if rec.Body.Len() == 0 || !strings.Contains(rec.Body.String(), "gateway:") {
+		t.Fatalf("shed body %q, want the gateway's own message", rec.Body.String())
+	}
+}
+
+// TestOutboundRewrite pins proxy hygiene: path and query survive,
+// hop-by-hop headers do not, and the backend's headers come back.
+func TestOutboundRewrite(t *testing.T) {
+	var gotURL, gotConn string
+	mux := http.NewServeMux()
+	mux.HandleFunc("/replication-status", func(w http.ResponseWriter, r *http.Request) {
+		replica.ServeStatus(w, replica.StatusJSON{Role: "primary", Connected: true, PersistOK: true})
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) { fmt.Fprintln(w, "ready") })
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		gotURL = r.URL.RequestURI()
+		gotConn = r.Header.Get("Proxy-Connection")
+		w.Header().Set("X-From-Backend", "yes")
+		fmt.Fprint(w, "ok")
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	g := New(srv.URL, nil, Options{})
+	g.ProbeNow(context.Background())
+
+	req := httptest.NewRequest("GET", "/trends/daily?days=7&cursor=a%2Fb", nil)
+	req.Header.Set("Proxy-Connection", "keep-alive")
+	rec := httptest.NewRecorder()
+	g.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("proxied read = %d", rec.Code)
+	}
+	if gotURL != "/trends/daily?days=7&cursor=a%2Fb" {
+		t.Fatalf("backend saw %q, want the original path+query", gotURL)
+	}
+	if gotConn != "" {
+		t.Fatal("hop-by-hop Proxy-Connection header leaked to the backend")
+	}
+	if rec.Header().Get("X-From-Backend") != "yes" {
+		t.Fatal("backend response header lost in proxying")
+	}
+	if body, _ := io.ReadAll(rec.Result().Body); string(body) != "ok" {
+		t.Fatalf("body %q, want %q", body, "ok")
+	}
+}

@@ -1,0 +1,152 @@
+package gateway
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"dissenter/internal/replica"
+)
+
+// Run drives the active health prober until ctx ends: one ProbeNow
+// round every Options.ProbeInterval. Deterministic tests skip Run and
+// call ProbeNow at scripted points instead.
+func (g *Gateway) Run(ctx context.Context) {
+	t := time.NewTicker(g.opt.ProbeInterval)
+	defer t.Stop()
+	for {
+		g.ProbeNow(ctx)
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+	}
+}
+
+// ProbeNow runs one synchronous probe round: every backend's
+// /replication-status and /readyz, then a fleet-head recompute so each
+// backend's lag is measured against the newest sequence ANY member
+// reports — a disconnected replica's own head goes stale, so its
+// self-reported lag cannot be trusted. A fully successful round is the
+// ejected backend's half-open trial: it re-admits.
+func (g *Gateway) ProbeNow(ctx context.Context) {
+	for _, b := range g.all {
+		g.probeOne(ctx, b)
+	}
+	g.recomputeLag()
+}
+
+func (g *Gateway) probeOne(ctx context.Context, b *backend) {
+	st, err := g.probeStatus(ctx, b)
+	if err == nil {
+		var ready bool
+		ready, err = g.probeReady(ctx, b)
+		if err == nil {
+			g.admit(b, st, ready)
+			return
+		}
+	}
+	b.mu.Lock()
+	b.probed = false // stale lag/readiness data must not route reads
+	b.mu.Unlock()
+	if b.recordFailure(g.opt.EjectAfter, err) {
+		g.logf("gateway: %s ejected after %d consecutive probe failures (%v)", b.name, g.opt.EjectAfter, err)
+	}
+}
+
+// admit applies one successful probe's findings. This is the only
+// path that clears an ejection: the probe is the half-open trial.
+func (b *backend) admitLocked(st replica.StatusJSON, ready bool) (readmitted bool) {
+	b.consecFails = 0
+	b.probed = true
+	b.ready = ready
+	b.applied = st.Applied
+	b.head = st.Head
+	b.persistOK = st.PersistOK
+	b.lastErr = ""
+	if b.ejected {
+		b.ejected = false
+		return true
+	}
+	return false
+}
+
+func (g *Gateway) admit(b *backend, st replica.StatusJSON, ready bool) {
+	b.mu.Lock()
+	readmitted := b.admitLocked(st, ready)
+	b.mu.Unlock()
+	if readmitted {
+		g.logf("gateway: %s re-admitted after successful half-open probe", b.name)
+	}
+}
+
+// probeStatus fetches and decodes one backend's /replication-status.
+func (g *Gateway) probeStatus(ctx context.Context, b *backend) (replica.StatusJSON, error) {
+	var st replica.StatusJSON
+	body, status, err := g.probeGet(ctx, b, "/replication-status")
+	if err != nil {
+		return st, err
+	}
+	if status != http.StatusOK {
+		return st, fmt.Errorf("replication-status: status %d", status)
+	}
+	if err := json.Unmarshal(body, &st); err != nil {
+		return st, fmt.Errorf("replication-status: %w", err)
+	}
+	return st, nil
+}
+
+// probeReady fetches one backend's /readyz verdict. A 503 is a valid
+// answer (not ready — steer, don't eject); only transport-level
+// failure is a probe failure.
+func (g *Gateway) probeReady(ctx context.Context, b *backend) (bool, error) {
+	_, status, err := g.probeGet(ctx, b, "/readyz")
+	if err != nil {
+		return false, err
+	}
+	return status == http.StatusOK, nil
+}
+
+func (g *Gateway) probeGet(ctx context.Context, b *backend, path string) (body []byte, status int, err error) {
+	ctx, cancel := context.WithTimeout(ctx, g.opt.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.base.String()+path, nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	resp, err := g.opt.Transport.RoundTrip(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	blob, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return nil, 0, err
+	}
+	return blob, resp.StatusCode, nil
+}
+
+// recomputeLag measures every probed backend against the fleet head.
+func (g *Gateway) recomputeLag() {
+	var head uint64
+	for _, b := range g.all {
+		b.mu.Lock()
+		if b.probed {
+			head = max(head, b.head, b.applied)
+		}
+		b.mu.Unlock()
+	}
+	for _, b := range g.all {
+		b.mu.Lock()
+		if b.probed && head > b.applied {
+			b.lag = head - b.applied
+		} else {
+			b.lag = 0
+		}
+		b.mu.Unlock()
+	}
+}

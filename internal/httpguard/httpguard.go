@@ -30,6 +30,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand/v2"
 	"net"
 	"net/http"
 	"sort"
@@ -120,6 +121,11 @@ func (h *Health) Readyz(w http.ResponseWriter, r *http.Request) {
 // hint rather than queued — bounded latency over bounded loss. Wrap
 // only the surfaces that should shed; health endpoints and the
 // replication stream are typically mounted outside it.
+//
+// The hint is jittered per shed over [⌈max/2⌉, max] seconds
+// (JitterSeconds): a constant hint teaches every shed client — and
+// every gateway retrying on their behalf — to come back at the same
+// instant, turning one overload into a synchronized second one.
 func Admission(limit int, retryAfter time.Duration, next http.Handler) http.Handler {
 	if limit <= 0 {
 		return next
@@ -138,10 +144,22 @@ func Admission(limit int, retryAfter time.Duration, next http.Handler) http.Hand
 			defer func() { <-sem }()
 			next.ServeHTTP(w, r)
 		default:
-			w.Header().Set("Retry-After", strconv.Itoa(secs))
+			w.Header().Set("Retry-After", strconv.Itoa(JitterSeconds(secs)))
 			http.Error(w, "server at capacity, retry later", http.StatusServiceUnavailable)
 		}
 	})
+}
+
+// JitterSeconds spreads a Retry-After hint of at most max seconds
+// uniformly over [⌈max/2⌉, max], so a fleet of shed clients does not
+// re-arrive in lockstep. Values ≤ 1 are returned as-is (Retry-After
+// below one second is not expressible).
+func JitterSeconds(max int) int {
+	if max <= 1 {
+		return max
+	}
+	lo := (max + 1) / 2
+	return lo + rand.N(max-lo+1)
 }
 
 // ServeOptions tunes Serve/ListenAndServe.

@@ -8,6 +8,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -110,8 +111,8 @@ func TestAdmissionSheds(t *testing.T) {
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("saturated request = %d %q, want 503", resp.StatusCode, body)
 	}
-	if got := resp.Header.Get("Retry-After"); got != "7" {
-		t.Fatalf("Retry-After = %q, want \"7\"", got)
+	if got, err := strconv.Atoi(resp.Header.Get("Retry-After")); err != nil || got < 4 || got > 7 {
+		t.Fatalf("Retry-After = %q, want a jittered value in [4, 7]", resp.Header.Get("Retry-After"))
 	}
 
 	// Release the slots; capacity returns.
@@ -233,5 +234,36 @@ func TestServeCutsStragglers(t *testing.T) {
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("Serve hung on a straggler past its drain timeout")
+	}
+}
+
+// TestJitterSeconds pins the shed hint's spread: every draw lands in
+// [⌈max/2⌉, max], both endpoints occur over many draws (so the hint
+// is genuinely spread, not constant), and the degenerate hints pass
+// through untouched.
+func TestJitterSeconds(t *testing.T) {
+	const max = 8
+	seen := map[int]bool{}
+	for i := 0; i < 2000; i++ {
+		v := JitterSeconds(max)
+		if v < 4 || v > max {
+			t.Fatalf("JitterSeconds(%d) = %d, outside [4, %d]", max, v, max)
+		}
+		seen[v] = true
+	}
+	if !seen[4] || !seen[max] {
+		t.Fatalf("2000 draws never hit both endpoints: %v", seen)
+	}
+	for _, v := range []int{0, 1} {
+		if got := JitterSeconds(v); got != v {
+			t.Fatalf("JitterSeconds(%d) = %d, want %d unchanged", v, got, v)
+		}
+	}
+	// Odd max: the low end rounds UP so the hint never halves below
+	// the server's intent.
+	for i := 0; i < 200; i++ {
+		if v := JitterSeconds(5); v < 3 || v > 5 {
+			t.Fatalf("JitterSeconds(5) = %d, outside [3, 5]", v)
+		}
 	}
 }

@@ -1,0 +1,87 @@
+package replica
+
+import (
+	"testing"
+	"time"
+
+	"dissenter/internal/platform"
+)
+
+// White-box boundary tests for Replica.Ready — the signal the gateway's
+// routing (and any external load balancer) keys off. The edges matter:
+// a replica at EXACTLY the lag bound must still be ready (the check is
+// strictly-greater), and a stream reconnect or an applied event racing
+// the stale-after expiry must flip the verdict back immediately.
+
+func TestReadyLagBoundary(t *testing.T) {
+	db := platform.New(nil, nil, nil, nil)
+	urls := corpus(t, db, 7, 3)
+	r := &Replica{db: db}
+	r.streaming = true // connected: only the lag check is in play
+	applied := db.EventSeq()
+	const maxLag = 10
+
+	r.lastHead = applied + maxLag
+	if err := r.Ready(time.Hour, maxLag); err != nil {
+		t.Fatalf("lag exactly at maxLag must be ready, got %v", err)
+	}
+	r.lastHead = applied + maxLag + 1
+	if err := r.Ready(time.Hour, maxLag); err == nil {
+		t.Fatal("lag one past maxLag must fail readiness")
+	}
+	// A progress update racing the check: ONE applied event brings the
+	// lag back to the bound and the verdict back to ready.
+	db.Vote(urls[0], 1, 0)
+	if err := r.Ready(time.Hour, maxLag); err != nil {
+		t.Fatalf("one applied event should restore readiness, got %v", err)
+	}
+	// maxLag 0 disables the check entirely.
+	r.lastHead = applied + 1_000_000
+	if err := r.Ready(time.Hour, 0); err != nil {
+		t.Fatalf("maxLag 0 must disable the lag check, got %v", err)
+	}
+	// A head BEHIND the applied cursor (a reconnect to a primary that
+	// restarted from an older snapshot) reads as zero lag, not a
+	// uint64 underflow.
+	r.lastHead = applied / 2
+	if err := r.Ready(time.Hour, 1); err != nil {
+		t.Fatalf("head behind applied must read as zero lag, got %v", err)
+	}
+}
+
+func TestReadyStaleAfterBoundary(t *testing.T) {
+	db := platform.New(nil, nil, nil, nil)
+	corpus(t, db, 8, 2)
+	r := &Replica{db: db}
+	const window = time.Hour
+
+	// Disconnected, but well inside the window: still ready.
+	r.streaming = false
+	r.disconnectedAt = time.Now().Add(-time.Minute)
+	if err := r.Ready(window, 0); err != nil {
+		t.Fatalf("disconnected inside the window must be ready, got %v", err)
+	}
+	// Well past the window: expired.
+	r.disconnectedAt = time.Now().Add(-2 * window)
+	if err := r.Ready(window, 0); err == nil {
+		t.Fatal("disconnected past the window must fail readiness")
+	}
+	// staleAfter 0 disables the check no matter how old the disconnect.
+	if err := r.Ready(0, 0); err != nil {
+		t.Fatalf("staleAfter 0 must disable the disconnect check, got %v", err)
+	}
+	// The race the gateway cares about: the stream reconnects at the
+	// very moment the window expires. Connected wins — the elapsed
+	// disconnect time is history the instant a stream is open.
+	r.streaming = true
+	if err := r.Ready(window, 0); err != nil {
+		t.Fatalf("a reconnected replica must be ready regardless of how long it was down, got %v", err)
+	}
+	// And dropping again starts a FRESH window (Run re-stamps
+	// disconnectedAt on stream close, modeled here directly).
+	r.streaming = false
+	r.disconnectedAt = time.Now()
+	if err := r.Ready(window, 0); err != nil {
+		t.Fatalf("a fresh disconnect must not inherit the old window, got %v", err)
+	}
+}

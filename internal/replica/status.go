@@ -1,0 +1,88 @@
+package replica
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"dissenter/internal/platform"
+)
+
+// StatusJSON is the machine-readable /replication-status payload.
+// Every member of the fleet — the primary and each replica — serves
+// this one shape, so a gateway (internal/gateway) probes a single
+// contract everywhere and computes fleet-wide lag from the answers.
+//
+// Head is the newest sequence number this process knows about: a
+// replica reports the primary head it last saw on its stream (which
+// goes stale while disconnected — consumers should take the max over
+// the fleet rather than trusting any one report), a primary reports
+// its own applied cursor, which IS the fleet head. Lag is the
+// process's own head-minus-applied estimate; a gateway recomputes it
+// against the fleet-wide head for the same reason.
+type StatusJSON struct {
+	// Role is "primary" or "replica".
+	Role string `json:"role"`
+	// Head is the newest sequence this process knows about.
+	Head uint64 `json:"head"`
+	// Applied is the process's own event cursor.
+	Applied uint64 `json:"applied"`
+	// Lag is the self-reported head-minus-applied estimate.
+	Lag uint64 `json:"lag"`
+	// Durable is the local WAL's on-disk guarantee.
+	Durable uint64 `json:"durable"`
+	// Connected reports whether a replication stream is open (always
+	// true on a primary: it is its own source).
+	Connected bool `json:"connected"`
+	// PersistOK is false once local durability has failed sticky.
+	PersistOK bool `json:"persist_ok"`
+	// PersistErr carries the sticky persistence error, when any.
+	PersistErr string `json:"persist_err,omitempty"`
+}
+
+// StatusJSON snapshots the replica's health in the fleet-wide
+// /replication-status wire shape.
+func (r *Replica) StatusJSON() StatusJSON {
+	s := r.Status()
+	sj := StatusJSON{
+		Role:      "replica",
+		Head:      s.LastHead,
+		Applied:   s.Applied,
+		Durable:   s.Durable,
+		Connected: s.Connected,
+		PersistOK: s.PersistErr == nil,
+	}
+	if s.LastHead > s.Applied {
+		sj.Lag = s.LastHead - s.Applied
+	}
+	if s.PersistErr != nil {
+		sj.PersistErr = s.PersistErr.Error()
+	}
+	return sj
+}
+
+// PrimaryStatus mirrors the wire shape on a primary: its applied
+// cursor is the fleet head by definition, so lag is always zero.
+// durable is the primary persister's on-disk guarantee (0 when the
+// store is in-memory only) and persistErr its sticky error, if any.
+func PrimaryStatus(db *platform.DB, durable uint64, persistErr error) StatusJSON {
+	seq := db.EventSeq()
+	sj := StatusJSON{
+		Role:      "primary",
+		Head:      seq,
+		Applied:   seq,
+		Durable:   durable,
+		Connected: true,
+		PersistOK: persistErr == nil,
+	}
+	if persistErr != nil {
+		sj.PersistErr = persistErr.Error()
+	}
+	return sj
+}
+
+// ServeStatus writes sj as a /replication-status response.
+func ServeStatus(w http.ResponseWriter, sj StatusJSON) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(sj)
+}
